@@ -1,0 +1,66 @@
+"""Ablation benchmarks: the engine's quality/speed knobs.
+
+Sweeps ``min_candidates`` (FAHL-W's early-stop floor) and the ordering
+blend β, plus the degree-2 contraction preprocessing — the design choices
+DESIGN.md calls out, measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.graph.simplify import contract_degree_two
+from repro.labeling.h2h import H2HIndex
+from repro.workloads.queries import flatten_groups
+
+
+@pytest.mark.parametrize("floor", [1, 4, 12])
+def test_ablation_min_candidates(benchmark, brn_dataset, brn_queries, floor):
+    """FAHL-W speed as the early-stop quality floor rises."""
+    frn = brn_dataset.frn
+    index = FAHLIndex.from_frn(frn, beta=0.5)
+    engine = FlowAwareEngine(frn, oracle=index, alpha=0.5, eta_u=3.0,
+                             pruning="lemma4", max_candidates=16,
+                             min_candidates=floor)
+    queries = flatten_groups(brn_queries)
+
+    def run_workload():
+        enumerated = 0
+        for query in queries:
+            enumerated += engine.query(query).num_candidates
+        return enumerated
+
+    enumerated = benchmark.pedantic(run_workload, rounds=2, iterations=1)
+    benchmark.extra_info["mean_candidates"] = enumerated / len(queries)
+
+
+@pytest.mark.parametrize("beta", [0.0, 0.5, 1.0])
+def test_ablation_beta_build(benchmark, brn_dataset, beta):
+    """Index build time and size across the ordering blend."""
+    frn = brn_dataset.frn
+
+    index = benchmark.pedantic(
+        lambda: FAHLIndex(frn.graph.copy(), frn.total_predicted_flow(),
+                          beta=beta),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["index_entries"] = index.index_size_entries()
+    benchmark.extra_info["treewidth"] = index.treewidth
+
+
+def test_ablation_degree2_contraction(benchmark, brn_dataset):
+    """Preprocessing effect: H2H build on the contracted vs raw graph."""
+    graph = brn_dataset.frn.graph
+    simplified = contract_degree_two(graph)
+
+    index = benchmark.pedantic(
+        lambda: H2HIndex(simplified.graph.copy()),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["raw_vertices"] = graph.num_vertices
+    benchmark.extra_info["contracted_vertices"] = simplified.graph.num_vertices
+    benchmark.extra_info["index_entries"] = index.index_size_entries()

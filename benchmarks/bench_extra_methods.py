@@ -1,0 +1,81 @@
+"""Benchmarks for the extension features: ALT, PLL, kNN, trajectories.
+
+These are the ablation/extension counterparts of the per-figure benches —
+extra comparison points (ALT, PLL) on the Fig. 6/7 axes and the cost of
+the downstream operations (kNN pickup search, fleet simulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import DijkstraOracle
+from repro.baselines.landmarks import ALTOracle
+from repro.baselines.pll import PLLIndex
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.knn import flow_aware_knn
+from repro.workloads.trajectories import flows_from_trips, generate_trips
+
+
+@pytest.mark.parametrize("method", ["ALT", "PLL"])
+def test_extra_index_construction(benchmark, brn_dataset, method):
+    graph = brn_dataset.frn.graph
+
+    def build():
+        if method == "ALT":
+            return ALTOracle(graph.copy(), num_landmarks=8)
+        return PLLIndex(graph.copy())
+
+    index = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["index_entries"] = index.index_size_entries()
+
+
+@pytest.mark.parametrize("method", ["ALT", "PLL"])
+def test_extra_index_distance_queries(benchmark, brn_dataset, method):
+    graph = brn_dataset.frn.graph
+    oracle = (
+        ALTOracle(graph, num_landmarks=8)
+        if method == "ALT"
+        else PLLIndex(graph)
+    )
+    rng = np.random.default_rng(0)
+    pairs = [
+        tuple(map(int, rng.integers(0, graph.num_vertices, 2)))
+        for _ in range(30)
+    ]
+
+    def run_queries():
+        for s, t in pairs:
+            oracle.distance(s, t)
+
+    benchmark.pedantic(run_queries, rounds=3, iterations=1)
+
+
+def test_flow_aware_knn_bench(benchmark, brn_dataset):
+    frn = brn_dataset.frn
+    index = FAHLIndex.from_frn(frn)
+    engine = FlowAwareEngine(frn, oracle=index, alpha=0.5, eta_u=3.0,
+                             pruning="lemma4", max_candidates=8)
+    rng = np.random.default_rng(1)
+    pois = [int(v) for v in rng.choice(frn.num_vertices, 20, replace=False)
+            if v != 0]
+
+    benchmark.pedantic(
+        lambda: flow_aware_knn(engine, 0, pois, k=3, timestep=8),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_trajectory_flow_generation(benchmark, brn_dataset):
+    graph = brn_dataset.frn.graph
+    oracle = DijkstraOracle(graph)
+
+    def simulate():
+        trips = generate_trips(graph, oracle, num_vehicles=60, days=1, seed=0)
+        return flows_from_trips(trips, graph.num_vertices, 24)
+
+    series = benchmark.pedantic(simulate, rounds=2, iterations=1)
+    benchmark.extra_info["passages"] = int(series.matrix.sum())

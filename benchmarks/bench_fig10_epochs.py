@@ -1,0 +1,32 @@
+"""Fig. 10 benchmark: FAHL query time vs prediction-training epochs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import flatten_groups, generate_query_groups
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+@pytest.mark.parametrize("epochs", [50, 200])
+def test_fig10_epoch_quality(benchmark, epochs):
+    dataset = load_dataset("BRN", scale=BENCH_SCALE, days=2, epochs=epochs, seed=0)
+    frn = dataset.frn
+    index = FAHLIndex.from_frn(frn, beta=0.5)
+    engine = FlowAwareEngine(frn, oracle=index, alpha=0.5, eta_u=3.0,
+                             pruning="lemma4", max_candidates=8)
+    queries = flatten_groups(
+        generate_query_groups(frn, num_groups=3, queries_per_group=3, seed=0)
+    )
+
+    def run_workload():
+        for query in queries:
+            engine.query(query)
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1)
+    benchmark.extra_info["epochs"] = epochs
+    benchmark.extra_info["index_entries"] = index.index_size_entries()

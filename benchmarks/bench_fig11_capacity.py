@@ -1,0 +1,29 @@
+"""Fig. 11 benchmark: capacity-based flow (the '+' variants) over W_c."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.workloads.queries import flatten_groups
+
+
+@pytest.mark.parametrize("w_c", [0.3, 0.7])
+@pytest.mark.parametrize("pruning", ["none", "lemma4"])
+def test_fig11_capacity_flow(benchmark, brn_dataset, brn_queries, w_c, pruning):
+    """FAHL-O+ / FAHL-W+ query time at two capacity blends."""
+    frn = brn_dataset.frn
+    index = FAHLIndex.from_frn(frn, beta=0.5, use_capacity=True, w_c=w_c)
+    engine = FlowAwareEngine(frn, oracle=index, alpha=0.5, eta_u=3.0,
+                             pruning=pruning, max_candidates=8,
+                             use_capacity=True, w_c=w_c)
+    queries = flatten_groups(brn_queries)
+
+    def run_workload():
+        for query in queries:
+            engine.query(query)
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1)
+    benchmark.extra_info["w_c"] = w_c
+    benchmark.extra_info["variant"] = "FAHL-W+" if pruning == "lemma4" else "FAHL-O+"

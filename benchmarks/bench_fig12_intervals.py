@@ -1,0 +1,43 @@
+"""Fig. 12 benchmark: update-event cost at different recording intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fahl import FAHLIndex
+from repro.core.maintenance import apply_flow_updates, apply_weight_update
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.workloads.datasets import load_dataset
+from repro.workloads.updates import generate_flow_updates, generate_weight_updates
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+@pytest.mark.parametrize("interval", [30, 120])
+def test_fig12_update_event(benchmark, interval):
+    """One maintenance event (2 weight + 2 flow changes) per interval.
+
+    Shorter intervals fire this event more often; the per-event cost shown
+    here multiplied by the event rate gives the Fig. 12 totals.
+    """
+    dataset = load_dataset("BRN", scale=BENCH_SCALE, days=2,
+                           interval_minutes=interval, seed=0)
+    frn = dataset.frn
+    weight_updates = generate_weight_updates(frn.graph, 2, seed=1)
+    flow_updates = generate_flow_updates(frn, 2, timestep=0, seed=1)
+
+    def fresh_index():
+        private = FlowAwareRoadNetwork(
+            frn.graph.copy(), frn.flow,
+            predicted_flow=frn.predicted_flow, lanes=frn.lanes,
+        )
+        return (FAHLIndex.from_frn(private, beta=0.5),), {}
+
+    def one_event(index):
+        for u, v, weight in weight_updates:
+            apply_weight_update(index, u, v, weight)
+        apply_flow_updates(index, flow_updates, method="isu")
+
+    benchmark.pedantic(one_event, setup=fresh_index, rounds=3, iterations=1)
+    benchmark.extra_info["interval_minutes"] = interval
+    benchmark.extra_info["events_per_6h"] = (6 * 60) // interval

@@ -1,0 +1,36 @@
+"""Fig. 13 benchmark: mixed update batches at different flow/weight ratios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fahl import FAHLIndex
+from repro.core.maintenance import apply_flow_updates, apply_weight_update
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.workloads.updates import generate_mixed_updates
+
+
+@pytest.mark.parametrize("ratio", [0.25, 1.0, 4.0])
+def test_fig13_update_ratio(benchmark, brn_dataset, ratio):
+    """FAHL maintenance cost for a 12-update batch split by lambda."""
+    frn = brn_dataset.frn
+    flow_updates, weight_updates = generate_mixed_updates(
+        frn, total=12, update_ratio=ratio, seed=3
+    )
+
+    def fresh_index():
+        private = FlowAwareRoadNetwork(
+            frn.graph.copy(), frn.flow,
+            predicted_flow=frn.predicted_flow, lanes=frn.lanes,
+        )
+        return (FAHLIndex.from_frn(private, beta=0.5),), {}
+
+    def apply_batch(index):
+        for u, v, weight in weight_updates:
+            apply_weight_update(index, u, v, weight)
+        apply_flow_updates(index, flow_updates, method="isu")
+
+    benchmark.pedantic(apply_batch, setup=fresh_index, rounds=3, iterations=1)
+    benchmark.extra_info["lambda"] = ratio
+    benchmark.extra_info["flow_updates"] = len(flow_updates)
+    benchmark.extra_info["weight_updates"] = len(weight_updates)

@@ -1,0 +1,38 @@
+"""Fig. 6 benchmark: FSPQ query time per method over the FQ workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ALL_METHODS
+from repro.workloads.queries import flatten_groups
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_fig6_query_time(benchmark, brn_suite, brn_queries, method):
+    """One benchmark row per compared method, mixed FQ1..FQ4 workload."""
+    built = brn_suite[method]
+    queries = flatten_groups(brn_queries)
+    assert queries
+
+    def run_workload():
+        for query in queries:
+            built.engine.query(query)
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1)
+    benchmark.extra_info["queries"] = len(queries)
+    benchmark.extra_info["index_entries"] = built.index_entries
+
+
+@pytest.mark.parametrize("group_id", [0, 3])
+def test_fig6_fahl_w_by_group(benchmark, brn_suite, brn_queries, group_id):
+    """FAHL-W per distance band: the Fig. 6 x-axis at its two extremes."""
+    built = brn_suite["FAHL-W"]
+    queries = brn_queries[group_id]
+    assert queries
+
+    def run_group():
+        for query in queries:
+            built.engine.query(query)
+
+    benchmark.pedantic(run_group, rounds=2, iterations=1)

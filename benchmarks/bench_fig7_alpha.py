@@ -1,0 +1,35 @@
+"""Fig. 7(c)(d) benchmark: FAHL-W query time across the alpha sweep.
+
+Small alpha tightens the Lemma-4 flow bounds, so the pruned engine should
+get *faster* as alpha falls — the paper's Fig. 7(c)(d) trend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fpsps import FlowAwareEngine
+from repro.workloads.queries import flatten_groups
+
+
+@pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9])
+def test_fig7cd_alpha_sweep(benchmark, brn_suite, brn_queries, bench_config, alpha):
+    built = brn_suite["FAHL-W"]
+    engine = FlowAwareEngine(
+        built.frn,
+        oracle=built.index,
+        alpha=alpha,
+        eta_u=bench_config.eta_u,
+        pruning="lemma4",
+        max_candidates=bench_config.max_candidates,
+    )
+    queries = flatten_groups(brn_queries)
+
+    def run_workload():
+        pruned = 0
+        for query in queries:
+            pruned += engine.query(query).num_pruned
+        return pruned
+
+    pruned = benchmark.pedantic(run_workload, rounds=2, iterations=1)
+    benchmark.extra_info["pruned_candidates"] = pruned

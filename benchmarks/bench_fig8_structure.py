@@ -1,0 +1,30 @@
+"""Fig. 8 benchmark: GSU vs ISU structure-update time per batch size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fahl import FAHLIndex
+from repro.core.maintenance import apply_flow_updates
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.workloads.updates import generate_flow_updates
+
+
+@pytest.mark.parametrize("method", ["gsu", "isu"])
+@pytest.mark.parametrize("batch", [4, 8])
+def test_fig8_structure_update(benchmark, brn_dataset, method, batch):
+    frn = brn_dataset.frn
+    updates = generate_flow_updates(frn, batch, timestep=0, seed=batch)
+
+    def fresh_index():
+        private = FlowAwareRoadNetwork(
+            frn.graph.copy(), frn.flow,
+            predicted_flow=frn.predicted_flow, lanes=frn.lanes,
+        )
+        return (FAHLIndex.from_frn(private, beta=0.5),), {}
+
+    def apply_batch(index):
+        apply_flow_updates(index, updates, method=method)
+
+    benchmark.pedantic(apply_batch, setup=fresh_index, rounds=3, iterations=1)
+    benchmark.extra_info["flow_changes"] = batch

@@ -1,0 +1,43 @@
+"""Benchmarks for Table III (dataset materialisation) and Fig. 7(a)(b)
+(index size / construction time per method)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ch import CHIndex
+from repro.baselines.gtree import TDGTree
+from repro.core.fahl import FAHLIndex
+from repro.labeling.h2h import H2HIndex
+from repro.workloads.datasets import load_dataset
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_table3_dataset_build(benchmark):
+    """Table III: time to materialise one dataset (graph + flows + lanes)."""
+    result = benchmark.pedantic(
+        lambda: load_dataset("BRN", scale=BENCH_SCALE, days=2, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_vertices > 0
+
+
+@pytest.mark.parametrize("method", ["CH", "TD-G-tree", "H2H", "FAHL"])
+def test_fig7ab_construction(benchmark, brn_dataset, method):
+    """Fig. 7(a)(b): construction time per index (size in extra_info)."""
+    frn = brn_dataset.frn
+
+    def build():
+        graph = frn.graph.copy()
+        if method == "CH":
+            return CHIndex(graph)
+        if method == "TD-G-tree":
+            return TDGTree(graph)
+        if method == "H2H":
+            return H2HIndex(graph)
+        return FAHLIndex(graph, frn.total_predicted_flow(), beta=0.5)
+
+    index = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["index_entries"] = index.index_size_entries()

@@ -1,0 +1,60 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Benchmarks run on deliberately small dataset instances (``BENCH_SCALE``) so
+the whole suite finishes in minutes; the experiment CLI (`fahl-repro run`)
+is the place for the full-scale numbers.  Session-scoped fixtures build
+each dataset and method suite once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_method_suite,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_query_groups
+
+BENCH_SCALE = 0.12
+BENCH_CONFIG = ExperimentConfig(
+    datasets=("BRN",),
+    scale=BENCH_SCALE,
+    days=2,
+    num_groups=4,
+    queries_per_group=3,
+    max_candidates=8,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def brn_dataset():
+    return load_dataset("BRN", scale=BENCH_SCALE, days=2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def nyc_dataset():
+    return load_dataset("NYC", scale=BENCH_SCALE, days=2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def brn_suite(brn_dataset, bench_config):
+    return build_method_suite(brn_dataset, bench_config)
+
+
+@pytest.fixture(scope="session")
+def brn_queries(brn_dataset, bench_config):
+    groups = generate_query_groups(
+        brn_dataset.frn,
+        num_groups=bench_config.num_groups,
+        queries_per_group=bench_config.queries_per_group,
+        seed=bench_config.seed,
+    )
+    return groups

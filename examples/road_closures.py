@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Constrained routing: road closures, congestion caps and index shipping.
+
+The paper's future-work section points at FSPQ over *constrained*
+flow-aware road networks.  This example exercises that extension: a marathon
+closes a set of streets, a hazmat truck must never cross gridlocked
+vertices, and the pre-built index is serialised to disk and reloaded the
+way a query server would ship it.
+
+Run:  python examples/road_closures.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    FSPQuery,
+    FlowAwareRoadNetwork,
+    build_fahl,
+    generate_flow_series,
+    grid_network,
+)
+from repro.core.constrained import (
+    ConstrainedFlowAwareEngine,
+    ConstraintError,
+    QueryConstraints,
+)
+from repro.labeling import load_index, save_index
+
+
+def main() -> None:
+    graph = grid_network(12, 12, seed=23)
+    flow = generate_flow_series(graph, days=1, interval_minutes=60,
+                                mean_flow=50.0, seed=23)
+    frn = FlowAwareRoadNetwork(graph, flow)
+    index = build_fahl(frn, beta=0.5)
+
+    # --- ship the index like a deployment would -------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "city.fahl.npz"
+        save_index(index, path)
+        size_kb = path.stat().st_size / 1024
+        index = load_index(path)
+        print(f"index serialised to {size_kb:.0f} KiB and reloaded "
+              f"({index.index_size_entries():,} entries)\n")
+
+    engine = ConstrainedFlowAwareEngine(frn, oracle=index, alpha=0.5,
+                                        eta_u=3.0)
+    trip = FSPQuery(source=5, target=graph.num_vertices - 6, timestep=8)
+
+    baseline = engine.query_constrained(trip, QueryConstraints())
+    print(f"normal routing      : dist={baseline.distance:.0f} "
+          f"flow={baseline.flow:.0f} via {len(baseline.path)} vertices")
+
+    # --- marathon: close a band of streets ------------------------------
+    closed = frozenset(
+        v for v in baseline.path[2:-2][:4]  # close part of the usual route
+    )
+    marathon = engine.query_constrained(
+        trip, QueryConstraints(forbidden_vertices=closed)
+    )
+    print(f"marathon closures   : dist={marathon.distance:.0f} "
+          f"flow={marathon.flow:.0f} (avoids {sorted(closed)})")
+    assert not set(marathon.path) & closed
+
+    # --- hazmat: never cross a gridlocked vertex ------------------------
+    flow_vector = frn.predicted_at(trip.timestep)
+    cap = float(np.percentile(flow_vector, 97))
+    try:
+        hazmat = engine.query_constrained(
+            trip, QueryConstraints(max_vertex_flow=cap)
+        )
+        worst = max(flow_vector[v] for v in hazmat.path)
+        print(f"hazmat (cap {cap:.0f})   : dist={hazmat.distance:.0f} "
+              f"flow={hazmat.flow:.0f} worst-vertex={worst:.0f}")
+    except ConstraintError as exc:
+        print(f"hazmat (cap {cap:.0f})   : infeasible — {exc}")
+
+    # --- both at once, plus a hop budget ---------------------------------
+    try:
+        combined = engine.query_constrained(
+            trip,
+            QueryConstraints(
+                forbidden_vertices=closed,
+                max_vertex_flow=cap * 1.2,
+                max_hops=len(baseline.path) + 6,
+            ),
+        )
+        print(f"combined constraints: dist={combined.distance:.0f} "
+              f"flow={combined.flow:.0f} hops={len(combined.path) - 1}")
+    except ConstraintError as exc:
+        print(f"combined constraints: infeasible — {exc}")
+
+
+if __name__ == "__main__":
+    main()

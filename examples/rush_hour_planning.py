@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Departure-time planning: the same trip across the diurnal flow cycle.
+
+FSPQ takes the query time slice as an input (Q = <Q_u, D_u, t_q>), so a
+navigation service can ask "what does my commute look like at 6:00, 8:30,
+13:00, 18:00?" and compare routes and congestion.  This example sweeps the
+day, showing how the flow-aware route deviates from the spatial optimum
+exactly during the two rush peaks — and how the capacity-based flow of
+Def. 4 (lanes matter!) changes the picture.
+
+Run:  python examples/rush_hour_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    FlowAwareEngine,
+    FSPQuery,
+    build_fahl,
+    grid_network,
+    synthesize_lane_counts,
+)
+from repro.flow.synthetic import generate_flow_series
+from repro.graph.frn import FlowAwareRoadNetwork
+
+
+def main() -> None:
+    graph = grid_network(14, 14, seed=11)
+    flow = generate_flow_series(graph, days=1, interval_minutes=60,
+                                mean_flow=60.0, seed=11)
+    lanes = synthesize_lane_counts(graph, seed=11)
+    frn = FlowAwareRoadNetwork(graph, flow, lanes=lanes)
+    index = build_fahl(frn, beta=0.5)
+
+    source, target = 3, graph.num_vertices - 5
+    spatial_path = index.path(source, target)
+    spatial_distance = index.distance(source, target)
+    print(f"trip: {source} -> {target}, spatial optimum {spatial_distance:.0f} "
+          f"over {len(spatial_path)} vertices\n")
+
+    engine = FlowAwareEngine(frn, oracle=index, alpha=0.4, eta_u=3.0,
+                             pruning="lemma4")
+    capacity_engine = FlowAwareEngine(frn, oracle=index, alpha=0.4, eta_u=3.0,
+                                      pruning="lemma4",
+                                      use_capacity=True, w_c=0.5)
+
+    header = (f"{'hour':>5s} {'flow route dist':>16s} {'detour %':>9s} "
+              f"{'route flow':>11s} {'spatial flow':>13s} {'cap. route dist':>16s}")
+    print(header)
+    print("-" * len(header))
+    for hour in (4, 6, 8, 10, 13, 16, 18, 21):
+        query = FSPQuery(source, target, hour)
+        result = engine.query(query)
+        cap_result = capacity_engine.query(query)
+        flow_vector = frn.predicted_at(hour)
+        spatial_flow = float(np.take(flow_vector, spatial_path).sum())
+        detour = 100.0 * (result.distance / spatial_distance - 1.0)
+        print(f"{hour:4d}h {result.distance:16.0f} {detour:8.1f}% "
+              f"{result.flow:11.1f} {spatial_flow:13.1f} "
+              f"{cap_result.distance:16.0f}")
+
+    print("\nduring the rush peaks the flow-aware route accepts a small "
+          "detour to dodge congested vertices; off-peak it collapses back "
+          "onto the spatial optimum.")
+
+
+if __name__ == "__main__":
+    main()

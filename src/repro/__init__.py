@@ -1,0 +1,74 @@
+"""FAHL reproduction: flow-aware shortest path querying in road networks.
+
+Public API (re-exported here):
+
+* :class:`RoadNetwork` / :class:`FlowAwareRoadNetwork` — the graph and FRN
+  model (paper Def. 1);
+* :class:`FAHLIndex` — the flow-aware hierarchical labeling index
+  (Section III), with :class:`H2HIndex` as the degree-ordered baseline;
+* :class:`FlowAwareEngine` / :class:`FSPQuery` — FSPQ evaluation with the
+  FPSPS algorithm and pruning bounds (Section V);
+* :func:`apply_weight_update` (ILU) and :func:`apply_flow_update`
+  (ISU/GSU) — index maintenance (Section IV);
+* generators, predictors and workloads for running the paper's experiments.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core import (
+    FAHLIndex,
+    FlowAwareEngine,
+    FSPQuery,
+    FSPResult,
+    apply_flow_update,
+    apply_flow_updates,
+    apply_weight_update,
+    apply_weight_updates,
+    build_fahl,
+)
+from repro.errors import ReproError
+from repro.flow import (
+    FlowSeries,
+    SeasonalNaivePredictor,
+    TrainablePredictor,
+    generate_flow_series,
+    synthesize_lane_counts,
+)
+from repro.graph import (
+    FlowAwareRoadNetwork,
+    RoadNetwork,
+    grid_network,
+    load_dimacs,
+    random_road_network,
+    ring_radial_network,
+)
+from repro.labeling import H2HIndex, build_h2h
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FAHLIndex",
+    "FSPQuery",
+    "FSPResult",
+    "FlowAwareEngine",
+    "FlowAwareRoadNetwork",
+    "FlowSeries",
+    "H2HIndex",
+    "ReproError",
+    "RoadNetwork",
+    "SeasonalNaivePredictor",
+    "TrainablePredictor",
+    "apply_flow_update",
+    "apply_flow_updates",
+    "apply_weight_update",
+    "apply_weight_updates",
+    "build_fahl",
+    "build_h2h",
+    "generate_flow_series",
+    "grid_network",
+    "load_dimacs",
+    "random_road_network",
+    "ring_radial_network",
+    "synthesize_lane_counts",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Result-quality analysis for FSPQ engines."""
+
+from repro.analysis.render import render_network, render_routes
+from repro.analysis.quality import (
+    PruningQuality,
+    RegretSummary,
+    congestion_savings,
+    prediction_regret,
+    pruning_quality,
+)
+
+__all__ = [
+    "PruningQuality",
+    "RegretSummary",
+    "congestion_savings",
+    "prediction_regret",
+    "pruning_quality",
+    "render_network",
+    "render_routes",
+]

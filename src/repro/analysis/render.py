@@ -1,0 +1,109 @@
+"""ASCII rendering of road networks, congestion fields and routes.
+
+Terminal-friendly visual sanity checks: project vertex coordinates onto a
+character grid, shade each cell by its flow percentile, and overlay one or
+two routes.  Used by the examples; deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["render_network", "render_routes"]
+
+# lightest-to-darkest glyphs; no blank so every vertex stays visible
+_SHADES = ".:-=+*#%@"
+
+
+def _grid_projection(
+    graph: RoadNetwork,
+    width: int,
+    height: int,
+) -> dict[int, tuple[int, int]]:
+    """Map vertex coordinates onto integer character-grid cells."""
+    if len(graph.coordinates) < graph.num_vertices:
+        raise QueryError("rendering requires coordinates for every vertex")
+    xs = np.array([graph.coordinates[v][0] for v in graph.vertices()])
+    ys = np.array([graph.coordinates[v][1] for v in graph.vertices()])
+    x_span = xs.max() - xs.min() or 1.0
+    y_span = ys.max() - ys.min() or 1.0
+    cells = {}
+    for v in graph.vertices():
+        x, y = graph.coordinates[v]
+        col = int((x - xs.min()) / x_span * (width - 1))
+        row = int((y - ys.min()) / y_span * (height - 1))
+        cells[v] = (row, col)
+    return cells
+
+
+def render_network(
+    graph: RoadNetwork,
+    flow_vector: np.ndarray | None = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Shade the network by flow percentile (blank cells = no vertex)."""
+    if width < 2 or height < 2:
+        raise QueryError("render dimensions must be at least 2x2")
+    cells = _grid_projection(graph, width, height)
+    canvas = [[" "] * width for _ in range(height)]
+    if flow_vector is not None:
+        flow_vector = np.asarray(flow_vector, dtype=float)
+        if flow_vector.shape != (graph.num_vertices,):
+            raise QueryError("flow vector must have one entry per vertex")
+        spread = flow_vector.max() - flow_vector.min()
+        if spread > 0:
+            normalized = (flow_vector - flow_vector.min()) / spread
+        else:
+            normalized = np.zeros_like(flow_vector)
+        shades = np.round(normalized * (len(_SHADES) - 1)).astype(int)
+    for v, (row, col) in cells.items():
+        if flow_vector is None:
+            canvas[row][col] = "."
+        else:
+            # keep the darkest shade when several vertices share a cell
+            current = canvas[row][col]
+            candidate = _SHADES[shades[v]]
+            if current == " " or _SHADES.index(candidate) > _SHADES.index(
+                current if current in _SHADES else " "
+            ):
+                canvas[row][col] = candidate
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_routes(
+    graph: RoadNetwork,
+    routes: dict[str, list[int]],
+    flow_vector: np.ndarray | None = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Overlay labelled routes on the shaded network.
+
+    Each route is drawn with the first character of its label; overlapping
+    routes show the *later* label.  Endpoints are marked ``S`` and ``T``.
+    """
+    if not routes:
+        raise QueryError("render_routes needs at least one route")
+    base = render_network(graph, flow_vector, width=width, height=height)
+    canvas = [list(line) for line in base.splitlines()]
+    cells = _grid_projection(graph, width, height)
+    for label, route in routes.items():
+        if not route:
+            raise QueryError(f"route {label!r} is empty")
+        mark = (label or "?")[0]
+        for v in route:
+            row, col = cells[v]
+            canvas[row][col] = mark
+        start_row, start_col = cells[route[0]]
+        end_row, end_col = cells[route[-1]]
+        canvas[start_row][start_col] = "S"
+        canvas[end_row][end_col] = "T"
+    legend = "  ".join(
+        f"{(label or '?')[0]}={label}" for label in routes
+    )
+    body = "\n".join("".join(row) for row in canvas)
+    return f"{body}\n[{legend}; S=start T=target]"

@@ -1,0 +1,38 @@
+"""Baseline shortest-path methods the paper compares against."""
+
+from repro.baselines.astar import AStarOracle
+from repro.baselines.bidirectional import (
+    BidirectionalDijkstra,
+    bidirectional_distance,
+)
+from repro.baselines.ch import CHIndex, build_ch
+from repro.baselines.dijkstra import (
+    DijkstraOracle,
+    dijkstra_distance,
+    dijkstra_distances,
+    dijkstra_path,
+)
+from repro.baselines.gtree import TDGTree, build_gtree
+from repro.baselines.landmarks import ALTOracle, select_landmarks
+from repro.baselines.pll import PLLIndex, build_pll
+from repro.baselines.partition import bisect, recursive_bisection
+
+__all__ = [
+    "ALTOracle",
+    "AStarOracle",
+    "BidirectionalDijkstra",
+    "CHIndex",
+    "PLLIndex",
+    "DijkstraOracle",
+    "TDGTree",
+    "bidirectional_distance",
+    "bisect",
+    "build_ch",
+    "build_gtree",
+    "build_pll",
+    "select_landmarks",
+    "dijkstra_distance",
+    "dijkstra_distances",
+    "dijkstra_path",
+    "recursive_bisection",
+]

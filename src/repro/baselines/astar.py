@@ -1,0 +1,43 @@
+"""A* baseline (index-free heuristic search, paper's weakest comparator).
+
+Runs a fresh A* search per distance query using the scaled euclidean
+heuristic when coordinates exist (falling back to Dijkstra otherwise).  No
+index means zero construction time but the slowest queries — the paper's
+Fig. 6 bottom line.
+"""
+
+from __future__ import annotations
+
+from repro.graph.road_network import RoadNetwork
+from repro.paths.astar_search import (
+    EuclideanHeuristic,
+    ZeroHeuristic,
+    astar_path,
+)
+
+__all__ = ["AStarOracle"]
+
+
+class AStarOracle:
+    """Per-query A* search exposing the common oracle interface."""
+
+    def __init__(self, graph: RoadNetwork) -> None:
+        self.graph = graph
+        self._has_coords = len(graph.coordinates) == graph.num_vertices
+
+    def _heuristic(self, target: int):
+        if self._has_coords:
+            return EuclideanHeuristic(self.graph, target)
+        return ZeroHeuristic()
+
+    def distance(self, u: int, v: int) -> float:
+        if u == v:
+            return 0.0
+        _, dist = astar_path(self.graph, u, v, self._heuristic(v))
+        return dist
+
+    def path(self, u: int, v: int) -> list[int]:
+        if u == v:
+            return [u]
+        path, _ = astar_path(self.graph, u, v, self._heuristic(v))
+        return path

@@ -1,0 +1,89 @@
+"""Bidirectional Dijkstra — the classic index-free speedup.
+
+Searches forward from the source and backward from the target
+simultaneously, stopping when the sum of the two frontiers' minima can no
+longer improve the best meeting point.  On road networks this roughly
+halves the settled vertices versus unidirectional Dijkstra, making it the
+fair "no preprocessing, but competent" baseline between A* and the
+indexes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.errors import QueryError
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["BidirectionalDijkstra", "bidirectional_distance"]
+
+
+def bidirectional_distance(
+    graph: RoadNetwork,
+    source: int,
+    target: int,
+) -> tuple[float, list[int]]:
+    """Distance and a concrete shortest path (``(inf, [])`` if separate)."""
+    n = graph.num_vertices
+    if not (0 <= source < n and 0 <= target < n):
+        raise QueryError(f"unknown vertices ({source}, {target})")
+    if source == target:
+        return 0.0, [source]
+
+    dists = ({source: 0.0}, {target: 0.0})
+    prevs: tuple[dict[int, int], dict[int, int]] = ({}, {})
+    heaps = ([(0.0, source)], [(0.0, target)])
+    settled: tuple[set[int], set[int]] = (set(), set())
+    best = math.inf
+    meet = -1
+
+    while heaps[0] and heaps[1]:
+        # the standard termination test: once top_f + top_b >= best, no
+        # undiscovered meeting point can improve
+        if heaps[0][0][0] + heaps[1][0][0] >= best:
+            break
+        side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+        d, u = heapq.heappop(heaps[side])
+        if d > dists[side].get(u, math.inf):
+            continue
+        settled[side].add(u)
+        for v, w in graph.neighbor_items(u):
+            nd = d + w
+            if nd < dists[side].get(v, math.inf):
+                dists[side][v] = nd
+                prevs[side][v] = u
+                heapq.heappush(heaps[side], (nd, v))
+            other = dists[1 - side].get(v)
+            if other is not None:
+                candidate = dists[side][v] + other
+                if candidate < best:
+                    best = candidate
+                    meet = v
+
+    if not math.isfinite(best):
+        return math.inf, []
+    forward = [meet]
+    while forward[-1] != source:
+        forward.append(prevs[0][forward[-1]])
+    forward.reverse()
+    node = meet
+    while node != target:
+        node = prevs[1][node]
+        forward.append(node)
+    return best, forward
+
+
+class BidirectionalDijkstra:
+    """Oracle wrapper with the common ``distance``/``path`` interface."""
+
+    def __init__(self, graph: RoadNetwork) -> None:
+        self.graph = graph
+
+    def distance(self, u: int, v: int) -> float:
+        dist, _ = bidirectional_distance(self.graph, u, v)
+        return dist
+
+    def path(self, u: int, v: int) -> list[int]:
+        _, path = bidirectional_distance(self.graph, u, v)
+        return path

@@ -1,0 +1,250 @@
+"""Contraction Hierarchies (Geisberger et al.) — label-index baseline.
+
+Standard construction: vertices are contracted in the order of a lazily
+updated priority (edge difference + contracted-neighbour count); a shortcut
+``(u, w)`` is added for a removed path ``u - v - w`` unless a bounded
+*witness search* finds an equally short detour avoiding ``v``.  Queries run
+a bidirectional Dijkstra restricted to upward edges and take the best
+meeting vertex; paths unpack shortcut middles recursively.
+
+Exactness does not depend on the witness-search limits — a missed witness
+only adds a redundant shortcut.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.errors import IndexStateError, QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.graph.validation import require_connected
+
+__all__ = ["CHIndex", "build_ch"]
+
+
+class CHIndex:
+    """Contraction-hierarchies index with ``distance`` / ``path`` queries.
+
+    Parameters
+    ----------
+    graph:
+        Connected road network.  Construction works on an internal copy of
+        the adjacency; the caller's graph is never mutated.
+    hop_limit, settle_limit:
+        Witness-search budgets (hops / settled vertices).  Smaller budgets
+        build faster but add more (redundant) shortcuts.
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        hop_limit: int = 5,
+        settle_limit: int = 60,
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise IndexStateError("cannot index an empty graph")
+        require_connected(graph, context="CH construction")
+        self.graph = graph
+        self._hop_limit = hop_limit
+        self._settle_limit = settle_limit
+        self.order = np.zeros(graph.num_vertices, dtype=np.int64)
+        # shortcut (min_id, max_id) -> (weight, middle vertex)
+        self._shortcuts: dict[tuple[int, int], tuple[float, int]] = {}
+        self._upward: list[list[tuple[int, float]]] = []
+        self._contract_all()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _witness_exists(
+        self,
+        adj: list[dict[int, float]],
+        source: int,
+        target: int,
+        skip: int,
+        limit: float,
+    ) -> bool:
+        """Bounded Dijkstra: is there a path <= ``limit`` avoiding ``skip``?"""
+        dist = {source: 0.0}
+        hops = {source: 0}
+        heap = [(0.0, source)]
+        settled = 0
+        while heap and settled < self._settle_limit:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, math.inf):
+                continue
+            if u == target:
+                return True
+            settled += 1
+            if hops[u] >= self._hop_limit:
+                continue
+            for v, w in adj[u].items():
+                if v == skip:
+                    continue
+                nd = d + w
+                if nd <= limit and nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    hops[v] = hops[u] + 1
+                    heapq.heappush(heap, (nd, v))
+        return dist.get(target, math.inf) <= limit
+
+    def _priority(
+        self, adj: list[dict[int, float]], v: int, deleted: np.ndarray
+    ) -> float:
+        """Edge difference + contracted-neighbour term (standard heuristic)."""
+        nbrs = list(adj[v].items())
+        shortcuts = 0
+        for i, (x, wx) in enumerate(nbrs):
+            for y, wy in nbrs[i + 1:]:
+                if not self._witness_exists(adj, x, y, v, wx + wy):
+                    shortcuts += 1
+        return float(shortcuts - len(nbrs) + deleted[v])
+
+    def _contract_all(self) -> None:
+        graph = self.graph
+        n = graph.num_vertices
+        adj: list[dict[int, float]] = [dict(graph.adjacency(v)) for v in range(n)]
+        deleted = np.zeros(n, dtype=np.int64)  # contracted-neighbour counts
+        contracted = bytearray(n)
+
+        heap = [(self._priority(adj, v, deleted), v) for v in range(n)]
+        heapq.heapify(heap)
+        rank = 0
+        while heap:
+            _, v = heapq.heappop(heap)
+            if contracted[v]:
+                continue
+            # lazy re-evaluation: contract only if still (approximately) min
+            current = self._priority(adj, v, deleted)
+            if heap and current > heap[0][0]:
+                heapq.heappush(heap, (current, v))
+                continue
+            contracted[v] = 1
+            self.order[v] = rank
+            rank += 1
+            nbrs = list(adj[v].items())
+            for x, _ in nbrs:
+                del adj[x][v]
+                deleted[x] += 1
+            for i, (x, wx) in enumerate(nbrs):
+                for y, wy in nbrs[i + 1:]:
+                    weight = wx + wy
+                    if weight < adj[x].get(y, math.inf) and not self._witness_exists(
+                        adj, x, y, v, weight
+                    ):
+                        adj[x][y] = weight
+                        adj[y][x] = weight
+                        self._shortcuts[(min(x, y), max(x, y))] = (weight, v)
+            adj[v] = {}
+
+        # upward adjacency: original edges + shortcuts, low rank -> high rank
+        augmented: list[dict[int, float]] = [dict(graph.adjacency(v)) for v in range(n)]
+        for (a, b), (weight, _) in self._shortcuts.items():
+            if weight < augmented[a].get(b, math.inf):
+                augmented[a][b] = weight
+                augmented[b][a] = weight
+        upward: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for u in range(n):
+            for v, w in augmented[u].items():
+                if self.order[v] > self.order[u]:
+                    upward[u].append((v, w))
+        self._upward = upward
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> float:
+        """Bidirectional upward Dijkstra distance."""
+        dist, _, _ = self._bidirectional(u, v)
+        return dist
+
+    def path(self, u: int, v: int) -> list[int]:
+        """Concrete shortest path with shortcuts expanded; [] if unreachable."""
+        dist, meet, prevs = self._bidirectional(u, v, track=True)
+        if not math.isfinite(dist):
+            return []
+        if u == v:
+            return [u]
+        spine = [meet]
+        node = meet
+        while node != u:
+            node = prevs[0][node]
+            spine.append(node)
+        spine.reverse()
+        node = meet
+        while node != v:
+            node = prevs[1][node]
+            spine.append(node)
+        expanded: list[int] = [spine[0]]
+        for a, b in zip(spine, spine[1:]):
+            expanded.extend(self._expand(a, b)[1:])
+        return expanded
+
+    def _expand(self, a: int, b: int) -> list[int]:
+        """Expand one upward edge into original graph edges."""
+        key = (min(a, b), max(a, b))
+        shortcut = self._shortcuts.get(key)
+        if shortcut is None:
+            return [a, b]
+        weight, mid = shortcut
+        if self.graph.has_edge(a, b) and self.graph.weight(a, b) <= weight:
+            return [a, b]
+        left = self._expand(a, mid)
+        right = self._expand(mid, b)
+        return left + right[1:]
+
+    def _bidirectional(
+        self, u: int, v: int, track: bool = False
+    ) -> tuple[float, int, tuple[dict[int, int], dict[int, int]]]:
+        n = self.graph.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise QueryError(f"unknown vertices ({u}, {v})")
+        if u == v:
+            return 0.0, u, ({}, {})
+        dists: tuple[dict[int, float], dict[int, float]] = ({u: 0.0}, {v: 0.0})
+        prevs: tuple[dict[int, int], dict[int, int]] = ({}, {})
+        heaps: list[list[tuple[float, int]]] = [[(0.0, u)], [(0.0, v)]]
+        best = math.inf
+        meet = -1
+        while heaps[0] or heaps[1]:
+            for side in (0, 1):
+                if not heaps[side]:
+                    continue
+                d, x = heapq.heappop(heaps[side])
+                if d > dists[side].get(x, math.inf) or d > best:
+                    continue
+                other = dists[1 - side].get(x)
+                if other is not None and d + other < best:
+                    best = d + other
+                    meet = x
+                for y, w in self._upward[x]:
+                    nd = d + w
+                    if nd < dists[side].get(y, math.inf):
+                        dists[side][y] = nd
+                        if track:
+                            prevs[side][y] = x
+                        heapq.heappush(heaps[side], (nd, y))
+        return best, meet, prevs
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shortcuts(self) -> int:
+        return len(self._shortcuts)
+
+    def index_size_entries(self) -> int:
+        """Upward edges (original + shortcuts) — CH's size metric."""
+        return sum(len(edges) for edges in self._upward)
+
+    def __repr__(self) -> str:
+        return (
+            f"CHIndex(n={self.graph.num_vertices}, "
+            f"shortcuts={self.num_shortcuts}, entries={self.index_size_entries()})"
+        )
+
+
+def build_ch(graph: RoadNetwork, hop_limit: int = 5, settle_limit: int = 60) -> CHIndex:
+    """Build a contraction-hierarchies index over ``graph``."""
+    return CHIndex(graph, hop_limit=hop_limit, settle_limit=settle_limit)

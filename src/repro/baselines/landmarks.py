@@ -1,0 +1,128 @@
+"""ALT landmarks: triangle-inequality lower bounds for goal-directed search.
+
+The paper's related work cites REAL (Goldberg et al.), which combines A*
+with reach/landmark lower bounds.  This module implements the landmark
+half: pick a small set of well-spread landmarks, precompute single-source
+distances from each, and bound any remaining distance by
+
+.. math::
+
+    h(v) = \\max_L |d(L, t) - d(L, v)|
+
+which is admissible and consistent on undirected graphs.  The resulting
+:class:`ALTOracle` is a middle ground between plain A* (no preprocessing,
+weak guidance) and the label indexes (heavy preprocessing, exact
+guidance) — a useful extra point on the Fig. 6 trade-off curve.
+
+Landmark selection uses the standard *farthest-point* heuristic: start
+from an arbitrary vertex, repeatedly add the vertex maximising the minimum
+distance to the chosen set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.errors import IndexBuildError, QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.graph.validation import require_connected
+from repro.paths.astar_search import AdmissibleHeuristic, astar_path
+
+__all__ = ["LandmarkHeuristic", "ALTOracle", "select_landmarks"]
+
+
+def select_landmarks(
+    graph: RoadNetwork,
+    count: int,
+    seed: int = 0,
+) -> list[int]:
+    """Farthest-point landmark selection (returns ``count`` vertex ids)."""
+    n = graph.num_vertices
+    if not 1 <= count <= n:
+        raise IndexBuildError(
+            f"landmark count must be in [1, {n}], got {count}"
+        )
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(n))
+    # the farthest vertex from a random start makes a better first landmark
+    first = int(np.argmax(dijkstra_distances(graph, start)))
+    landmarks = [first]
+    min_dist = dijkstra_distances(graph, first)
+    while len(landmarks) < count:
+        candidate = int(np.argmax(min_dist))
+        if min_dist[candidate] <= 0:
+            break  # graph smaller than requested spread
+        landmarks.append(candidate)
+        min_dist = np.minimum(min_dist, dijkstra_distances(graph, candidate))
+    return landmarks
+
+
+class LandmarkHeuristic(AdmissibleHeuristic):
+    """ALT lower bound toward a fixed target."""
+
+    def __init__(self, tables: np.ndarray, target: int) -> None:
+        # tables: (num_landmarks, n) distance matrix
+        self._tables = tables
+        self._to_target = tables[:, target]
+
+    def estimate(self, vertex: int) -> float:
+        return float(np.abs(self._to_target - self._tables[:, vertex]).max())
+
+
+class ALTOracle:
+    """A*-with-landmarks distance oracle (REAL-style baseline).
+
+    Parameters
+    ----------
+    graph:
+        Connected road network.
+    num_landmarks:
+        Landmarks to precompute (paper-era implementations use 8-32).
+    seed:
+        Selection seed.
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        num_landmarks: int = 8,
+        seed: int = 0,
+    ) -> None:
+        require_connected(graph, context="ALT preprocessing")
+        self.graph = graph
+        self.landmarks = select_landmarks(
+            graph, min(num_landmarks, graph.num_vertices), seed=seed
+        )
+        self._tables = np.vstack(
+            [dijkstra_distances(graph, lm) for lm in self.landmarks]
+        )
+
+    def heuristic(self, target: int) -> LandmarkHeuristic:
+        """The ALT heuristic toward ``target`` (reusable across searches)."""
+        n = self.graph.num_vertices
+        if not 0 <= target < n:
+            raise QueryError(f"unknown target vertex {target}")
+        return LandmarkHeuristic(self._tables, target)
+
+    def distance(self, u: int, v: int) -> float:
+        if u == v:
+            return 0.0
+        _, dist = astar_path(self.graph, u, v, self.heuristic(v))
+        return dist
+
+    def path(self, u: int, v: int) -> list[int]:
+        if u == v:
+            return [u]
+        path, _ = astar_path(self.graph, u, v, self.heuristic(v))
+        return path
+
+    def index_size_entries(self) -> int:
+        """Stored landmark-table entries."""
+        return int(self._tables.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"ALTOracle(n={self.graph.num_vertices}, "
+            f"landmarks={len(self.landmarks)})"
+        )

@@ -1,0 +1,156 @@
+"""Graph bisection for the G-tree baseline.
+
+TD-G-tree builds its hierarchy by recursively partitioning the road network
+(the original papers use METIS).  We implement a self-contained bisection
+that works well on road-like graphs:
+
+1. **seeding** — BFS from an arbitrary vertex to its hop-farthest vertex
+   ``a``, then from ``a`` to its farthest vertex ``b`` (a classic diameter
+   approximation);
+2. **balanced region growing** — alternate BFS layers from ``a`` and ``b``
+   until every vertex is claimed, keeping the two sides within the balance
+   tolerance;
+3. **boundary refinement** — greedy Kernighan-Lin-style single-vertex moves
+   across the cut while they reduce the number of cut edges and respect the
+   balance constraint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import PartitionError
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["bisect", "recursive_bisection"]
+
+
+def _bfs_farthest(graph: RoadNetwork, start: int, allowed: set[int]) -> int:
+    """Hop-farthest vertex from ``start`` inside ``allowed``."""
+    seen = {start}
+    queue = deque([start])
+    last = start
+    while queue:
+        u = queue.popleft()
+        last = u
+        for v in graph.neighbors(u):
+            if v in allowed and v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return last
+
+
+def _grow_regions(
+    graph: RoadNetwork,
+    vertices: list[int],
+    seed_a: int,
+    seed_b: int,
+    max_side: int,
+) -> dict[int, int]:
+    """Alternating BFS growth; returns ``vertex -> side`` (0 or 1)."""
+    allowed = set(vertices)
+    side: dict[int, int] = {seed_a: 0, seed_b: 1}
+    queues = (deque([seed_a]), deque([seed_b]))
+    counts = [1, 1]
+    while queues[0] or queues[1]:
+        # expand the currently smaller side to stay balanced
+        pick = 0 if (counts[0] <= counts[1] and queues[0]) or not queues[1] else 1
+        queue = queues[pick]
+        if not queue:
+            pick = 1 - pick
+            queue = queues[pick]
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in allowed and v not in side and counts[pick] < max_side:
+                side[v] = pick
+                counts[pick] += 1
+                queue.append(v)
+    # vertices unreachable under the cap: dump into the smaller side
+    for v in vertices:
+        if v not in side:
+            pick = 0 if counts[0] <= counts[1] else 1
+            side[v] = pick
+            counts[pick] += 1
+    return side
+
+
+def _refine(
+    graph: RoadNetwork,
+    side: dict[int, int],
+    max_side: int,
+    rounds: int = 4,
+) -> None:
+    """Greedy boundary moves that strictly reduce the cut size."""
+    for _ in range(rounds):
+        counts = [0, 0]
+        for s in side.values():
+            counts[s] += 1
+        moved = False
+        for v, s in list(side.items()):
+            internal = external = 0
+            for nbr in graph.neighbors(v):
+                nbr_side = side.get(nbr)
+                if nbr_side is None:
+                    continue
+                if nbr_side == s:
+                    internal += 1
+                else:
+                    external += 1
+            if external > internal and counts[1 - s] < max_side and counts[s] > 1:
+                side[v] = 1 - s
+                counts[s] -= 1
+                counts[1 - s] += 1
+                moved = True
+        if not moved:
+            return
+
+
+def bisect(
+    graph: RoadNetwork,
+    vertices: list[int],
+    balance: float = 0.6,
+) -> tuple[list[int], list[int]]:
+    """Split ``vertices`` into two connected-ish halves with a small cut.
+
+    ``balance`` caps either side at ``balance * len(vertices)``.
+    """
+    if len(vertices) < 2:
+        raise PartitionError(f"cannot bisect {len(vertices)} vertices")
+    if not 0.5 < balance < 1.0:
+        raise PartitionError(f"balance must be in (0.5, 1), got {balance}")
+    allowed = set(vertices)
+    start = vertices[0]
+    seed_a = _bfs_farthest(graph, start, allowed)
+    seed_b = _bfs_farthest(graph, seed_a, allowed)
+    if seed_a == seed_b:
+        half = len(vertices) // 2
+        return vertices[:half], vertices[half:]
+    max_side = max(1, int(balance * len(vertices)))
+    side = _grow_regions(graph, vertices, seed_a, seed_b, max_side)
+    _refine(graph, side, max_side)
+    left = sorted(v for v, s in side.items() if s == 0)
+    right = sorted(v for v, s in side.items() if s == 1)
+    if not left or not right:
+        half = len(vertices) // 2
+        return vertices[:half], vertices[half:]
+    return left, right
+
+
+def recursive_bisection(
+    graph: RoadNetwork,
+    leaf_size: int,
+) -> list[list[int]]:
+    """Partition the whole graph into leaves of at most ``leaf_size``."""
+    if leaf_size < 1:
+        raise PartitionError(f"leaf_size must be >= 1, got {leaf_size}")
+    leaves: list[list[int]] = []
+    stack: list[list[int]] = [sorted(graph.vertices())]
+    while stack:
+        part = stack.pop()
+        if len(part) <= leaf_size:
+            leaves.append(part)
+            continue
+        left, right = bisect(graph, part)
+        stack.append(left)
+        stack.append(right)
+    return leaves

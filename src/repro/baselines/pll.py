@@ -1,0 +1,113 @@
+"""Pruned Landmark Labeling (Akiba et al.) — the flat 2-hop label baseline.
+
+The paper's related work places FAHL in the 2-hop labeling family
+(Cohen et al.; Akiba et al.'s PLL).  PLL assigns every vertex a label of
+``(hub, distance)`` pairs by running pruned Dijkstra from vertices in
+degree order: a search from hub ``h`` stops expanding at any vertex whose
+distance to ``h`` is already covered by earlier labels.  Queries take the
+minimum over shared hubs:
+
+.. math::
+
+    d(u, v) = \\min_{h \\in L(u) \\cap L(v)} d(u, h) + d(h, v)
+
+Unlike the tree-decomposition indexes, PLL's labels are not bounded by the
+treewidth; on road networks they end up larger — one of the reasons the
+H2H line of work (and FAHL) moved to hierarchies.  Included as an extra
+comparison point and as a second, independently-implemented exact oracle
+for cross-checking the others.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.errors import IndexStateError, QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.graph.validation import require_connected
+
+__all__ = ["PLLIndex", "build_pll"]
+
+
+class PLLIndex:
+    """Pruned landmark labeling with exact distance queries."""
+
+    def __init__(self, graph: RoadNetwork) -> None:
+        if graph.num_vertices == 0:
+            raise IndexStateError("cannot index an empty graph")
+        require_connected(graph, context="PLL construction")
+        self.graph = graph
+        n = graph.num_vertices
+        # hub order: descending degree (ties by id) — the classic choice
+        self.order = sorted(range(n), key=lambda v: (-graph.degree(v), v))
+        self._rank = {v: i for i, v in enumerate(self.order)}
+        # labels[v]: dict hub -> distance (hubs have rank <= rank of v's
+        # covering searches; kept as dict for O(1) intersection probing)
+        self.labels: list[dict[int, float]] = [{} for _ in range(n)]
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _query_with_labels(self, u: int, v: int) -> float:
+        """Distance using current (possibly partial) labels."""
+        lu, lv = self.labels[u], self.labels[v]
+        if len(lu) > len(lv):
+            lu, lv = lv, lu
+        best = math.inf
+        for hub, du in lu.items():
+            dv = lv.get(hub)
+            if dv is not None and du + dv < best:
+                best = du + dv
+        return best
+
+    def _build(self) -> None:
+        graph = self.graph
+        for hub in self.order:
+            # pruned Dijkstra from the hub
+            dist = {hub: 0.0}
+            heap: list[tuple[float, int]] = [(0.0, hub)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if d > dist.get(u, math.inf):
+                    continue
+                # pruning: if existing labels already cover (hub, u) at
+                # this distance, neither u nor anything beyond it needs a
+                # new entry through this hub
+                if self._query_with_labels(hub, u) <= d:
+                    continue
+                self.labels[u][hub] = d
+                for v, w in graph.neighbor_items(u):
+                    nd = d + w
+                    if nd < dist.get(v, math.inf):
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> float:
+        """Exact shortest distance via hub intersection."""
+        n = self.graph.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise QueryError(f"unknown vertices ({u}, {v})")
+        if u == v:
+            return 0.0
+        return self._query_with_labels(u, v)
+
+    def index_size_entries(self) -> int:
+        """Total (hub, distance) pairs over all labels."""
+        return sum(len(label) for label in self.labels)
+
+    def average_label_size(self) -> float:
+        n = self.graph.num_vertices
+        return self.index_size_entries() / n if n else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"PLLIndex(n={self.graph.num_vertices}, "
+            f"entries={self.index_size_entries()}, "
+            f"avg_label={self.average_label_size():.1f})"
+        )
+
+
+def build_pll(graph: RoadNetwork) -> PLLIndex:
+    """Build a pruned-landmark-labeling index over ``graph``."""
+    return PLLIndex(graph)

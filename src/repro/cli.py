@@ -1,0 +1,241 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples
+--------
+List experiments::
+
+    fahl-repro list
+
+Run one experiment at the default (scaled) configuration::
+
+    fahl-repro run fig6
+
+Run everything smaller/faster::
+
+    fahl-repro run all --scale 0.15 --queries 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fahl-repro",
+        description="FAHL (ICDE 2025) reproduction experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help=f"experiment id: one of {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    run.add_argument("--scale", type=float, default=0.35,
+                     help="dataset scale factor (default 0.35)")
+    run.add_argument("--queries", type=int, default=5,
+                     help="queries per FQ group (default 5; paper uses 1000)")
+    run.add_argument("--groups", type=int, default=12,
+                     help="number of FQ groups (default 12)")
+    run.add_argument("--alpha", type=float, default=0.5,
+                     help="distance/flow blend alpha (default 0.5)")
+    run.add_argument("--beta", type=float, default=0.5,
+                     help="degree/flow ordering beta (default 0.5)")
+    run.add_argument("--eta", type=float, default=3.0,
+                     help="user distance constraint eta_u (default 3)")
+    run.add_argument("--candidates", type=int, default=12,
+                     help="candidate-path cap per query (default 12)")
+    run.add_argument("--datasets", default="BRN,NYC,BAY,COL",
+                     help="comma-separated dataset names")
+    run.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    stats = sub.add_parser(
+        "stats", help="index statistics (H2H vs FAHL) for one dataset"
+    )
+    stats.add_argument("dataset", help="dataset name (BRN/NYC/BAY/COL)")
+    stats.add_argument("--scale", type=float, default=0.35)
+    stats.add_argument("--beta", type=float, default=0.5)
+    stats.add_argument("--seed", type=int, default=0)
+
+    export = sub.add_parser(
+        "export-dataset",
+        help="write a dataset to disk (DIMACS .gr/.co + flows .npz)",
+    )
+    export.add_argument("dataset", help="dataset name (BRN/NYC/BAY/COL)")
+    export.add_argument("directory", help="output directory (created)")
+    export.add_argument("--scale", type=float, default=0.35)
+    export.add_argument("--days", type=int, default=7)
+    export.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report",
+        help="run every experiment and write one Markdown report",
+    )
+    report.add_argument("output", help="Markdown file to write")
+    report.add_argument("--scale", type=float, default=0.35)
+    report.add_argument("--queries", type=int, default=5)
+    report.add_argument("--groups", type=int, default=12)
+    report.add_argument("--alpha", type=float, default=0.5)
+    report.add_argument("--beta", type=float, default=0.5)
+    report.add_argument("--eta", type=float, default=3.0)
+    report.add_argument("--candidates", type=int, default=12)
+    report.add_argument("--datasets", default="BRN,NYC,BAY,COL")
+    report.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        datasets=tuple(name.strip().upper() for name in args.datasets.split(",")),
+        scale=args.scale,
+        num_groups=args.groups,
+        queries_per_group=args.queries,
+        alpha=args.alpha,
+        beta=args.beta,
+        eta_u=args.eta,
+        max_candidates=args.candidates,
+        seed=args.seed,
+    )
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from repro.core.fahl import FAHLIndex
+    from repro.core.stats import compare_indexes, index_statistics
+    from repro.experiments.runner import format_table
+    from repro.labeling.h2h import H2HIndex
+    from repro.workloads.datasets import load_dataset
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    h2h = H2HIndex(dataset.frn.graph.copy())
+    fahl = FAHLIndex(
+        dataset.frn.graph.copy(),
+        dataset.frn.total_predicted_flow(),
+        beta=args.beta,
+    )
+    rows = [
+        [name] + [value for _, value in index_statistics(index).as_rows()]
+        for name, index in (("H2H", h2h), (f"FAHL(b={args.beta})", fahl))
+    ]
+    headers = ["index"] + [name for name, _ in index_statistics(h2h).as_rows()]
+    print(format_table(
+        f"Index statistics — {dataset.name} "
+        f"({dataset.num_vertices} vertices)",
+        headers,
+        rows,
+        notes=[
+            f"FAHL/H2H ratios: "
+            + ", ".join(
+                f"{key}={value:.3f}"
+                for key, value in compare_indexes(h2h, fahl).items()
+            )
+        ],
+    ))
+    return 0
+
+
+def _run_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.graph.dimacs import write_gr
+    from repro.workloads.datasets import load_dataset
+
+    dataset = load_dataset(
+        args.dataset, scale=args.scale, days=args.days, seed=args.seed
+    )
+    directory = Path(args.directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = dataset.name.lower()
+    graph = dataset.frn.graph
+    write_gr(graph, directory / f"{stem}.gr",
+             comment=f"{dataset.description} (scale={args.scale})")
+    with open(directory / f"{stem}.co", "w", encoding="ascii") as handle:
+        for vertex in sorted(graph.coordinates):
+            x, y = graph.coordinates[vertex]
+            handle.write(f"v {vertex + 1} {x} {y}\n")
+    np.savez_compressed(
+        directory / f"{stem}.flows.npz",
+        truth=dataset.frn.flow.matrix,
+        predicted=dataset.frn.predicted_flow.matrix,
+        lanes=dataset.frn.lanes,
+        interval_minutes=dataset.frn.flow.interval_minutes,
+    )
+    print(f"wrote {stem}.gr / {stem}.co / {stem}.flows.npz to {directory} "
+          f"({dataset.num_vertices} vertices, {dataset.num_records:,} records)")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+
+    config = _config_from_args(args)
+    sections = [
+        "# FAHL reproduction report",
+        "",
+        f"Generated by `fahl-repro report` (repro v{repro.__version__}), "
+        f"scale={config.scale}, queries/group={config.queries_per_group}, "
+        f"alpha={config.alpha}, beta={config.beta}, eta_u={config.eta_u}, "
+        f"seed={config.seed}.",
+        "",
+    ]
+    for name, module in EXPERIMENTS.items():
+        start = time.perf_counter()
+        table = module.run(config)
+        elapsed = time.perf_counter() - start
+        print(f"[{name}] done in {elapsed:.1f}s")
+        sections.append(table.render_markdown())
+        sections.append("")
+        sections.append(f"*(`fahl-repro run {name}` — {elapsed:.1f}s)*")
+        sections.append("")
+    Path(args.output).write_text("\n".join(sections), encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for key, module in EXPERIMENTS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:16s} {summary}")
+        return 0
+    if args.command == "stats":
+        return _run_stats(args)
+    if args.command == "export-dataset":
+        return _run_export(args)
+    if args.command == "report":
+        return _run_report(args)
+
+    config = _config_from_args(args)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        table = EXPERIMENTS[name].run(config)
+        elapsed = time.perf_counter() - start
+        print(table.render())
+        print(f"# completed in {elapsed:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Batch FSPQ evaluation with cross-query caching.
+
+Interactive engines answer one query at a time; offline consumers (the
+experiment harness, kNN reranking, fleet re-planning) throw hundreds of
+queries at the same index.  Two cheap levers make batches faster without
+touching results:
+
+* :class:`MemoizedOracle` — wraps any distance oracle with a symmetric
+  pair cache.  Candidate generation probes ``distance(v, target)`` for
+  many ``v`` per query; queries sharing a target (kNN! navigation
+  sessions!) hit the cache across calls.
+* :func:`batch_query` — evaluates a list of queries grouped by target so
+  the memoisation (and the engine's per-slice flow cache) is maximally
+  effective, then restores the caller's original order.
+"""
+
+from __future__ import annotations
+
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery, FSPResult
+from repro.errors import QueryError
+
+__all__ = ["MemoizedOracle", "batch_query"]
+
+
+class MemoizedOracle:
+    """A symmetric ``distance`` cache around any oracle.
+
+    The cache is only valid while the underlying graph/index is unchanged;
+    call :meth:`invalidate` after any maintenance operation.
+    """
+
+    def __init__(self, oracle) -> None:
+        if oracle is None or not callable(getattr(oracle, "distance", None)):
+            raise QueryError("MemoizedOracle needs an oracle with .distance")
+        self._oracle = oracle
+        self._cache: dict[tuple[int, int], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def distance(self, u: int, v: int) -> float:
+        key = (u, v) if u <= v else (v, u)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self._oracle.distance(u, v)
+        self._cache[key] = value
+        return value
+
+    def path(self, u: int, v: int) -> list[int]:
+        """Paths are delegated uncached (rarely repeated verbatim)."""
+        if not callable(getattr(self._oracle, "path", None)):
+            raise QueryError("underlying oracle has no .path")
+        return self._oracle.path(u, v)
+
+    def invalidate(self) -> None:
+        """Drop the cache (after index/graph maintenance)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def batch_query(
+    engine: FlowAwareEngine,
+    queries: list[FSPQuery],
+) -> list[FSPResult]:
+    """Evaluate ``queries`` with target-grouped ordering and a shared cache.
+
+    Results align with the input order.  The engine's oracle is wrapped in
+    a :class:`MemoizedOracle` for the duration of the batch (restored
+    afterwards); with ``oracle=None`` engines the call degrades to a plain
+    loop.
+    """
+    if not queries:
+        return []
+    original_oracle = engine.oracle
+    if original_oracle is not None and not isinstance(
+        original_oracle, MemoizedOracle
+    ):
+        engine.oracle = MemoizedOracle(original_oracle)
+    try:
+        order = sorted(
+            range(len(queries)),
+            key=lambda i: (queries[i].target, queries[i].timestep),
+        )
+        results: list[FSPResult | None] = [None] * len(queries)
+        for i in order:
+            results[i] = engine.query(queries[i])
+        return results  # type: ignore[return-value]
+    finally:
+        engine.oracle = original_oracle

@@ -1,0 +1,90 @@
+"""Pruning query bounds on path traffic-flow (paper Lemma 4).
+
+Given the candidate flow range ``[TF_min, TF_max]``, the blending weight
+``α`` and the distance-constraint factor ``η_u``, Lemma 4 derives the
+interval outside which FPSPS prunes a candidate without scoring it:
+
+.. math::
+
+    LB = TF_{min} - (TF_{max} - TF_{min}) \\cdot
+         \\frac{\\alpha \\eta_u}{(\\eta_u - 1)(1 - \\alpha)}
+
+    UB = TF_{min} + (TF_{max} - TF_{min}) \\cdot
+         \\frac{\\eta_u - 1 - \\alpha \\eta_u}{(\\eta_u - 1)(1 - \\alpha)}
+
+A note on soundness (documented, and covered by tests): the lemma bounds
+the *distance* term of Eq. 1 by its maximum ``α·η_u/(η_u−1)``, so the UB is
+safe only when the optimum's normalised flow does not exceed
+``(1 − α·η_u/(η_u−1)) / (1−α)`` — which holds in the regimes the paper
+evaluates (small α, moderate η_u) but is not universal.
+:func:`adaptive_upper_bound` provides the always-sound alternative used by
+the ``pruning="adaptive"`` mode of the engine: a candidate whose flow-only
+score already exceeds the best score seen can never win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = ["FlowBounds", "lemma4_bounds", "adaptive_upper_bound"]
+
+
+@dataclass(frozen=True)
+class FlowBounds:
+    """Inclusive traffic-flow pruning interval ``[lower, upper]``."""
+
+    lower: float
+    upper: float
+
+    def prunes(self, flow: float) -> bool:
+        """Whether a candidate with this path flow is pruned."""
+        return flow < self.lower or flow > self.upper
+
+
+def lemma4_bounds(
+    flow_min: float,
+    flow_max: float,
+    alpha: float,
+    eta_u: float,
+) -> FlowBounds:
+    """The paper's Lemma-4 bounds over the candidate flow range."""
+    if not 0.0 < alpha < 1.0:
+        raise QueryError(f"alpha must be in (0, 1), got {alpha}")
+    if eta_u <= 1.0:
+        raise QueryError(f"eta_u must be > 1, got {eta_u}")
+    if flow_max < flow_min:
+        raise QueryError(
+            f"flow_max ({flow_max}) must be >= flow_min ({flow_min})"
+        )
+    spread = flow_max - flow_min
+    denom = (eta_u - 1.0) * (1.0 - alpha)
+    lower = flow_min - spread * (alpha * eta_u) / denom
+    upper = flow_min + spread * (eta_u - 1.0 - alpha * eta_u) / denom
+    return FlowBounds(lower=lower, upper=upper)
+
+
+def adaptive_upper_bound(
+    best_score: float,
+    flow_min: float,
+    flow_max: float,
+    alpha: float,
+) -> float:
+    """Sound flow upper bound given the best FSD score found so far.
+
+    A candidate's score is at least ``(1-α) · TF'``, so any candidate with
+    ``TF' > best_score / (1-α)`` cannot beat the incumbent.  Translated
+    back to raw flow units:
+
+    .. math::
+
+        UB = TF_{min} + (TF_{max} - TF_{min}) \\cdot
+             \\frac{best\\_score}{1 - \\alpha}
+    """
+    if not 0.0 < alpha < 1.0:
+        raise QueryError(f"alpha must be in (0, 1), got {alpha}")
+    spread = flow_max - flow_min
+    if spread <= 0:
+        return flow_max
+    return flow_min + spread * best_score / (1.0 - alpha)

@@ -1,0 +1,74 @@
+"""Departure-time optimisation over the flow horizon.
+
+FSPQ takes the time slice as a query input; a navigation service's natural
+follow-up is "*when* should I leave?".  :func:`best_departure` sweeps a
+window of slices, runs the flow-aware query at each, and returns the slice
+minimising the chosen objective:
+
+* ``"score"`` — the flow-aware distance FSD (Eq. 1): the paper's own
+  optimum, balancing detour against congestion;
+* ``"flow"`` — raw path congestion (comfort-first);
+* ``"distance"`` — spatial length of the chosen route (fuel-first).
+
+Because the spatial graph is static, ``SPDis`` is computed once and the
+per-slice work is only candidate scoring under that slice's flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery, FSPResult
+from repro.errors import QueryError
+
+__all__ = ["DeparturePlan", "best_departure"]
+
+_OBJECTIVES = ("score", "flow", "distance")
+
+
+@dataclass(frozen=True)
+class DeparturePlan:
+    """The chosen slice plus the full per-slice sweep for inspection."""
+
+    timestep: int
+    result: FSPResult
+    sweep: dict[int, FSPResult]
+
+    @property
+    def worst_timestep(self) -> int:
+        """The slice to avoid: highest absolute congestion on its route.
+
+        Scores are min-max normalised *per query* and therefore not
+        comparable across slices; raw path flow is.
+        """
+        return max(self.sweep, key=lambda t: self.sweep[t].flow)
+
+
+def best_departure(
+    engine: FlowAwareEngine,
+    source: int,
+    target: int,
+    timesteps: list[int] | range,
+    objective: str = "score",
+) -> DeparturePlan:
+    """Pick the best departure slice for the trip ``source -> target``."""
+    if objective not in _OBJECTIVES:
+        raise QueryError(
+            f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+        )
+    slices = list(timesteps)
+    if not slices:
+        raise QueryError("best_departure needs at least one timestep")
+
+    sweep: dict[int, FSPResult] = {}
+    for t in slices:
+        sweep[int(t)] = engine.query(FSPQuery(source, target, int(t)))
+
+    def key(t: int) -> tuple[float, float, int]:
+        result = sweep[t]
+        primary = getattr(result, objective)
+        return (primary, result.score, t)
+
+    best_t = min(sweep, key=key)
+    return DeparturePlan(timestep=best_t, result=sweep[best_t], sweep=sweep)

@@ -1,0 +1,101 @@
+"""FAHL: the Flow-Aware Hierarchical Labeling index (paper Section III).
+
+FAHL is a hierarchical 2-hop labeling whose elimination ordering is the
+degree-flow joint ordering of Def. 7: vertices with low predicted flow (and
+high degree) are eliminated late and therefore sit near the root of the
+tree decomposition, giving them short label arrays and making them cheap
+LCA hubs for the flow-aware search.
+
+Construction (Alg. 1) = degree-flow elimination + tree building + the
+shared label DP; the shortest spatial distance query (Alg. 2 / Eq. 5) is
+inherited from :class:`~repro.labeling.hierarchy.HierarchyIndex`.
+
+The index keeps the inputs it was ordered by (``flows``, ``beta``) so the
+maintenance algorithms (Section IV) can re-score vertices when flows
+change, and records φ-at-elimination for the Lemma-1 fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexBuildError, IndexStateError
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+from repro.graph.validation import require_connected
+from repro.labeling.hierarchy import HierarchyIndex
+from repro.treedec.elimination import eliminate
+from repro.treedec.ordering import degree_flow_importance
+
+__all__ = ["FAHLIndex", "build_fahl"]
+
+
+class FAHLIndex(HierarchyIndex):
+    """Flow-aware hierarchical labeling index (Def. 8 / Alg. 1).
+
+    Parameters
+    ----------
+    graph:
+        The spatial road network.
+    flows:
+        Per-vertex predicted flow used for the joint ordering — typically
+        :meth:`FlowAwareRoadNetwork.total_predicted_flow`, or the
+        capacity-based variant of Def. 4 for FAHL+.
+    beta:
+        Def. 7's flow/degree mixing weight (paper default 0.5).
+    """
+
+    def __init__(self, graph: RoadNetwork, flows: np.ndarray, beta: float = 0.5) -> None:
+        if graph.num_vertices == 0:
+            raise IndexStateError("cannot index an empty graph")
+        require_connected(graph, context="FAHL construction")
+        flows = np.asarray(flows, dtype=np.float64)
+        if flows.shape != (graph.num_vertices,):
+            raise IndexBuildError(
+                f"flow vector shape {flows.shape} does not match "
+                f"{graph.num_vertices} vertices"
+            )
+        self.beta = float(beta)
+        self.flows = flows.copy()
+        # normalisation anchors are frozen at construction so a later flow
+        # update re-scores only the updated vertex (see normalize_flows).
+        self.flow_anchors = (float(flows.min()), float(flows.max()))
+        importance = degree_flow_importance(
+            graph, self.flows, beta=self.beta, anchors=self.flow_anchors
+        )
+        super().__init__(graph, eliminate(graph, importance))
+
+    def importance_function(self):
+        """The Def.-7 importance under the index's *current* flow vector."""
+        return degree_flow_importance(
+            self.graph, self.flows, beta=self.beta, anchors=self.flow_anchors
+        )
+
+    def phi_of(self, vertex: int, degree: int) -> float:
+        """Re-score one vertex's φ at a given (elimination-time) degree."""
+        return self.importance_function()(vertex, degree)
+
+    @classmethod
+    def from_frn(
+        cls,
+        frn: FlowAwareRoadNetwork,
+        beta: float = 0.5,
+        use_capacity: bool = False,
+        w_c: float = 0.5,
+    ) -> "FAHLIndex":
+        """Build from an FRN, optionally on capacity-based flow (FAHL+)."""
+        if use_capacity:
+            flows = frn.total_capacity_flow(w_c=w_c)
+        else:
+            flows = frn.total_predicted_flow()
+        return cls(frn.graph, flows, beta=beta)
+
+
+def build_fahl(
+    frn: FlowAwareRoadNetwork,
+    beta: float = 0.5,
+    use_capacity: bool = False,
+    w_c: float = 0.5,
+) -> FAHLIndex:
+    """Convenience wrapper for :meth:`FAHLIndex.from_frn`."""
+    return FAHLIndex.from_frn(frn, beta=beta, use_capacity=use_capacity, w_c=w_c)

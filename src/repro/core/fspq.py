@@ -1,0 +1,76 @@
+"""FSPQ problem types: queries and results.
+
+A flow-aware shortest path query is ``Q = <Q_u, D_u, t_q>`` (query vertex,
+destination vertex, time slice).  The result carries the chosen path, its
+spatial distance and path flow, the flow-aware score (Eq. 1), and the
+engine's work counters — candidate counts and pruning statistics are what
+the paper's efficiency figures measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = ["FSPQuery", "FSPResult"]
+
+
+@dataclass(frozen=True)
+class FSPQuery:
+    """A flow-aware shortest path query ``<Q_u, D_u, t_q>``."""
+
+    source: int
+    target: int
+    timestep: int
+
+    def validated(self, num_vertices: int, num_timesteps: int) -> "FSPQuery":
+        """Return self after range-checking against an FRN's dimensions."""
+        if not (0 <= self.source < num_vertices and 0 <= self.target < num_vertices):
+            raise QueryError(
+                f"query vertices ({self.source}, {self.target}) out of range"
+            )
+        if not 0 <= self.timestep < num_timesteps:
+            raise QueryError(
+                f"query timestep {self.timestep} out of range [0, {num_timesteps})"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class FSPResult:
+    """Outcome of one FSPQ evaluation.
+
+    Attributes
+    ----------
+    path:
+        The flow-aware shortest path (vertex sequence).
+    distance:
+        Spatial distance of ``path``.
+    flow:
+        Path traffic-flow of ``path`` at the query slice.
+    score:
+        Flow-aware distance FSD (Eq. 1) of ``path``.
+    shortest_distance:
+        ``SPDis(Q_u, D_u)`` — the pure spatial optimum used for MCPDis.
+    num_candidates:
+        Candidates enumerated within the MCPDis bound.
+    num_pruned:
+        Candidates skipped by the flow bounds before scoring.
+    truncated:
+        Whether the candidate cap fired (coverage caveat).
+    early_stopped:
+        Whether FPSPS's score-dominance bound stopped the candidate
+        enumeration before the MCPDis distance bound did (every skipped
+        candidate's distance term alone already exceeded the best score).
+    """
+
+    path: tuple[int, ...]
+    distance: float
+    flow: float
+    score: float
+    shortest_distance: float
+    num_candidates: int
+    num_pruned: int
+    truncated: bool
+    early_stopped: bool = False

@@ -1,0 +1,388 @@
+"""Index maintenance in flow-aware road networks (paper Section IV).
+
+Three algorithms keep a FAHL/H2H index consistent under the two change
+types of an FRN:
+
+* **ILU** (:func:`apply_weight_update`, Alg. 4) — an edge *weight* changed.
+  The elimination structure is unaffected; the shortcut weights derived from
+  the edge are repaired with a rank-ordered worklist, then labels are
+  refreshed top-down with change-propagation pruning.  Works on any
+  :class:`~repro.labeling.hierarchy.HierarchyIndex` (H2H too, which is how
+  the Fig. 9 baseline updates are measured).
+
+* **GSU** (:func:`apply_flow_update` with ``method="gsu"``) — a vertex
+  *flow* changed, moving it in the degree-flow joint ordering.  The general
+  strategy replays the (unchanged) elimination prefix from the recorded
+  step log, re-runs the elimination for every later vertex and rebuilds
+  structure + labels: always applicable, provably correct, lots of
+  redundant work.
+
+* **ISU** (``method="isu"``, Alg. 3) — re-eliminates only the affected rank
+  *window*, then verifies that the elimination frontier after the window
+  (edge weights **and** shortcut middles) matches the recorded one.  On a
+  match the entire suffix of the old elimination remains valid verbatim and
+  is spliced back; labels are refreshed only where bags or ancestor paths
+  changed.  On a mismatch ISU falls back to GSU — correctness never depends
+  on the window heuristic, because *any* faithfully executed elimination
+  order yields exact labels.
+
+All three return statistics (affected labels, strategy used, window) that
+the experiment harness reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fahl import FAHLIndex
+from repro.errors import EdgeNotFoundError, GraphError, IndexStateError
+from repro.labeling.hierarchy import HierarchyIndex
+from repro.treedec.elimination import (
+    EliminationResult,
+    relax_from_bag,
+    replay_prefix,
+    run_elimination_steps,
+)
+
+__all__ = [
+    "LabelUpdateStats",
+    "StructureUpdateStats",
+    "apply_weight_update",
+    "apply_weight_updates",
+    "apply_flow_update",
+    "apply_flow_updates",
+]
+
+
+# ----------------------------------------------------------------------
+# ILU — Index Label Update (Alg. 4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LabelUpdateStats:
+    """Work performed by one ILU invocation."""
+
+    shortcuts_changed: int
+    labels_affected: int
+
+
+def apply_weight_update(
+    index: HierarchyIndex,
+    u: int,
+    v: int,
+    new_weight: float,
+) -> LabelUpdateStats:
+    """Update edge ``(u, v)`` to ``new_weight`` and repair the index (ILU).
+
+    The graph held by the index is mutated.  Handles both weight increases
+    and decreases: every touched shortcut is *recomputed from its
+    invariant* (base weight vs. all eliminated contributors) rather than
+    min-merged, so increases cannot leave stale underestimates behind.
+    """
+    graph = index.graph
+    if new_weight <= 0:
+        raise GraphError(f"edge weight must be positive, got {new_weight}")
+    if not graph.has_edge(u, v):
+        raise EdgeNotFoundError(u, v)
+    old_weight = graph.weight(u, v)
+    graph.set_weight(u, v, new_weight)
+    if new_weight == old_weight:
+        return LabelUpdateStats(shortcuts_changed=0, labels_affected=0)
+
+    rank = index.elim.rank
+    bags = index.elim.bags
+    middles = index.elim.middles
+    inverse = index.inverse_bags()
+
+    heap: list[tuple[tuple[int, int], int, int]] = []
+    queued: set[tuple[int, int]] = set()
+
+    def push(x: int, y: int) -> None:
+        lo, hi = (x, y) if rank[x] < rank[y] else (y, x)
+        if (lo, hi) not in queued:
+            queued.add((lo, hi))
+            heapq.heappush(heap, ((int(rank[lo]), int(rank[hi])), lo, hi))
+
+    push(u, v)
+    shortcuts_changed = 0
+    dirty_vertices: set[int] = set()
+
+    while heap:
+        _, lo, hi = heapq.heappop(heap)
+        # recompute the shortcut invariant for the pair (lo, hi)
+        base = graph.adjacency(lo).get(hi, math.inf)
+        best = base
+        best_middle: int | None = None
+        for c in inverse[lo] & inverse[hi]:
+            contribution = bags[c][lo] + bags[c][hi]
+            if contribution < best:
+                best = contribution
+                best_middle = c
+        old = bags[lo].get(hi)
+        if old is None:
+            raise IndexStateError(
+                f"pair ({lo}, {hi}) reached the ILU worklist but is not a bag edge"
+            )
+        if best != old:
+            bags[lo][hi] = best
+            middles[lo][hi] = best_middle
+            shortcuts_changed += 1
+            dirty_vertices.add(lo)
+            # eliminating `lo` fed W(lo, hi) into every pair (hi, y) of its bag
+            for y in bags[lo]:
+                if y != hi:
+                    push(hi, y)
+
+    for vertex in dirty_vertices:
+        index.sync_bag(vertex)
+    labels_affected = (
+        index.refresh_labels(seeds=dirty_vertices) if dirty_vertices else 0
+    )
+    return LabelUpdateStats(
+        shortcuts_changed=shortcuts_changed,
+        labels_affected=labels_affected,
+    )
+
+
+def apply_weight_updates(
+    index: HierarchyIndex,
+    updates: list[tuple[int, int, float]],
+) -> LabelUpdateStats:
+    """Apply a batch of weight updates, aggregating the statistics."""
+    shortcuts = 0
+    labels = 0
+    for u, v, weight in updates:
+        stats = apply_weight_update(index, u, v, weight)
+        shortcuts += stats.shortcuts_changed
+        labels += stats.labels_affected
+    return LabelUpdateStats(shortcuts_changed=shortcuts, labels_affected=labels)
+
+
+# ----------------------------------------------------------------------
+# GSU / ISU — structure updates on flow change (Alg. 3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StructureUpdateStats:
+    """Work performed by one structure update."""
+
+    strategy: str  # "noop" | "isu" | "gsu"
+    window: tuple[int, int] | None
+    bags_rebuilt: int
+    labels_affected: int
+
+
+def _ordering_window(
+    phis: np.ndarray,
+    r_old: int,
+    phi_star: float,
+) -> tuple[int, int]:
+    """Rank window possibly affected by re-scoring ``order[r_old]``.
+
+    Scans the recorded φ-at-elimination sequence outward from the old rank
+    until the new score fits; conservative when dynamic degrees made the
+    recorded sequence non-monotone.
+    """
+    n = len(phis)
+    if phi_star >= phis[r_old]:
+        r_hi = r_old
+        while r_hi + 1 < n and phis[r_hi + 1] <= phi_star:
+            r_hi += 1
+        return r_old, r_hi
+    r_lo = r_old
+    while r_lo - 1 >= 0 and phis[r_lo - 1] >= phi_star:
+        r_lo -= 1
+    return r_lo, r_old
+
+
+def _stitch_elimination(
+    old: EliminationResult,
+    keep_steps: int,
+    new_order: list[int],
+    new_phi: list[float],
+    new_bags: dict[int, dict[int, float]],
+    new_middles: dict[int, dict[int, int | None]],
+    tail: EliminationResult | None = None,
+    tail_from: int = 0,
+) -> EliminationResult:
+    """Combine a kept prefix, a re-run segment and (optionally) an old tail."""
+    order = old.order[:keep_steps] + new_order
+    phi = list(old.phi_at_elim[:keep_steps]) + new_phi
+    bags = list(old.bags)
+    middles = list(old.middles)
+    for vertex in new_order:
+        bags[vertex] = new_bags[vertex]
+        middles[vertex] = new_middles[vertex]
+    if tail is not None:
+        order += tail.order[tail_from:]
+        phi += list(tail.phi_at_elim[tail_from:])
+    n = len(bags)
+    rank = np.full(n, -1, dtype=np.int64)
+    for r, vertex in enumerate(order):
+        rank[vertex] = r
+    return EliminationResult(
+        order=order,
+        rank=rank,
+        bags=bags,
+        middles=middles,
+        phi_at_elim=np.asarray(phi, dtype=np.float64),
+    )
+
+
+def _gsu_rebuild(
+    index: FAHLIndex,
+    from_rank: int,
+    state: tuple[list[dict[int, float]], list[dict[int, int | None]]] | None = None,
+) -> StructureUpdateStats:
+    """Rebuild the elimination from ``from_rank`` onward (GSU).
+
+    ``state`` may supply a pre-reconstructed elimination frontier at
+    ``from_rank`` (the ISU fallback path already has one); otherwise it is
+    reconstructed from the current bags.
+    """
+    old = index.elim
+    graph = index.graph
+    adj, mids = state if state is not None else replay_prefix(graph, old, from_rank)
+    active = set(old.order[from_rank:])
+    importance = index.importance_function()
+    order, phi, bags, middles = run_elimination_steps(adj, mids, importance, active)
+    index.elim = _stitch_elimination(old, from_rank, order, phi, bags, middles)
+    index.rebuild_structure()
+    labels_affected = index.refresh_labels()
+    return StructureUpdateStats(
+        strategy="gsu",
+        window=(from_rank, len(old.order) - 1),
+        bags_rebuilt=len(order),
+        labels_affected=labels_affected,
+    )
+
+
+def _frontier_matches(
+    adj_new: list[dict[int, float]],
+    mids_new: list[dict[int, int | None]],
+    adj_old: list[dict[int, float]],
+    mids_old: list[dict[int, int | None]],
+    remaining: list[int],
+) -> bool:
+    """Whether two elimination frontiers agree on the remaining vertices.
+
+    Both weights and shortcut middles must match: equal middles guarantee
+    that every suffix shortcut still expands into a valid concrete path.
+    """
+    for vertex in remaining:
+        if adj_new[vertex] != adj_old[vertex]:
+            return False
+        if mids_new[vertex] != mids_old[vertex]:
+            return False
+    return True
+
+
+def apply_flow_update(
+    index: FAHLIndex,
+    vertex: int,
+    new_flow: float,
+    method: str = "isu",
+) -> StructureUpdateStats:
+    """Update a vertex's predicted flow and maintain the index structure.
+
+    Parameters
+    ----------
+    method:
+        ``"isu"`` (Alg. 3: window re-elimination with suffix splice,
+        GSU fallback) or ``"gsu"`` (always rebuild from the affected rank).
+
+    Notes
+    -----
+    Only the *index* is updated here; the caller owns the FRN's predicted
+    flow series.  The Lemma-1 fast path returns ``strategy="noop"`` when
+    the re-scored vertex keeps its place in the ordering sequence — labels
+    are untouched because they depend only on weights and ordering.
+    """
+    if method not in ("isu", "gsu"):
+        raise IndexStateError(f"method must be 'isu' or 'gsu', got {method!r}")
+    if new_flow < 0:
+        raise GraphError(f"flow must be non-negative, got {new_flow}")
+    n = index.graph.num_vertices
+    if not 0 <= vertex < n:
+        raise IndexStateError(f"unknown vertex {vertex}")
+
+    index.flows[vertex] = new_flow
+    old = index.elim
+    r_old = int(old.rank[vertex])
+    degree_at_elim = len(old.bags[vertex])
+    phi_star = index.phi_of(vertex, degree_at_elim)
+    phis = old.phi_at_elim
+
+    # Lemma 1: ordering-sequence position unchanged -> no structural work.
+    r_lo, r_hi = _ordering_window(phis, r_old, phi_star)
+    if r_lo == r_hi:
+        phis[r_old] = phi_star
+        return StructureUpdateStats(
+            strategy="noop", window=None, bags_rebuilt=0, labels_affected=0
+        )
+
+    if method == "gsu":
+        return _gsu_rebuild(index, r_lo)
+
+    # ISU: re-eliminate the window only, then try to splice the suffix.
+    graph = index.graph
+    adj_base, mids_base = replay_prefix(graph, old, r_lo)
+    adj_new = [dict(d) for d in adj_base]
+    mids_new = [dict(d) for d in mids_base]
+    window = set(old.order[r_lo:r_hi + 1])
+    importance = index.importance_function()
+    w_order, w_phi, w_bags, w_middles = run_elimination_steps(
+        adj_new, mids_new, importance, window
+    )
+    # old frontier after the window: advance a copy of the r_lo state
+    # through the window using the *old* bags (fills into window vertices
+    # are irrelevant — they get removed — so restrict to the suffix).
+    adj_old = [dict(d) for d in adj_base]
+    mids_old = [dict(d) for d in mids_base]
+    remaining = old.order[r_hi + 1:]
+    suffix = set(remaining)
+    for r in range(r_lo, r_hi + 1):
+        c = old.order[r]
+        for x in adj_old[c]:
+            del mids_old[x][c]
+        for x in list(adj_old[c]):
+            del adj_old[x][c]
+        adj_old[c] = {}
+        mids_old[c] = {}
+        relax_from_bag(adj_old, mids_old, old.bags[c], c, suffix)
+    if not _frontier_matches(adj_new, mids_new, adj_old, mids_old, remaining):
+        # adj_base is still the pristine r_lo frontier — resume GSU from it
+        return _gsu_rebuild(index, r_lo, state=(adj_base, mids_base))
+
+    old_parent = index.tree.parent.copy()
+    index.elim = _stitch_elimination(
+        old, r_lo, w_order, w_phi, w_bags, w_middles,
+        tail=old, tail_from=r_hi + 1,
+    )
+    index.rebuild_structure()
+    parent_changed = {
+        int(v) for v in np.nonzero(index.tree.parent != old_parent)[0]
+    }
+    labels_affected = index.refresh_labels(
+        seeds=set(w_order), force_subtree_roots=parent_changed
+    )
+    return StructureUpdateStats(
+        strategy="isu",
+        window=(r_lo, r_hi),
+        bags_rebuilt=len(w_order),
+        labels_affected=labels_affected,
+    )
+
+
+def apply_flow_updates(
+    index: FAHLIndex,
+    updates: dict[int, float],
+    method: str = "isu",
+) -> list[StructureUpdateStats]:
+    """Apply several flow updates in vertex order; one stats entry each."""
+    return [
+        apply_flow_update(index, vertex, flow, method=method)
+        for vertex, flow in sorted(updates.items())
+    ]

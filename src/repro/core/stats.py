@@ -1,0 +1,96 @@
+"""Index introspection: the statistics the paper's figures are built from.
+
+:func:`index_statistics` summarises a hierarchical labeling index (size,
+tree shape, label distribution); :func:`compare_indexes` puts two indexes
+side by side — the H2H-vs-FAHL comparison of Fig. 7(a)(b) in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.labeling.hierarchy import HierarchyIndex
+
+__all__ = ["IndexStatistics", "index_statistics", "compare_indexes"]
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Summary of one hierarchical labeling index."""
+
+    num_vertices: int
+    num_edges: int
+    treewidth: int
+    treeheight: int
+    label_entries: int
+    position_entries: int
+    total_entries: int
+    bytes_estimate: int
+    mean_label_length: float
+    max_label_length: int
+    mean_bag_size: float
+    root_subtree_fanout: int
+
+    def as_rows(self) -> list[tuple[str, object]]:
+        """(name, value) pairs for table rendering."""
+        return [
+            ("vertices", self.num_vertices),
+            ("edges", self.num_edges),
+            ("treewidth", self.treewidth),
+            ("treeheight", self.treeheight),
+            ("label entries", self.label_entries),
+            ("position entries", self.position_entries),
+            ("total entries", self.total_entries),
+            ("approx bytes", self.bytes_estimate),
+            ("mean label length", round(self.mean_label_length, 2)),
+            ("max label length", self.max_label_length),
+            ("mean bag size", round(self.mean_bag_size, 2)),
+            ("root fanout", self.root_subtree_fanout),
+        ]
+
+
+def index_statistics(index: HierarchyIndex) -> IndexStatistics:
+    """Compute summary statistics for an H2H/FAHL index."""
+    label_lengths = np.asarray([len(lbl) for lbl in index.labels])
+    position_lengths = np.asarray([len(p) for p in index.positions])
+    bag_sizes = np.asarray([len(bag) for bag in index.elim.bags])
+    return IndexStatistics(
+        num_vertices=index.graph.num_vertices,
+        num_edges=index.graph.num_edges,
+        treewidth=index.treewidth,
+        treeheight=index.treeheight,
+        label_entries=int(label_lengths.sum()),
+        position_entries=int(position_lengths.sum()),
+        total_entries=int(label_lengths.sum() + position_lengths.sum()),
+        bytes_estimate=index.index_size_bytes(),
+        mean_label_length=float(label_lengths.mean()) if len(label_lengths) else 0.0,
+        max_label_length=int(label_lengths.max()) if len(label_lengths) else 0,
+        mean_bag_size=float(bag_sizes.mean()) if len(bag_sizes) else 0.0,
+        root_subtree_fanout=len(index.tree.children[index.tree.root]),
+    )
+
+
+def compare_indexes(
+    baseline: HierarchyIndex,
+    candidate: HierarchyIndex,
+) -> dict[str, float]:
+    """Relative size/shape of ``candidate`` vs ``baseline`` (ratios).
+
+    Values below 1.0 mean the candidate is smaller — the paper's claim for
+    FAHL vs H2H on flow-skewed networks.
+    """
+    a = index_statistics(baseline)
+    b = index_statistics(candidate)
+
+    def ratio(x: float, y: float) -> float:
+        return float(y / x) if x else float("inf")
+
+    return {
+        "entries_ratio": ratio(a.total_entries, b.total_entries),
+        "bytes_ratio": ratio(a.bytes_estimate, b.bytes_estimate),
+        "treewidth_ratio": ratio(a.treewidth, b.treewidth),
+        "treeheight_ratio": ratio(a.treeheight, b.treeheight),
+        "mean_label_ratio": ratio(a.mean_label_length, b.mean_label_length),
+    }

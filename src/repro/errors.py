@@ -1,0 +1,61 @@
+"""Exception hierarchy for the FAHL reproduction library.
+
+All library-specific failures derive from :class:`ReproError`, so callers can
+catch one base class at an API boundary.  Subclasses are deliberately
+fine-grained: invalid graph shapes, missing vertices, index misuse, and
+malformed dataset files fail in distinct, testable ways.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """The graph structure is invalid for the requested operation."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex id was referenced that is not part of the graph."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that is not part of the graph."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires a connected graph received one that is not."""
+
+
+class FlowError(ReproError):
+    """Traffic-flow data is malformed or inconsistent with the graph."""
+
+
+class IndexBuildError(ReproError):
+    """An index could not be constructed from the given inputs."""
+
+
+class IndexStateError(ReproError):
+    """An index was used before construction or after invalidation."""
+
+
+class QueryError(ReproError):
+    """A query was malformed (unknown vertices, bad time step, bad bounds)."""
+
+
+class DatasetFormatError(ReproError):
+    """A dataset file (e.g. DIMACS ``.gr``) could not be parsed."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning failed (e.g. requested more parts than vertices)."""

@@ -1,0 +1,60 @@
+"""Experiment harness: one module per table/figure of the paper's Section VI."""
+
+from repro.experiments import (
+    ablation_beta,
+    ablation_pruning,
+    fig6_query_groups,
+    fig7_alpha,
+    fig7_construction,
+    fig8_structure_update,
+    fig9_label_update,
+    fig10_epochs,
+    fig11_capacity,
+    fig12_intervals,
+    fig13_update_ratio,
+    incidents,
+    quality_report,
+    table1_motivation,
+    table3_datasets,
+)
+from repro.experiments.runner import (
+    ALL_METHODS,
+    BuiltMethod,
+    ExperimentConfig,
+    ExperimentTable,
+    build_method,
+    build_method_suite,
+    format_table,
+    time_queries,
+)
+
+#: registry used by the CLI: experiment id -> module with ``run(config)``
+EXPERIMENTS = {
+    "table1": table1_motivation,
+    "table3": table3_datasets,
+    "fig6": fig6_query_groups,
+    "fig7ab": fig7_construction,
+    "fig7cd": fig7_alpha,
+    "fig8": fig8_structure_update,
+    "fig9": fig9_label_update,
+    "fig10": fig10_epochs,
+    "fig11": fig11_capacity,
+    "fig12": fig12_intervals,
+    "fig13": fig13_update_ratio,
+    "ablation-beta": ablation_beta,
+    "ablation-pruning": ablation_pruning,
+    "quality": quality_report,
+    "incidents": incidents,
+}
+
+__all__ = [
+    "ALL_METHODS",
+    "BuiltMethod",
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentTable",
+    "build_method",
+    "build_method_suite",
+    "format_table",
+    "time_queries",
+]

@@ -1,0 +1,79 @@
+"""Ablation: the degree/flow blend β of the joint ordering (Def. 7).
+
+β = 0 degenerates FAHL to (normalised) degree ordering ≈ H2H; β = 1 orders
+purely by flow.  The sweep shows how much index size the flow term costs
+and what it buys in query time and result quality — the design choice
+DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.quality import pruning_quality
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.experiments.runner import ExperimentConfig, ExperimentTable
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import flatten_groups, generate_query_groups
+
+__all__ = ["run", "DEFAULT_BETAS"]
+
+DEFAULT_BETAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def run(
+    config: ExperimentConfig,
+    betas: tuple[float, ...] = DEFAULT_BETAS,
+) -> ExperimentTable:
+    """Sweep β on the first configured dataset."""
+    table = ExperimentTable(
+        title="Ablation — ordering blend beta (index size, query quality)",
+        headers=["beta", "entries", "treewidth", "treeheight",
+                 "path agreement", "mean score gap"],
+        notes=[
+            "agreement/gap: FAHL-W (lemma4 + early stop) vs FAHL-O on the "
+            "same index",
+        ],
+    )
+    dataset = load_dataset(
+        config.datasets[0],
+        scale=config.scale,
+        days=config.days,
+        interval_minutes=config.interval_minutes,
+        epochs=config.epochs,
+        seed=config.seed,
+    )
+    queries = flatten_groups(
+        generate_query_groups(
+            dataset.frn,
+            num_groups=config.num_groups,
+            queries_per_group=config.queries_per_group,
+            seed=config.seed,
+        )
+    )
+    for beta in betas:
+        frn = FlowAwareRoadNetwork(
+            dataset.frn.graph.copy(),
+            dataset.frn.flow,
+            predicted_flow=dataset.frn.predicted_flow,
+            lanes=dataset.frn.lanes,
+        )
+        index = FAHLIndex.from_frn(frn, beta=beta)
+        reference = FlowAwareEngine(
+            frn, oracle=index, alpha=config.alpha, eta_u=config.eta_u,
+            pruning="none", max_candidates=config.max_candidates,
+        )
+        pruned = FlowAwareEngine(
+            frn, oracle=index, alpha=config.alpha, eta_u=config.eta_u,
+            pruning="lemma4", max_candidates=config.max_candidates,
+        )
+        quality = pruning_quality(reference, pruned, queries)
+        table.add_row(
+            beta,
+            index.index_size_entries(),
+            index.treewidth,
+            index.treeheight,
+            quality.path_agreement,
+            quality.mean_score_gap,
+        )
+    return table

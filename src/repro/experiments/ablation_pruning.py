@@ -1,0 +1,81 @@
+"""Ablation: pruning modes and the candidate cap.
+
+Separates FPSPS's two levers — the Lemma-4 flow bounds (with the lazy
+score-dominance stop) and the always-sound adaptive bound — and sweeps the
+candidate cap, measuring time *and* answer quality for each combination.
+This quantifies exactly what the Fig. 6 FAHL-W speedup costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.quality import pruning_quality
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import PRUNING_MODES, FlowAwareEngine
+from repro.experiments.runner import ExperimentConfig, ExperimentTable
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import flatten_groups, generate_query_groups
+
+__all__ = ["run", "DEFAULT_CAPS"]
+
+DEFAULT_CAPS = (4, 8, 16, 32)
+
+
+def run(
+    config: ExperimentConfig,
+    caps: tuple[int, ...] = DEFAULT_CAPS,
+) -> ExperimentTable:
+    """Sweep pruning mode x candidate cap on the first configured dataset."""
+    table = ExperimentTable(
+        title="Ablation — pruning mode and candidate cap",
+        headers=["pruning", "cap", "ms/query", "path agreement",
+                 "mean score gap", "mean candidates"],
+        notes=[
+            "agreement/gap vs an unpruned engine with the largest cap "
+            "(the best answer this harness can compute)",
+        ],
+    )
+    dataset = load_dataset(
+        config.datasets[0],
+        scale=config.scale,
+        days=config.days,
+        interval_minutes=config.interval_minutes,
+        epochs=config.epochs,
+        seed=config.seed,
+    )
+    frn = dataset.frn
+    index = FAHLIndex.from_frn(frn, beta=config.beta)
+    queries = flatten_groups(
+        generate_query_groups(
+            frn,
+            num_groups=config.num_groups,
+            queries_per_group=config.queries_per_group,
+            seed=config.seed,
+        )
+    )
+    reference = FlowAwareEngine(
+        frn, oracle=index, alpha=config.alpha, eta_u=config.eta_u,
+        pruning="none", max_candidates=max(caps),
+    )
+    for mode in PRUNING_MODES:
+        for cap in caps:
+            engine = FlowAwareEngine(
+                frn, oracle=index, alpha=config.alpha, eta_u=config.eta_u,
+                pruning=mode, max_candidates=cap,
+            )
+            start = time.perf_counter()
+            candidates = 0
+            for query in queries:
+                candidates += engine.query(query).num_candidates
+            per_query_ms = (time.perf_counter() - start) / len(queries) * 1000
+            quality = pruning_quality(reference, engine, queries)
+            table.add_row(
+                mode,
+                cap,
+                per_query_ms,
+                quality.path_agreement,
+                quality.mean_score_gap,
+                candidates / len(queries),
+            )
+    return table

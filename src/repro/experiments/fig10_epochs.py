@@ -1,0 +1,65 @@
+"""Fig. 10: query time vs prediction-training epochs.
+
+The flow predictor's accuracy grows with its epoch budget; FAHL's ordering
+(and therefore its labels and query speed) consumes the prediction, while
+H2H and TD-G-tree are flow-blind and stay flat — the paper's separation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    build_method_suite,
+    time_queries,
+)
+from repro.flow.predictor import TrainablePredictor
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_query_groups
+
+__all__ = ["run", "DEFAULT_EPOCHS"]
+
+DEFAULT_EPOCHS = (50, 100, 150, 200)
+
+_METHODS = ("TD-G-tree", "H2H", "FAHL-W")
+
+
+def run(
+    config: ExperimentConfig,
+    epoch_grid: tuple[int, ...] = DEFAULT_EPOCHS,
+) -> ExperimentTable:
+    """Regenerate the Fig. 10 series (ms per query; prediction accuracy)."""
+    table = ExperimentTable(
+        title="Fig. 10 — query time vs training epochs (ms per query)",
+        headers=["Dataset", "Epochs", "Accuracy"] + list(_METHODS),
+    )
+    for name in config.datasets:
+        for epochs in epoch_grid:
+            dataset = load_dataset(
+                name,
+                scale=config.scale,
+                days=config.days,
+                interval_minutes=config.interval_minutes,
+                epochs=epochs,
+                seed=config.seed,
+            )
+            accuracy = (
+                TrainablePredictor(epochs=epochs, seed=dataset.seed + 1)
+                .fit(dataset.frn.flow)
+                .accuracy(dataset.frn.flow)
+            )
+            suite = build_method_suite(dataset, config, methods=_METHODS)
+            groups = generate_query_groups(
+                dataset.frn,
+                num_groups=config.num_groups,
+                queries_per_group=config.queries_per_group,
+                seed=config.seed,
+            )
+            queries = groups[-1]
+            table.add_row(
+                name,
+                epochs,
+                accuracy,
+                *(time_queries(suite[m], queries) * 1000.0 for m in _METHODS),
+            )
+    return table

@@ -1,0 +1,66 @@
+"""Fig. 11: capacity-based flow Ĉ_f — dataset sweep and W_c sweep.
+
+The ``+`` method variants replace the predicted flow with Def. 4's
+capacity-based blend.  Only FAHL's index perceives the change (ordering and
+pruning); the flow-blind baselines merely score with it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    build_method_suite,
+    time_queries,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_query_groups
+
+__all__ = ["run", "DEFAULT_WCS"]
+
+DEFAULT_WCS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+_METHODS = ("TD-G-tree", "H2H", "FAHL-O", "FAHL-W")
+
+
+def run(
+    config: ExperimentConfig,
+    w_c_grid: tuple[float, ...] = DEFAULT_WCS,
+    sweep_dataset: str = "BRN",
+) -> ExperimentTable:
+    """Regenerate the Fig. 11 series (ms per query with Ĉ_f, FQ12).
+
+    Rows with ``W_c = 0.5`` cover every dataset (Fig. 11's left panel); the
+    ``sweep_dataset`` additionally sweeps the W_c grid (right panel).
+    """
+    table = ExperimentTable(
+        title="Fig. 11 — capacity-based flow (ms per query, '+' variants)",
+        headers=["Dataset", "W_c"] + [f"{m}+" for m in _METHODS],
+    )
+    for name in config.datasets:
+        grid = w_c_grid if name == sweep_dataset else (0.5,)
+        dataset = load_dataset(
+            name,
+            scale=config.scale,
+            days=config.days,
+            interval_minutes=config.interval_minutes,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        groups = generate_query_groups(
+            dataset.frn,
+            num_groups=config.num_groups,
+            queries_per_group=config.queries_per_group,
+            seed=config.seed,
+        )
+        queries = groups[-1]
+        for w_c in grid:
+            suite = build_method_suite(
+                dataset, config, methods=_METHODS, use_capacity=True, w_c=w_c
+            )
+            table.add_row(
+                name,
+                w_c,
+                *(time_queries(suite[m], queries) * 1000.0 for m in _METHODS),
+            )
+    return table

@@ -1,0 +1,99 @@
+"""Fig. 12: query and update time vs the flow-recording time interval.
+
+Shorter intervals mean more slices over the same horizon and therefore more
+frequent update events; all methods pay more total update time and slightly
+more query time, with FAHL degrading the least (the paper's claim).  Each
+interval simulates a fixed wall-clock window of events: one update event
+per slice, each carrying a small batch of weight changes (all methods) and
+flow changes (FAHL only, via ISU).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.maintenance import apply_flow_updates, apply_weight_update
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    build_method_suite,
+    time_queries,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_query_groups
+from repro.workloads.updates import generate_flow_updates, generate_weight_updates
+
+__all__ = ["run", "DEFAULT_INTERVALS"]
+
+DEFAULT_INTERVALS = (30, 60, 90, 120)
+
+_METHODS = ("TD-G-tree", "H2H", "FAHL-W")
+
+_WINDOW_HOURS = 6
+_CHANGES_PER_EVENT = 2
+
+
+def run(
+    config: ExperimentConfig,
+    intervals: tuple[int, ...] = DEFAULT_INTERVALS,
+) -> ExperimentTable:
+    """Regenerate the Fig. 12 series (query ms; total update ms per window)."""
+    table = ExperimentTable(
+        title=(
+            "Fig. 12 — query time (ms) and total update time (ms) vs "
+            f"time interval ({_WINDOW_HOURS}h window)"
+        ),
+        headers=["Dataset", "Interval"]
+        + [f"{m} query" for m in _METHODS]
+        + [f"{m} update" for m in _METHODS],
+    )
+    for name in config.datasets:
+        for interval in intervals:
+            dataset = load_dataset(
+                name,
+                scale=config.scale,
+                days=config.days,
+                interval_minutes=interval,
+                epochs=config.epochs,
+                seed=config.seed,
+            )
+            suite = build_method_suite(dataset, config, methods=_METHODS)
+            events = max(1, (_WINDOW_HOURS * 60) // interval)
+            update_ms = {m: 0.0 for m in _METHODS}
+            for event in range(events):
+                weight_updates = generate_weight_updates(
+                    dataset.frn.graph,
+                    _CHANGES_PER_EVENT,
+                    seed=config.seed + event,
+                )
+                flow_updates = generate_flow_updates(
+                    dataset.frn,
+                    _CHANGES_PER_EVENT,
+                    timestep=event % dataset.frn.num_timesteps,
+                    seed=config.seed + event,
+                )
+                for method in _METHODS:
+                    built = suite[method]
+                    start = time.perf_counter()
+                    for u, v, new in weight_updates:
+                        if method == "TD-G-tree":
+                            built.index.update_edge_weight(u, v, new)
+                        else:
+                            apply_weight_update(built.index, u, v, new)
+                    if method == "FAHL-W":
+                        apply_flow_updates(built.index, flow_updates, method="isu")
+                    update_ms[method] += (time.perf_counter() - start) * 1000.0
+            groups = generate_query_groups(
+                dataset.frn,
+                num_groups=config.num_groups,
+                queries_per_group=config.queries_per_group,
+                seed=config.seed,
+            )
+            queries = groups[-1]
+            table.add_row(
+                name,
+                interval,
+                *(time_queries(suite[m], queries) * 1000.0 for m in _METHODS),
+                *(update_ms[m] for m in _METHODS),
+            )
+    return table

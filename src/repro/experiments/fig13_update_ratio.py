@@ -1,0 +1,89 @@
+"""Fig. 13: query and update time vs the update ratio λ.
+
+λ = (#flow changes)/(#weight changes) over a fixed total budget.  H2H and
+TD-G-tree only process the weight share (they cannot perceive flow), so
+their update time *falls* as λ grows, while FAHL pays for both via ISU+ILU
+but stays competitive — the paper's trade-off picture.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.maintenance import apply_flow_updates, apply_weight_update
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    build_method_suite,
+    time_queries,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_query_groups
+from repro.workloads.updates import generate_mixed_updates
+
+__all__ = ["run", "DEFAULT_RATIOS"]
+
+DEFAULT_RATIOS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+_METHODS = ("TD-G-tree", "H2H", "FAHL-W")
+
+_TOTAL_UPDATES = 40  # scaled from the paper's 10,000
+
+
+def run(
+    config: ExperimentConfig,
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+) -> ExperimentTable:
+    """Regenerate the Fig. 13 series (query ms; total update ms)."""
+    table = ExperimentTable(
+        title=(
+            "Fig. 13 — query time (ms) and total update time (ms) vs "
+            f"update ratio ({_TOTAL_UPDATES} updates, scaled from 10k)"
+        ),
+        headers=["Dataset", "lambda"]
+        + [f"{m} query" for m in _METHODS]
+        + [f"{m} update" for m in _METHODS],
+    )
+    for name in config.datasets:
+        dataset = load_dataset(
+            name,
+            scale=config.scale,
+            days=config.days,
+            interval_minutes=config.interval_minutes,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        groups = generate_query_groups(
+            dataset.frn,
+            num_groups=config.num_groups,
+            queries_per_group=config.queries_per_group,
+            seed=config.seed,
+        )
+        queries = groups[-1]
+        for ratio in ratios:
+            suite = build_method_suite(dataset, config, methods=_METHODS)
+            flow_updates, weight_updates = generate_mixed_updates(
+                dataset.frn,
+                _TOTAL_UPDATES,
+                update_ratio=ratio,
+                seed=config.seed,
+            )
+            update_ms = {}
+            for method in _METHODS:
+                built = suite[method]
+                start = time.perf_counter()
+                for u, v, new in weight_updates:
+                    if method == "TD-G-tree":
+                        built.index.update_edge_weight(u, v, new)
+                    else:
+                        apply_weight_update(built.index, u, v, new)
+                if method == "FAHL-W":
+                    apply_flow_updates(built.index, flow_updates, method="isu")
+                update_ms[method] = (time.perf_counter() - start) * 1000.0
+            table.add_row(
+                name,
+                ratio,
+                *(time_queries(suite[m], queries) * 1000.0 for m in _METHODS),
+                *(update_ms[m] for m in _METHODS),
+            )
+    return table

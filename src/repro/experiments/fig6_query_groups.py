@@ -1,0 +1,59 @@
+"""Fig. 6: FSPQ time per query group FQ1..FQ12, all datasets, all methods.
+
+Also reports the headline aggregate — FAHL-W's average speedup over the
+best baseline (H2H), the paper's "33.1% faster on average" claim.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ALL_METHODS,
+    ExperimentConfig,
+    ExperimentTable,
+    build_method_suite,
+    time_queries,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_query_groups
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig) -> ExperimentTable:
+    """Regenerate the Fig. 6 series (ms per query, one row per group)."""
+    table = ExperimentTable(
+        title="Fig. 6 — query time per FQ group (milliseconds per query)",
+        headers=["Dataset", "Group"] + list(ALL_METHODS),
+    )
+    speedups: list[float] = []
+    for name in config.datasets:
+        dataset = load_dataset(
+            name,
+            scale=config.scale,
+            days=config.days,
+            interval_minutes=config.interval_minutes,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        suite = build_method_suite(dataset, config)
+        groups = generate_query_groups(
+            dataset.frn,
+            num_groups=config.num_groups,
+            queries_per_group=config.queries_per_group,
+            seed=config.seed,
+        )
+        for group_id, queries in enumerate(groups, start=1):
+            times = {
+                method: time_queries(suite[method], queries) * 1000.0
+                for method in ALL_METHODS
+            }
+            table.add_row(name, f"FQ{group_id}", *(times[m] for m in ALL_METHODS))
+            if times["FAHL-W"] > 0 and times["H2H"] > 0:
+                speedups.append(1.0 - times["FAHL-W"] / times["H2H"])
+    if speedups:
+        average = 100.0 * sum(speedups) / len(speedups)
+        table.notes.append(
+            f"FAHL-W vs H2H average speedup: {average:.1f}% "
+            "(paper reports 33.1%)."
+        )
+    return table

@@ -1,0 +1,81 @@
+"""Fig. 7(c)(d): query time vs the blend parameter α (BRN and COL, FQ12).
+
+α weighs spatial distance against traffic flow in Eq. 1.  Only FAHL-W's
+pruning reacts to α (small α ⇒ tighter Lemma-4 flow bounds ⇒ more pruning);
+all other methods are essentially flat — the paper's observation.
+"""
+
+from __future__ import annotations
+
+from repro.core.fpsps import FlowAwareEngine
+from repro.experiments.runner import (
+    ALL_METHODS,
+    ExperimentConfig,
+    ExperimentTable,
+    build_method_suite,
+    time_queries,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_query_groups
+
+__all__ = ["run", "DEFAULT_ALPHAS"]
+
+DEFAULT_ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def run(
+    config: ExperimentConfig,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    datasets: tuple[str, ...] = ("BRN", "COL"),
+) -> ExperimentTable:
+    """Regenerate the Fig. 7(c)(d) series (ms per query on the last group)."""
+    table = ExperimentTable(
+        title="Fig. 7(c)(d) — query time vs alpha (FQ12, ms per query)",
+        headers=["Dataset", "alpha"] + list(ALL_METHODS),
+    )
+    for name in datasets:
+        dataset = load_dataset(
+            name,
+            scale=config.scale,
+            days=config.days,
+            interval_minutes=config.interval_minutes,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        suite = build_method_suite(dataset, config)
+        groups = generate_query_groups(
+            dataset.frn,
+            num_groups=config.num_groups,
+            queries_per_group=config.queries_per_group,
+            seed=config.seed,
+        )
+        queries = groups[-1]  # FQ12
+        for alpha in alphas:
+            times = []
+            for method in ALL_METHODS:
+                built = suite[method]
+                # swap alpha on a fresh engine sharing the built oracle
+                engine = FlowAwareEngine(
+                    built.frn,
+                    oracle=built.engine.oracle,
+                    alpha=alpha,
+                    eta_u=config.eta_u,
+                    pruning=built.engine.pruning,
+                    max_candidates=config.max_candidates,
+                )
+                probe = BuiltProbe(built, engine)
+                times.append(time_queries(probe, queries) * 1000.0)
+            table.add_row(name, alpha, *times)
+    return table
+
+
+class BuiltProbe:
+    """A BuiltMethod stand-in that swaps the engine (duck-typed)."""
+
+    def __init__(self, base, engine) -> None:
+        self.name = base.name
+        self.engine = engine
+        self.frn = base.frn
+        self.index = base.index
+        self.build_seconds = base.build_seconds
+        self.index_entries = base.index_entries

@@ -1,0 +1,45 @@
+"""Fig. 7(a)(b): index size and construction time per dataset.
+
+The paper compares TD-G-tree, H2H and FAHL-W; CH is added for context.
+FAHL's degree-flow ordering should yield labels no larger — typically
+smaller — than H2H's on flow-skewed networks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    build_method_suite,
+)
+from repro.workloads.datasets import load_dataset
+
+__all__ = ["run"]
+
+_METHODS = ("CH", "TD-G-tree", "H2H", "FAHL-W")
+
+
+def run(config: ExperimentConfig) -> ExperimentTable:
+    """Regenerate the Fig. 7(a)(b) bars (entries and build seconds)."""
+    table = ExperimentTable(
+        title="Fig. 7(a)(b) — index size (entries) and construction time (s)",
+        headers=["Dataset"]
+        + [f"{m} size" for m in _METHODS]
+        + [f"{m} time" for m in _METHODS],
+    )
+    for name in config.datasets:
+        dataset = load_dataset(
+            name,
+            scale=config.scale,
+            days=config.days,
+            interval_minutes=config.interval_minutes,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        suite = build_method_suite(dataset, config, methods=_METHODS)
+        table.add_row(
+            name,
+            *(suite[m].index_entries for m in _METHODS),
+            *(suite[m].build_seconds for m in _METHODS),
+        )
+    return table

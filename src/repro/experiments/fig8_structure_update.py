@@ -1,0 +1,67 @@
+"""Fig. 8: structure-update time, GSU vs ISU, per flow-change batch size.
+
+Only FAHL maintains structure under flow changes (the baselines cannot
+perceive flow), so the comparison is between the paper's two algorithms on
+fresh FAHL indexes, with batch sizes {4, 8, 12, 16}.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.fahl import FAHLIndex
+from repro.core.maintenance import apply_flow_updates
+from repro.experiments.runner import ExperimentConfig, ExperimentTable
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.workloads.datasets import load_dataset
+from repro.workloads.updates import generate_flow_updates
+
+__all__ = ["run", "DEFAULT_BATCHES"]
+
+DEFAULT_BATCHES = (4, 8, 12, 16)
+
+
+def run(
+    config: ExperimentConfig,
+    batches: tuple[int, ...] = DEFAULT_BATCHES,
+) -> ExperimentTable:
+    """Regenerate the Fig. 8 bars (milliseconds per update batch)."""
+    table = ExperimentTable(
+        title="Fig. 8 — structure update time (ms per batch of flow changes)",
+        headers=["Dataset", "Changes", "GSU", "ISU", "ISU strategies"],
+    )
+    for name in config.datasets:
+        dataset = load_dataset(
+            name,
+            scale=config.scale,
+            days=config.days,
+            interval_minutes=config.interval_minutes,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        for batch in batches:
+            updates = generate_flow_updates(
+                dataset.frn, batch, timestep=0, seed=config.seed + batch
+            )
+            timings = {}
+            strategies = ""
+            for method in ("gsu", "isu"):
+                frn = FlowAwareRoadNetwork(
+                    dataset.frn.graph.copy(),
+                    dataset.frn.flow,
+                    predicted_flow=dataset.frn.predicted_flow,
+                    lanes=dataset.frn.lanes,
+                )
+                index = FAHLIndex.from_frn(frn, beta=config.beta)
+                start = time.perf_counter()
+                stats = apply_flow_updates(index, updates, method=method)
+                timings[method] = (time.perf_counter() - start) * 1000.0
+                if method == "isu":
+                    counts: dict[str, int] = {}
+                    for stat in stats:
+                        counts[stat.strategy] = counts.get(stat.strategy, 0) + 1
+                    strategies = ",".join(
+                        f"{k}:{v}" for k, v in sorted(counts.items())
+                    )
+            table.add_row(name, batch, timings["gsu"], timings["isu"], strategies)
+    return table

@@ -1,0 +1,90 @@
+"""Fig. 9: label-update time and affected labels/records per FQ group.
+
+For each query group, an edge on a group query's shortest path is updated;
+the indexes repair themselves (H2H and FAHL-W via ILU, TD-G-tree by
+rebuilding the touched leaf).  Longer query groups hit more central edges,
+whose shortcuts reach more labels — the paper's rising curves.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra_path
+from repro.core.maintenance import apply_weight_update
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentTable,
+    build_method_suite,
+)
+from repro.workloads.datasets import load_dataset
+from repro.workloads.queries import generate_query_groups
+
+__all__ = ["run"]
+
+_METHODS = ("TD-G-tree", "H2H", "FAHL-W")
+
+
+def run(config: ExperimentConfig) -> ExperimentTable:
+    """Regenerate the Fig. 9 series (ms and affected labels/records)."""
+    table = ExperimentTable(
+        title="Fig. 9 — label update time (ms) and affected labels/records",
+        headers=["Dataset", "Group"]
+        + [f"{m} ms" for m in _METHODS]
+        + [f"{m} affected" for m in _METHODS],
+    )
+    rng = np.random.default_rng(config.seed)
+    for name in config.datasets:
+        dataset = load_dataset(
+            name,
+            scale=config.scale,
+            days=config.days,
+            interval_minutes=config.interval_minutes,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        suite = build_method_suite(dataset, config, methods=_METHODS)
+        groups = generate_query_groups(
+            dataset.frn,
+            num_groups=config.num_groups,
+            queries_per_group=config.queries_per_group,
+            seed=config.seed,
+        )
+        for group_id, queries in enumerate(groups, start=1):
+            if not queries:
+                continue
+            # pick edges on the shortest paths of this group's queries
+            edges: list[tuple[int, int]] = []
+            for query in queries:
+                path = dijkstra_path(dataset.frn.graph, query.source, query.target)
+                if len(path) >= 2:
+                    pick = int(rng.integers(len(path) - 1))
+                    edges.append((path[pick], path[pick + 1]))
+            if not edges:
+                continue
+            times = {m: 0.0 for m in _METHODS}
+            affected = {m: 0 for m in _METHODS}
+            for u, v in edges:
+                factor = rng.uniform(0.5, 2.0)  # same change for every method
+                for method in _METHODS:
+                    built = suite[method]
+                    old = built.frn.graph.weight(u, v)
+                    new = float(max(1.0, round(old * factor)))
+                    start = time.perf_counter()
+                    if method == "TD-G-tree":
+                        records = built.index.update_edge_weight(u, v, new)
+                        affected[method] += records
+                    else:
+                        stats = apply_weight_update(built.index, u, v, new)
+                        affected[method] += stats.labels_affected
+                    times[method] += time.perf_counter() - start
+            scale = 1000.0 / len(edges)
+            table.add_row(
+                name,
+                f"FQ{group_id}",
+                *(times[m] * scale for m in _METHODS),
+                *(affected[m] / len(edges) for m in _METHODS),
+            )
+    return table

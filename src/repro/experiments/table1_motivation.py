@@ -1,0 +1,84 @@
+"""Table I / Fig. 1: the paper's motivating example, regenerated.
+
+Reconstructs the introduction's Beijing snippet — query location ``Q_u``,
+destination ``Q_d``, vertices ``v1..v8`` with the traffic flows of
+Table I — and shows the two stories the paper tells:
+
+* the distance-optimal route ``P1 = {Q_u, v4, v5, v6, v7, Q_d}`` has
+  distance 41 but path flow 87;
+* the flow-aware route ``P2 = {Q_u, v1, v2, v3, v8, Q_d}`` is longer but
+  carries flow 43 — and FSPQ (Eq. 1, α = 0.5) picks it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery
+from repro.experiments.runner import ExperimentConfig, ExperimentTable
+from repro.flow.series import FlowSeries
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["run", "build_motivation_frn"]
+
+#: Table I flows: Q_u, v1..v8, Q_d
+_FLOWS = [10.0, 5.0, 2.0, 4.0, 8.0, 15.0, 24.0, 20.0, 12.0, 10.0]
+Q_U, Q_D = 0, 9
+P1 = (Q_U, 4, 5, 6, 7, Q_D)
+P2 = (Q_U, 1, 2, 3, 8, Q_D)
+
+
+def build_motivation_frn() -> FlowAwareRoadNetwork:
+    """The Fig. 1 network: P1 sums to distance 41, P2 is a longer detour."""
+    graph = RoadNetwork(10, edges=[
+        # P1: the red (shortest) route, total 41
+        (Q_U, 4, 6.0), (4, 5, 8.0), (5, 6, 12.0), (6, 7, 8.0), (7, Q_D, 7.0),
+        # P2: the green (low-flow) route, total 49
+        (Q_U, 1, 9.0), (1, 2, 10.0), (2, 3, 10.0), (3, 8, 10.0), (8, Q_D, 10.0),
+        # a cross street so the network is not two disjoint chains
+        (3, 6, 15.0),
+    ])
+    flow = FlowSeries(np.array([_FLOWS]))
+    return FlowAwareRoadNetwork(graph, flow)
+
+
+def run(config: ExperimentConfig) -> ExperimentTable:
+    """Regenerate the Table I comparison (config sets only alpha/eta)."""
+    frn = build_motivation_frn()
+    index = FAHLIndex.from_frn(frn, beta=config.beta)
+    engine = FlowAwareEngine(
+        frn, oracle=index, alpha=config.alpha, eta_u=config.eta_u,
+        max_candidates=16,
+    )
+    flow_vector = frn.predicted_at(0)
+
+    def describe(path: tuple[int, ...]) -> tuple[float, float]:
+        distance = sum(
+            frn.graph.weight(a, b) for a, b in zip(path, path[1:])
+        )
+        flow = float(sum(flow_vector[v] for v in path))
+        return distance, flow
+
+    d1, f1 = describe(P1)
+    d2, f2 = describe(P2)
+    result = engine.query(FSPQuery(Q_U, Q_D, 0))
+    chosen = "P2" if result.path == P2 else (
+        "P1" if result.path == P1 else str(list(result.path))
+    )
+
+    table = ExperimentTable(
+        title="Table I / Fig. 1 — motivating example",
+        headers=["route", "distance", "path flow", "role"],
+        notes=[
+            f"FSPQ (alpha={config.alpha}, eta_u={config.eta_u}) returns "
+            f"{chosen} with FSD={result.score:.3f} — the paper's green "
+            "path wins once flow matters.",
+        ],
+    )
+    table.add_row("P1 = Qu,v4,v5,v6,v7,Qd", d1, f1, "shortest distance")
+    table.add_row("P2 = Qu,v1,v2,v3,v8,Qd", d2, f2, "flow-aware optimum")
+    table.add_row("FSPQ choice", result.distance, result.flow, chosen)
+    return table

@@ -1,0 +1,33 @@
+"""Traffic-flow substrate: series, synthetic process, predictors, capacity."""
+
+from repro.flow.arima import SeasonalARPredictor
+from repro.flow.capacity import capacity_based_flow, synthesize_lane_counts
+from repro.flow.events import (
+    TrafficIncident,
+    apply_incidents,
+    incident_update_stream,
+    random_incidents,
+)
+from repro.flow.predictor import (
+    FlowPredictor,
+    SeasonalNaivePredictor,
+    TrainablePredictor,
+)
+from repro.flow.series import FlowSeries
+from repro.flow.synthetic import diurnal_profile, generate_flow_series
+
+__all__ = [
+    "FlowPredictor",
+    "SeasonalARPredictor",
+    "FlowSeries",
+    "TrafficIncident",
+    "SeasonalNaivePredictor",
+    "TrainablePredictor",
+    "apply_incidents",
+    "capacity_based_flow",
+    "incident_update_stream",
+    "random_incidents",
+    "diurnal_profile",
+    "generate_flow_series",
+    "synthesize_lane_counts",
+]

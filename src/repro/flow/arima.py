@@ -1,0 +1,109 @@
+"""Seasonal autoregressive flow prediction (the paper's ARIMA reference).
+
+The related-work section positions ARIMA (Williams & Hoel) as the classic
+statistical traffic forecaster.  This module implements the practical core
+of that family for our per-vertex series: a seasonal AR model
+
+.. math::
+
+    \\hat f_t = c + \\sum_{i=1}^{p} a_i f_{t-i} + b \\cdot f_{t-s}
+
+with the seasonal lag ``s`` set to one day of slices.  Coefficients are
+shared across vertices (pooled least squares — traffic at every vertex
+follows the same diurnal dynamics up to scale) and fitted with
+:func:`numpy.linalg.lstsq`; predictions are one-step-ahead with observed
+history (the standard evaluation protocol).  The first ``s`` slices, which
+lack seasonal history, fall back to the observations themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FlowError
+from repro.flow.predictor import FlowPredictor
+from repro.flow.series import FlowSeries
+
+__all__ = ["SeasonalARPredictor"]
+
+
+class SeasonalARPredictor(FlowPredictor):
+    """Pooled seasonal-AR(p) one-step-ahead flow predictor.
+
+    Parameters
+    ----------
+    ar_order:
+        Number of immediate lags ``p`` (default 3).
+    seasonal:
+        Include the one-day seasonal lag term (default True).
+    ridge:
+        Small L2 regulariser on the coefficients for numerical stability.
+    """
+
+    def __init__(
+        self,
+        ar_order: int = 3,
+        seasonal: bool = True,
+        ridge: float = 1e-6,
+    ) -> None:
+        if ar_order < 1:
+            raise FlowError(f"ar_order must be >= 1, got {ar_order}")
+        if ridge < 0:
+            raise FlowError(f"ridge must be non-negative, got {ridge}")
+        self.ar_order = int(ar_order)
+        self.seasonal = bool(seasonal)
+        self.ridge = float(ridge)
+        self.coefficients: np.ndarray | None = None
+        self._series: FlowSeries | None = None
+
+    # ------------------------------------------------------------------
+    def _season_lag(self, series: FlowSeries) -> int:
+        return (24 * 60) // series.interval_minutes
+
+    def _design(self, series: FlowSeries) -> tuple[np.ndarray, np.ndarray]:
+        """Pooled (rows = slice x vertex) design matrix and targets."""
+        matrix = series.matrix
+        season = self._season_lag(series) if self.seasonal else 0
+        start = max(self.ar_order, season)
+        if matrix.shape[0] <= start:
+            raise FlowError(
+                f"series too short to fit: need more than {start} slices, "
+                f"got {matrix.shape[0]}"
+            )
+        columns = [np.ones_like(matrix[start:])]
+        for lag in range(1, self.ar_order + 1):
+            columns.append(matrix[start - lag: matrix.shape[0] - lag])
+        if self.seasonal:
+            columns.append(matrix[start - season: matrix.shape[0] - season])
+        design = np.stack(
+            [column.ravel() for column in columns], axis=1
+        )
+        target = matrix[start:].ravel()
+        return design, target
+
+    def fit(self, series: FlowSeries) -> "SeasonalARPredictor":
+        """Estimate the pooled coefficients by (ridge) least squares."""
+        design, target = self._design(series)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self.coefficients = np.linalg.solve(gram, design.T @ target)
+        self._series = series
+        return self
+
+    def predict(self) -> FlowSeries:
+        """One-step-ahead predictions over the fitted horizon."""
+        if self.coefficients is None or self._series is None:
+            raise FlowError("predictor must be fitted before predicting")
+        series = self._series
+        matrix = series.matrix
+        season = self._season_lag(series) if self.seasonal else 0
+        start = max(self.ar_order, season)
+        predicted = matrix.copy()
+        coef = self.coefficients
+        for t in range(start, matrix.shape[0]):
+            value = np.full(matrix.shape[1], coef[0])
+            for lag in range(1, self.ar_order + 1):
+                value += coef[lag] * matrix[t - lag]
+            if self.seasonal:
+                value += coef[-1] * matrix[t - season]
+            predicted[t] = np.clip(value, 0.0, None)
+        return FlowSeries(predicted, series.interval_minutes)

@@ -1,0 +1,120 @@
+"""Per-vertex traffic-flow time series (the ``F_v`` of Def. 1).
+
+A :class:`FlowSeries` stores a ``T x n`` matrix of non-negative flows: one row
+per time slice, one column per vertex.  The paper records 7 days at 60-minute
+intervals (168 slices); both dimensions are free here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FlowError
+
+__all__ = ["FlowSeries"]
+
+
+class FlowSeries:
+    """A ``T x n`` matrix of per-vertex traffic flows over time slices.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(num_timesteps, num_vertices)``; must be
+        non-negative and finite.
+    interval_minutes:
+        Wall-clock spacing between consecutive slices (paper default: 60).
+    """
+
+    def __init__(self, values: np.ndarray, interval_minutes: int = 60) -> None:
+        matrix = np.asarray(values, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise FlowError(f"flow matrix must be 2-D (T x n), got shape {matrix.shape}")
+        if not np.isfinite(matrix).all():
+            raise FlowError("flow matrix contains non-finite values")
+        if (matrix < 0).any():
+            raise FlowError("flow values must be non-negative")
+        if interval_minutes <= 0:
+            raise FlowError(f"interval_minutes must be positive, got {interval_minutes}")
+        self._matrix = matrix
+        self.interval_minutes = int(interval_minutes)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_timesteps(self) -> int:
+        """Number of recorded time slices ``T``."""
+        return self._matrix.shape[0]
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._matrix.shape[1]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying ``T x n`` array (treat as read-only)."""
+        return self._matrix
+
+    def _check_timestep(self, t: int) -> int:
+        if not -self.num_timesteps <= t < self.num_timesteps:
+            raise FlowError(
+                f"timestep {t} out of range [0, {self.num_timesteps})"
+            )
+        return t % self.num_timesteps
+
+    def at(self, t: int) -> np.ndarray:
+        """Flow vector ``fl^t`` over all vertices at slice ``t``."""
+        return self._matrix[self._check_timestep(t)]
+
+    def vertex_series(self, vertex: int) -> np.ndarray:
+        """The full time series of one vertex."""
+        if not 0 <= vertex < self.num_vertices:
+            raise FlowError(f"vertex {vertex} out of range [0, {self.num_vertices})")
+        return self._matrix[:, vertex]
+
+    def flow(self, vertex: int, t: int) -> float:
+        """Scalar flow ``fl^t_v``."""
+        return float(self._matrix[self._check_timestep(t), vertex])
+
+    def total_records(self) -> int:
+        """``T * n`` — the "records" column of the paper's Table III."""
+        return self.num_timesteps * self.num_vertices
+
+    # ------------------------------------------------------------------
+    def with_updates(self, t: int, updates: dict[int, float]) -> "FlowSeries":
+        """Copy with ``updates`` (vertex -> new flow) applied at slice ``t``."""
+        t = self._check_timestep(t)
+        matrix = self._matrix.copy()
+        for vertex, value in updates.items():
+            if value < 0:
+                raise FlowError(f"flow value must be non-negative, got {value}")
+            matrix[t, vertex] = value
+        return FlowSeries(matrix, self.interval_minutes)
+
+    def resampled(self, interval_minutes: int) -> "FlowSeries":
+        """Resample to a coarser/finer interval by slicing or repeating rows.
+
+        Used by the Fig. 12 experiment (time-interval sweep).  Coarsening by a
+        factor ``k`` keeps every ``k``-th slice; refining repeats slices.
+        """
+        if interval_minutes <= 0:
+            raise FlowError(f"interval_minutes must be positive, got {interval_minutes}")
+        if interval_minutes == self.interval_minutes:
+            return FlowSeries(self._matrix.copy(), interval_minutes)
+        if interval_minutes > self.interval_minutes:
+            if interval_minutes % self.interval_minutes:
+                raise FlowError(
+                    "coarser interval must be a multiple of the current one"
+                )
+            step = interval_minutes // self.interval_minutes
+            return FlowSeries(self._matrix[::step].copy(), interval_minutes)
+        if self.interval_minutes % interval_minutes:
+            raise FlowError("finer interval must divide the current one")
+        repeat = self.interval_minutes // interval_minutes
+        return FlowSeries(np.repeat(self._matrix, repeat, axis=0), interval_minutes)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowSeries(T={self.num_timesteps}, n={self.num_vertices}, "
+            f"interval={self.interval_minutes}min)"
+        )

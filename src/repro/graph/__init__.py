@@ -1,0 +1,46 @@
+"""Road-network substrate: graphs, FRN model, generators, DIMACS IO."""
+
+from repro.graph.csr import CSRGraph, to_csr
+from repro.graph.dimacs import load_dimacs, read_co, read_gr, write_gr
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.generators import (
+    grid_network,
+    random_road_network,
+    ring_radial_network,
+)
+from repro.graph.road_network import RoadNetwork
+from repro.graph.simplify import SimplifiedNetwork, contract_degree_two
+from repro.graph.time_weights import (
+    TravelTimeFunction,
+    td_dijkstra,
+    ttf_from_flow_profile,
+)
+from repro.graph.validation import (
+    connected_components,
+    is_connected,
+    largest_component,
+    require_connected,
+)
+
+__all__ = [
+    "CSRGraph",
+    "FlowAwareRoadNetwork",
+    "RoadNetwork",
+    "SimplifiedNetwork",
+    "TravelTimeFunction",
+    "connected_components",
+    "contract_degree_two",
+    "grid_network",
+    "is_connected",
+    "largest_component",
+    "load_dimacs",
+    "random_road_network",
+    "read_co",
+    "read_gr",
+    "require_connected",
+    "ring_radial_network",
+    "td_dijkstra",
+    "to_csr",
+    "ttf_from_flow_profile",
+    "write_gr",
+]

@@ -1,0 +1,137 @@
+"""DIMACS shortest-path challenge file IO.
+
+The paper's NYC/BAY/COL datasets come from the 9th DIMACS implementation
+challenge.  This module reads/writes the two relevant formats so real data
+can be dropped into the reproduction:
+
+* ``.gr`` — graph files: ``p sp <n> <m>`` header, ``a <u> <v> <w>`` arcs
+  (1-indexed, directed; road graphs list both directions — we fold them into
+  an undirected edge keeping the minimum weight).
+* ``.co`` — coordinate files: ``v <id> <x> <y>`` lines.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.errors import DatasetFormatError
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["read_gr", "write_gr", "read_co", "load_dimacs"]
+
+
+def _open_lines(source: str | Path | io.TextIOBase):
+    if isinstance(source, io.TextIOBase):
+        return source, False
+    return open(source, "r", encoding="ascii"), True
+
+
+def read_gr(source: str | Path | io.TextIOBase) -> RoadNetwork:
+    """Parse a DIMACS ``.gr`` file into a :class:`RoadNetwork`."""
+    handle, owned = _open_lines(source)
+    try:
+        graph: RoadNetwork | None = None
+        declared_arcs = 0
+        seen_arcs = 0
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise DatasetFormatError(
+                        f"line {line_no}: malformed problem line {line!r}"
+                    )
+                if graph is not None:
+                    raise DatasetFormatError(f"line {line_no}: duplicate problem line")
+                try:
+                    graph = RoadNetwork(int(parts[2]))
+                    declared_arcs = int(parts[3])
+                except ValueError as exc:
+                    raise DatasetFormatError(
+                        f"line {line_no}: non-numeric problem line {line!r}"
+                    ) from exc
+            elif parts[0] == "a":
+                if graph is None:
+                    raise DatasetFormatError(
+                        f"line {line_no}: arc before problem line"
+                    )
+                if len(parts) != 4:
+                    raise DatasetFormatError(f"line {line_no}: malformed arc {line!r}")
+                try:
+                    u, v, w = int(parts[1]) - 1, int(parts[2]) - 1, float(parts[3])
+                    graph.add_edge(u, v, w)
+                except DatasetFormatError:
+                    raise
+                except Exception as exc:  # re-raise with file position
+                    raise DatasetFormatError(f"line {line_no}: {exc}") from exc
+                seen_arcs += 1
+            else:
+                raise DatasetFormatError(
+                    f"line {line_no}: unknown record type {parts[0]!r}"
+                )
+        if graph is None:
+            raise DatasetFormatError("missing problem line ('p sp n m')")
+        if seen_arcs != declared_arcs:
+            raise DatasetFormatError(
+                f"problem line declared {declared_arcs} arcs, file has {seen_arcs}"
+            )
+        return graph
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_gr(graph: RoadNetwork, target: str | Path | io.TextIOBase,
+             comment: str = "written by repro.graph.dimacs") -> None:
+    """Write a :class:`RoadNetwork` as a DIMACS ``.gr`` file (both arc dirs)."""
+    if isinstance(target, io.TextIOBase):
+        handle, owned = target, False
+    else:
+        handle, owned = open(target, "w", encoding="ascii"), True
+    try:
+        handle.write(f"c {comment}\n")
+        handle.write(f"p sp {graph.num_vertices} {2 * graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            weight = int(w) if float(w).is_integer() else w
+            handle.write(f"a {u + 1} {v + 1} {weight}\n")
+            handle.write(f"a {v + 1} {u + 1} {weight}\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_co(source: str | Path | io.TextIOBase) -> dict[int, tuple[float, float]]:
+    """Parse a DIMACS ``.co`` coordinate file into ``{vertex: (x, y)}``."""
+    handle, owned = _open_lines(source)
+    try:
+        coords: dict[int, tuple[float, float]] = {}
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c") or line.startswith("p"):
+                continue
+            parts = line.split()
+            if parts[0] != "v" or len(parts) != 4:
+                raise DatasetFormatError(
+                    f"line {line_no}: malformed coordinate line {line!r}"
+                )
+            try:
+                coords[int(parts[1]) - 1] = (float(parts[2]), float(parts[3]))
+            except ValueError as exc:
+                raise DatasetFormatError(
+                    f"line {line_no}: non-numeric coordinate line {line!r}"
+                ) from exc
+        return coords
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_dimacs(gr_path: str | Path, co_path: str | Path | None = None) -> RoadNetwork:
+    """Load a graph and (optionally) its coordinates."""
+    graph = read_gr(gr_path)
+    if co_path is not None:
+        graph.coordinates.update(read_co(co_path))
+    return graph

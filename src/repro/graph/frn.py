@@ -1,0 +1,139 @@
+"""Flow-Aware Road Network (paper Def. 1).
+
+``G_f = (V, E, F_v, W_e)``: an undirected weighted road network plus a
+per-vertex traffic-flow time series.  The FRN also carries the *predicted*
+flow series (what FAHL is built on) and optional lane counts for the
+capacity-based flow of Def. 4.
+
+The distinction between ground-truth flow (``flow``) and predicted flow
+(``predicted_flow``) matters for the Fig. 10 experiment: FAHL's vertex
+ordering and pruning consume the prediction, while result-quality metrics can
+compare against the truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FlowError
+from repro.flow.capacity import capacity_based_flow
+from repro.flow.series import FlowSeries
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["FlowAwareRoadNetwork"]
+
+
+class FlowAwareRoadNetwork:
+    """A road network with traffic-flow series attached (Def. 1).
+
+    Parameters
+    ----------
+    graph:
+        The spatial graph; weights are spatial distances ``W_e``.
+    flow:
+        Ground-truth flow series ``F_v`` (``T x n``).
+    predicted_flow:
+        Predicted series used by flow-aware methods; defaults to ``flow``
+        (i.e. a perfect predictor).
+    lanes:
+        Optional per-vertex lane counts for Def. 4's capacity-based flow.
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        flow: FlowSeries,
+        predicted_flow: FlowSeries | None = None,
+        lanes: np.ndarray | None = None,
+    ) -> None:
+        if flow.num_vertices != graph.num_vertices:
+            raise FlowError(
+                f"flow series covers {flow.num_vertices} vertices but the "
+                f"graph has {graph.num_vertices}"
+            )
+        if predicted_flow is not None:
+            if predicted_flow.num_vertices != graph.num_vertices:
+                raise FlowError("predicted flow series does not match the graph")
+            if predicted_flow.num_timesteps != flow.num_timesteps:
+                raise FlowError(
+                    "predicted flow series must cover the same horizon as the truth"
+                )
+        if lanes is not None:
+            lanes = np.asarray(lanes, dtype=np.int64)
+            if lanes.shape != (graph.num_vertices,):
+                raise FlowError("lane vector must have one entry per vertex")
+            if (lanes < 1).any():
+                raise FlowError("lane counts must be >= 1")
+        self.graph = graph
+        self.flow = flow
+        self.predicted_flow = predicted_flow if predicted_flow is not None else flow
+        self.lanes = lanes
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def num_timesteps(self) -> int:
+        return self.flow.num_timesteps
+
+    def predicted_at(self, t: int) -> np.ndarray:
+        """Predicted per-vertex flow vector at slice ``t``."""
+        return self.predicted_flow.at(t)
+
+    def flow_at(self, t: int) -> np.ndarray:
+        """Ground-truth per-vertex flow vector at slice ``t``."""
+        return self.flow.at(t)
+
+    def total_predicted_flow(self) -> np.ndarray:
+        """Per-vertex flow summed over the horizon (the ``P_total`` of Alg. 1).
+
+        FAHL's construction uses a single importance score per vertex; the
+        paper aggregates the predicted series at build time (``t_start``).
+        Summing the horizon makes the ordering robust to single-slice noise
+        while remaining a pure function of the prediction.
+        """
+        return self.predicted_flow.matrix.sum(axis=0)
+
+    def capacity_flow_at(self, t: int, w_c: float = 0.5) -> np.ndarray:
+        """Capacity-based flow vector Ĉ_f at slice ``t`` (Def. 4)."""
+        if self.lanes is None:
+            raise FlowError("capacity-based flow requires lane counts")
+        return capacity_based_flow(self.predicted_at(t), self.lanes, w_c)
+
+    def total_capacity_flow(self, w_c: float = 0.5) -> np.ndarray:
+        """Capacity-based flow aggregated over the horizon."""
+        if self.lanes is None:
+            raise FlowError("capacity-based flow requires lane counts")
+        return capacity_based_flow(self.total_predicted_flow(), self.lanes, w_c)
+
+    def path_flow(self, path: list[int], t: int, predicted: bool = True) -> float:
+        """Path traffic-flow ``TF^t(path)`` — sum of vertex flows (Def. 3)."""
+        vector = self.predicted_at(t) if predicted else self.flow_at(t)
+        return float(sum(vector[v] for v in path))
+
+    def path_distance(self, path: list[int]) -> float:
+        """Path spatial distance — sum of edge weights (Def. 3)."""
+        return sum(
+            self.graph.weight(u, v) for u, v in zip(path, path[1:])
+        )
+
+    def with_flow_updates(self, t: int, updates: dict[int, float]) -> "FlowAwareRoadNetwork":
+        """Copy of the FRN with predicted-flow updates applied at slice ``t``."""
+        return FlowAwareRoadNetwork(
+            self.graph,
+            self.flow,
+            self.predicted_flow.with_updates(t, updates),
+            self.lanes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowAwareRoadNetwork(n={self.num_vertices}, m={self.num_edges}, "
+            f"T={self.num_timesteps})"
+        )

@@ -1,0 +1,203 @@
+"""Weighted undirected road-network graph.
+
+This is the spatial substrate every index in the library is built on.  The
+paper (Def. 1) models a road network as an undirected graph whose vertices are
+road segments and whose edge weights are spatial distances.  The class keeps
+an adjacency-dict representation for O(1) neighbour/weight access during index
+construction, and can export CSR arrays (:mod:`repro.graph.csr`) for
+vectorised bulk algorithms.
+
+Vertices are dense integer ids ``0..n-1``.  Edge weights are positive numbers
+(the paper uses positive integers; we accept any positive float).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    VertexNotFoundError,
+)
+
+__all__ = ["RoadNetwork"]
+
+
+class RoadNetwork:
+    """An undirected, positively weighted graph with dense integer vertices.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; ids are ``0..num_vertices-1``.
+    edges:
+        Optional iterable of ``(u, v, weight)`` triples.  Parallel edges are
+        collapsed to the minimum weight; self loops are rejected.
+    coordinates:
+        Optional mapping ``vertex -> (x, y)`` used by A*'s euclidean
+        heuristic and by visual examples.  Missing coordinates are allowed.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int, float]] = (),
+        coordinates: Mapping[int, tuple[float, float]] | None = None,
+    ) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = int(num_vertices)
+        self._adj: list[dict[int, float]] = [{} for _ in range(self._n)]
+        self._m = 0
+        self.coordinates: dict[int, tuple[float, float]] = (
+            dict(coordinates) if coordinates else {}
+        )
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._m
+
+    def vertices(self) -> range:
+        """All vertex ids, as a range."""
+        return range(self._n)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, vertex: int) -> bool:
+        return 0 <= vertex < self._n
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self._n:
+            raise VertexNotFoundError(vertex)
+
+    def degree(self, vertex: int) -> int:
+        """Vertex degree ``D(v)`` (Def. 2)."""
+        self._check_vertex(vertex)
+        return len(self._adj[vertex])
+
+    def neighbors(self, vertex: int) -> Iterator[int]:
+        """Iterate over the neighbours of ``vertex``."""
+        self._check_vertex(vertex)
+        return iter(self._adj[vertex])
+
+    def neighbor_items(self, vertex: int) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(neighbor, weight)`` pairs of ``vertex``."""
+        self._check_vertex(vertex)
+        return iter(self._adj[vertex].items())
+
+    def adjacency(self, vertex: int) -> Mapping[int, float]:
+        """Read-only view of the adjacency dict of ``vertex``."""
+        self._check_vertex(vertex)
+        return self._adj[vertex]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; raises :class:`EdgeNotFoundError`."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over undirected edges once each, as ``(u, v, w)``, u < v."""
+        for u in range(self._n):
+            for v, w in self._adj[u].items():
+                if u < v:
+                    yield u, v, w
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add an undirected edge (or lower an existing one to ``weight``).
+
+        Parallel edges collapse to the minimum weight, matching how road
+        datasets treat duplicate segments.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self loop on vertex {u} is not allowed")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        existing = self._adj[u].get(v)
+        if existing is None:
+            self._m += 1
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+        elif weight < existing:
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+
+    def set_weight(self, u: int, v: int, weight: float) -> None:
+        """Overwrite the weight of an *existing* edge (used by updates)."""
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove an existing undirected edge."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._m -= 1
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def copy(self) -> "RoadNetwork":
+        """Deep copy of the graph (adjacency and coordinates)."""
+        clone = RoadNetwork(self._n, coordinates=self.coordinates)
+        clone._adj = [dict(nbrs) for nbrs in self._adj]
+        clone._m = self._m
+        return clone
+
+    def subgraph(self, vertices: Iterable[int]) -> tuple["RoadNetwork", dict[int, int]]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph (with vertices relabelled ``0..k-1``) and the
+        mapping from original id to new id.
+        """
+        keep = sorted(set(vertices))
+        for v in keep:
+            self._check_vertex(v)
+        relabel = {old: new for new, old in enumerate(keep)}
+        sub = RoadNetwork(len(keep))
+        for old in keep:
+            if old in self.coordinates:
+                sub.coordinates[relabel[old]] = self.coordinates[old]
+            for nbr, w in self._adj[old].items():
+                if nbr in relabel and old < nbr:
+                    sub.add_edge(relabel[old], relabel[nbr], w)
+        return sub, relabel
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def __repr__(self) -> str:
+        return f"RoadNetwork(n={self._n}, m={self._m})"

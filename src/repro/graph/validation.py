@@ -1,0 +1,70 @@
+"""Structural checks over road networks.
+
+Index construction assumes a connected graph (the paper's datasets are the
+largest connected component of each network).  These helpers verify the
+assumption and extract the component when it fails.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.road_network import RoadNetwork
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "require_connected",
+]
+
+
+def connected_components(graph: RoadNetwork) -> list[list[int]]:
+    """All connected components as vertex lists (BFS, largest first)."""
+    n = graph.num_vertices
+    seen = bytearray(n)
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = 1
+        queue = deque([start])
+        members = [start]
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = 1
+                    members.append(v)
+                    queue.append(v)
+        components.append(members)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: RoadNetwork) -> bool:
+    """Whether the graph is connected (empty and 1-vertex graphs count)."""
+    if graph.num_vertices <= 1:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def require_connected(graph: RoadNetwork, context: str = "operation") -> None:
+    """Raise :class:`DisconnectedGraphError` unless ``graph`` is connected."""
+    if not is_connected(graph):
+        count = len(connected_components(graph))
+        raise DisconnectedGraphError(
+            f"{context} requires a connected graph; found {count} components"
+        )
+
+
+def largest_component(graph: RoadNetwork) -> tuple[RoadNetwork, dict[int, int]]:
+    """Induced subgraph on the largest connected component.
+
+    Returns the subgraph and the old-id -> new-id mapping.
+    """
+    components = connected_components(graph)
+    if not components:
+        return RoadNetwork(0), {}
+    return graph.subgraph(components[0])

@@ -1,0 +1,34 @@
+"""H2H: hierarchical 2-hop labeling with degree ordering (Ouyang et al.).
+
+The paper's strongest baseline.  Structurally identical to FAHL except that
+the elimination ordering is the classic min-degree heuristic — i.e. it is
+blind to traffic flow.  Weight maintenance (used in Fig. 9's comparison) is
+provided by :func:`repro.core.maintenance.apply_weight_update`, which works
+on any :class:`~repro.labeling.hierarchy.HierarchyIndex`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexStateError
+from repro.graph.road_network import RoadNetwork
+from repro.graph.validation import require_connected
+from repro.labeling.hierarchy import HierarchyIndex
+from repro.treedec.elimination import eliminate
+from repro.treedec.ordering import degree_importance
+
+__all__ = ["H2HIndex", "build_h2h"]
+
+
+class H2HIndex(HierarchyIndex):
+    """Degree-ordered hierarchical 2-hop labeling index."""
+
+    def __init__(self, graph: RoadNetwork) -> None:
+        if graph.num_vertices == 0:
+            raise IndexStateError("cannot index an empty graph")
+        require_connected(graph, context="H2H construction")
+        super().__init__(graph, eliminate(graph, degree_importance()))
+
+
+def build_h2h(graph: RoadNetwork) -> H2HIndex:
+    """Build an H2H index over ``graph`` (min-degree elimination)."""
+    return H2HIndex(graph)

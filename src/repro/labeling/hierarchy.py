@@ -1,0 +1,307 @@
+"""Hierarchical 2-hop labeling over a tree decomposition.
+
+This is the machinery shared by H2H (degree ordering) and FAHL (degree-flow
+joint ordering): only the elimination ordering differs; the label structure
+(Def. 8), the LCA-based distance query (Alg. 2 / Eq. 5), path unpacking and
+the partial label-refresh used by the maintenance algorithms are identical.
+
+Labels are computed by a root-to-leaf DFS that maintains ``M``, the pairwise
+shortest-distance matrix of the current root path: the distance array of
+``v`` at depth ``d`` is
+
+.. math::
+
+    dis(v, m_j) = \\min_{x \\in bag(v)} \\big( w_H(v, x) + M[pos(x), j] \\big)
+    \\qquad j < d
+
+— one vectorised numpy reduction per vertex, which is what makes pure-Python
+labeling viable at reproduction scale.  The same DFS, restricted to dirty
+subtrees with change-propagation pruning, implements the label refresh that
+ILU/ISU need; its return value (number of labels actually rewritten) is the
+"affected labels" metric of the paper's Fig. 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexStateError, QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.graph.validation import require_connected
+from repro.treedec.elimination import EliminationResult, eliminate
+from repro.treedec.lca import EulerTourLCA
+from repro.treedec.ordering import ImportanceFunction
+from repro.treedec.tree import TreeDecomposition
+
+__all__ = ["HierarchyIndex", "build_hierarchy_index"]
+
+
+class HierarchyIndex:
+    """Tree-decomposition 2-hop labeling with exact distance/path queries.
+
+    Not built directly in user code — use :func:`build_hierarchy_index`, or
+    the :class:`~repro.labeling.h2h.H2HIndex` / ``FAHLIndex`` wrappers.
+    """
+
+    def __init__(self, graph: RoadNetwork, elimination: EliminationResult) -> None:
+        self.graph = graph
+        self.elim = elimination
+        n = graph.num_vertices
+        self.labels: list[np.ndarray] = [np.empty(0)] * n
+        self.vias: list[np.ndarray] = [np.empty(0, dtype=np.int32)] * n
+        self.rebuild_structure()
+        self.refresh_labels()
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def rebuild_structure(self) -> None:
+        """(Re)derive tree, LCA, ancestor/position arrays from ``self.elim``.
+
+        Called at construction and after ISU/GSU change the elimination.
+        """
+        self.tree = TreeDecomposition(self.elim)
+        self.lca = EulerTourLCA(self.tree)
+        n = self.graph.num_vertices
+        depth = self.tree.depth
+        parent = self.tree.parent
+
+        # ancestor arrays (root-to-v paths), children-first so parents exist
+        anc: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+        root = self.tree.root
+        anc[root] = np.asarray([root], dtype=np.int64)
+        stack = list(self.tree.children[root])
+        while stack:
+            v = stack.pop()
+            anc[v] = np.append(anc[parent[v]], v)
+            stack.extend(self.tree.children[v])
+        self.anc = anc
+
+        self.bag_keys: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+        self.bag_weights: list[np.ndarray] = [np.empty(0)] * n
+        self.bag_pos: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+        self.positions: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+        for v in range(n):
+            self.sync_bag(v)
+        self._depth = depth
+        self._inv_bags: list[set[int]] | None = None
+
+    def inverse_bags(self) -> list[set[int]]:
+        """``inv[x]`` = vertices whose bag contains ``x`` (cached).
+
+        The ILU shortcut-repair pass intersects these sets to find the
+        "contributors" of a bag edge.  The cache is invalidated whenever the
+        elimination structure is rebuilt.
+        """
+        if self._inv_bags is None:
+            n = self.graph.num_vertices
+            inv: list[set[int]] = [set() for _ in range(n)]
+            for c in range(n):
+                for x in self.elim.bags[c]:
+                    inv[x].add(c)
+            self._inv_bags = inv
+        return self._inv_bags
+
+    def sync_bag(self, v: int) -> None:
+        """Refresh the vectorised views of ``v``'s bag after a mutation."""
+        bag = self.elim.bags[v]
+        keys = np.fromiter(bag.keys(), dtype=np.int64, count=len(bag))
+        self.bag_keys[v] = keys
+        self.bag_weights[v] = np.fromiter(bag.values(), dtype=np.float64, count=len(bag))
+        depth = self.tree.depth
+        self.bag_pos[v] = depth[keys] if len(keys) else np.empty(0, dtype=np.int64)
+        positions = np.append(self.bag_pos[v], depth[v])
+        positions.sort()
+        self.positions[v] = positions
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+    def refresh_labels(
+        self,
+        seeds: set[int] | None = None,
+        force_subtree_roots: set[int] | None = None,
+    ) -> int:
+        """(Re)compute distance labels top-down.
+
+        Parameters
+        ----------
+        seeds:
+            ``None`` recomputes everything.  Otherwise only vertices in
+            ``seeds`` (bag weights changed) and descendants of vertices
+            whose label actually changed are recomputed; subtrees that
+            contain no seed and whose ancestors' labels are unchanged are
+            skipped entirely.
+        force_subtree_roots:
+            Vertices whose *entire subtree* must be recomputed regardless of
+            value comparison — used after structure updates, where ancestor
+            arrays changed and old label values are meaningless even when
+            numerically equal.
+
+        Returns
+        -------
+        int
+            Number of labels rewritten (the paper's "affected labels").
+        """
+        tree = self.tree
+        depth = tree.depth
+        n = tree.num_vertices
+        full = seeds is None and force_subtree_roots is None
+        seeds = seeds or set()
+        force_subtree_roots = force_subtree_roots or set()
+
+        need_below = None
+        if not full:
+            # mark every vertex having a seed in its subtree (walk ancestors)
+            need_below = bytearray(n)
+            parent = tree.parent
+            for s in set(seeds) | force_subtree_roots:
+                v = s
+                while v >= 0 and not need_below[v]:
+                    need_below[v] = 1
+                    v = int(parent[v])
+
+        h = tree.treeheight
+        matrix = np.empty((h + 1, h + 1), dtype=np.float64)
+        changed_count = 0
+
+        # preorder DFS; each entry carries "an ancestor's label changed or
+        # the subtree was force-marked" (both mean: recompute unconditionally
+        # and propagate downward).
+        stack: list[tuple[int, bool]] = [
+            (tree.root, full or tree.root in force_subtree_roots)
+        ]
+        while stack:
+            v, anc_changed = stack.pop()
+            d = int(depth[v])
+            recompute = anc_changed or v in seeds
+            changed = False
+            if recompute:
+                if d == 0:
+                    label = np.zeros(1)
+                    via = np.empty(0, dtype=np.int32)
+                else:
+                    rows = matrix[self.bag_pos[v], :d] + self.bag_weights[v][:, None]
+                    head = rows.min(axis=0)
+                    via = rows.argmin(axis=0).astype(np.int32)
+                    label = np.append(head, 0.0)
+                if anc_changed or len(self.labels[v]) != len(label) or not (
+                    np.array_equal(self.labels[v], label)
+                ):
+                    changed = True
+                    changed_count += 1
+                self.labels[v] = label
+                self.vias[v] = via
+            row = self.labels[v][:d]
+            matrix[d, :d] = row
+            matrix[:d, d] = row
+            matrix[d, d] = 0.0
+            propagate = anc_changed or changed
+            for child in tree.children[v]:
+                child_flag = propagate or child in force_subtree_roots
+                if full or child_flag or need_below[child]:
+                    stack.append((child, child_flag))
+        return changed_count
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> float:
+        """Exact shortest spatial distance ``SPDis(u, v)`` (Alg. 2)."""
+        n = self.graph.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise QueryError(f"distance query on unknown vertices ({u}, {v})")
+        if u == v:
+            return 0.0
+        hub_node = self.lca.query(u, v)
+        pos = self.positions[hub_node]
+        return float((self.labels[u][pos] + self.labels[v][pos]).min())
+
+    def path(self, u: int, v: int) -> list[int]:
+        """A concrete shortest path ``u .. v`` (unpacking label shortcuts)."""
+        n = self.graph.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise QueryError(f"path query on unknown vertices ({u}, {v})")
+        if u == v:
+            return [u]
+        hub_node = self.lca.query(u, v)
+        pos = self.positions[hub_node]
+        sums = self.labels[u][pos] + self.labels[v][pos]
+        k = int(pos[int(np.argmin(sums))])
+        hub = int(self.anc[hub_node][k])
+        up = self._path_up(u, k)
+        down = self._path_up(v, k)
+        return up + down[-2::-1]
+
+    def _path_up(self, v: int, j: int) -> list[int]:
+        """Concrete shortest path from ``v`` up to its ancestor at depth ``j``."""
+        depth = self.tree.depth
+        path = [v]
+        while depth[v] > j:
+            idx = int(self.vias[v][j])
+            x = int(self.bag_keys[v][idx])
+            segment = self._expand_shortcut(v, x)
+            path.extend(segment[1:])
+            if j <= depth[x]:
+                v = x
+            else:
+                target = int(self.anc[v][j])
+                tail = self._path_up(target, int(depth[x]))  # target .. x
+                path.extend(reversed(tail[:-1]))
+                return path
+        return path
+
+    def _expand_shortcut(self, a: int, b: int) -> list[int]:
+        """Expand a bag (shortcut) edge into original graph edges, a .. b."""
+        rank = self.elim.rank
+        lo, hi = (a, b) if rank[a] < rank[b] else (b, a)
+        middle = self.elim.middles[lo].get(hi)
+        if middle is None:
+            return [a, b]
+        left = self._expand_shortcut(a, middle)
+        right = self._expand_shortcut(middle, b)
+        return left + right[1:]
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def treewidth(self) -> int:
+        return self.tree.treewidth
+
+    @property
+    def treeheight(self) -> int:
+        return self.tree.treeheight
+
+    def index_size_entries(self) -> int:
+        """Total label + position entries (the paper's index-size metric)."""
+        return sum(len(lbl) for lbl in self.labels) + sum(
+            len(p) for p in self.positions
+        )
+
+    def index_size_bytes(self) -> int:
+        """Approximate in-memory footprint of the label arrays."""
+        return sum(lbl.nbytes for lbl in self.labels) + sum(
+            p.nbytes for p in self.positions
+        ) + sum(v.nbytes for v in self.vias)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.graph.num_vertices}, "
+            f"treewidth={self.treewidth}, treeheight={self.treeheight}, "
+            f"entries={self.index_size_entries()})"
+        )
+
+
+def build_hierarchy_index(
+    graph: RoadNetwork,
+    importance: ImportanceFunction,
+) -> HierarchyIndex:
+    """Eliminate ``graph`` under ``importance`` and build labels.
+
+    Requires a connected graph (like the paper's datasets).
+    """
+    if graph.num_vertices == 0:
+        raise IndexStateError("cannot index an empty graph")
+    require_connected(graph, context="hierarchical labeling")
+    return HierarchyIndex(graph, eliminate(graph, importance))

@@ -1,0 +1,197 @@
+"""Persist hierarchical labeling indexes to disk (single ``.npz`` file).
+
+A production deployment builds the index offline and ships it to query
+servers; this module packs a :class:`HierarchyIndex` (H2H or FAHL) into one
+compressed numpy archive and restores it without re-running elimination or
+the label DP.  The graph itself is stored alongside (edges + weights +
+coordinates) so a loaded index is self-contained and immediately queryable.
+
+Format (npz keys)
+-----------------
+``meta``              [version, kind, n, beta*]            (kind: 0=H2H, 1=FAHL)
+``edges``             int64[m, 2], ``weights`` float64[m]
+``coords_ids/xy``     optional vertex coordinates
+``order``             int64[n] elimination order
+``phi``               float64[n]
+``bag_offsets/keys/weights/middles``  flattened bags (-1 middle = original)
+``label_offsets/values``              flattened distance labels
+``via_values``                         flattened via indices
+``flows`` / ``anchors``                FAHL only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetFormatError
+from repro.graph.road_network import RoadNetwork
+from repro.labeling.h2h import H2HIndex
+from repro.labeling.hierarchy import HierarchyIndex
+from repro.treedec.elimination import EliminationResult
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+_KIND_H2H = 0
+_KIND_FAHL = 1
+
+
+def save_index(index: HierarchyIndex, path: str | Path) -> None:
+    """Write ``index`` (H2H or FAHL) to ``path`` as a compressed ``.npz``."""
+    # imported here to avoid a package-level cycle (core.fahl subclasses
+    # labeling.hierarchy, whose package re-exports this module)
+    from repro.core.fahl import FAHLIndex
+
+    graph = index.graph
+    n = graph.num_vertices
+    edges = np.asarray(
+        [(u, v) for u, v, _ in graph.edges()], dtype=np.int64
+    ).reshape(-1, 2)
+    weights = np.asarray([w for _, _, w in graph.edges()], dtype=np.float64)
+
+    bag_offsets = np.zeros(n + 1, dtype=np.int64)
+    bag_keys: list[int] = []
+    bag_weights: list[float] = []
+    bag_middles: list[int] = []
+    for v in range(n):
+        bag = index.elim.bags[v]
+        mid = index.elim.middles[v]
+        bag_offsets[v + 1] = bag_offsets[v] + len(bag)
+        for x, w in bag.items():
+            bag_keys.append(x)
+            bag_weights.append(w)
+            middle = mid.get(x)
+            bag_middles.append(-1 if middle is None else middle)
+
+    label_offsets = np.zeros(n + 1, dtype=np.int64)
+    for v in range(n):
+        label_offsets[v + 1] = label_offsets[v] + len(index.labels[v])
+    label_values = np.concatenate(
+        [index.labels[v] for v in range(n)]
+    ) if n else np.empty(0)
+    via_values = np.concatenate(
+        [index.vias[v].astype(np.int32) for v in range(n)]
+    ) if n else np.empty(0, dtype=np.int32)
+
+    kind = _KIND_FAHL if isinstance(index, FAHLIndex) else _KIND_H2H
+    beta = index.beta if isinstance(index, FAHLIndex) else 0.0
+    payload: dict[str, np.ndarray] = {
+        "meta": np.asarray([_FORMAT_VERSION, kind, n, beta], dtype=np.float64),
+        "edges": edges,
+        "weights": weights,
+        "order": np.asarray(index.elim.order, dtype=np.int64),
+        "phi": np.asarray(index.elim.phi_at_elim, dtype=np.float64),
+        "bag_offsets": bag_offsets,
+        "bag_keys": np.asarray(bag_keys, dtype=np.int64),
+        "bag_weights": np.asarray(bag_weights, dtype=np.float64),
+        "bag_middles": np.asarray(bag_middles, dtype=np.int64),
+        "label_offsets": label_offsets,
+        "label_values": label_values,
+        "via_values": via_values,
+    }
+    if graph.coordinates:
+        ids = sorted(graph.coordinates)
+        payload["coords_ids"] = np.asarray(ids, dtype=np.int64)
+        payload["coords_xy"] = np.asarray(
+            [graph.coordinates[i] for i in ids], dtype=np.float64
+        )
+    if isinstance(index, FAHLIndex):
+        payload["flows"] = index.flows
+        payload["anchors"] = np.asarray(index.flow_anchors, dtype=np.float64)
+    np.savez_compressed(path, **payload)
+
+
+def _restore_graph(data) -> RoadNetwork:
+    n = int(data["meta"][2])
+    graph = RoadNetwork(n)
+    for (u, v), w in zip(data["edges"], data["weights"]):
+        graph.add_edge(int(u), int(v), float(w))
+    if "coords_ids" in data:
+        for vid, (x, y) in zip(data["coords_ids"], data["coords_xy"]):
+            graph.coordinates[int(vid)] = (float(x), float(y))
+    return graph
+
+
+def _restore_elimination(data, n: int) -> EliminationResult:
+    order = [int(v) for v in data["order"]]
+    rank = np.full(n, -1, dtype=np.int64)
+    for r, v in enumerate(order):
+        rank[v] = r
+    offsets = data["bag_offsets"]
+    keys = data["bag_keys"]
+    weights = data["bag_weights"]
+    middles_flat = data["bag_middles"]
+    bags: list[dict[int, float]] = [{} for _ in range(n)]
+    middles: list[dict[int, int | None]] = [{} for _ in range(n)]
+    for v in range(n):
+        lo, hi = int(offsets[v]), int(offsets[v + 1])
+        for i in range(lo, hi):
+            x = int(keys[i])
+            bags[v][x] = float(weights[i])
+            middle = int(middles_flat[i])
+            middles[v][x] = None if middle < 0 else middle
+    return EliminationResult(
+        order=order,
+        rank=rank,
+        bags=bags,
+        middles=middles,
+        phi_at_elim=np.asarray(data["phi"], dtype=np.float64),
+    )
+
+
+def load_index(path: str | Path) -> HierarchyIndex:
+    """Load an index saved by :func:`save_index`.
+
+    Rebuilds the derived structures (tree, LCA, position arrays) from the
+    stored elimination and restores the label arrays verbatim — no label DP
+    is re-run.  Returns an :class:`H2HIndex` or :class:`FAHLIndex` matching
+    what was saved.
+    """
+    from repro.core.fahl import FAHLIndex
+
+    with np.load(path) as data:
+        meta = data["meta"]
+        version, kind, n = int(meta[0]), int(meta[1]), int(meta[2])
+        if version != _FORMAT_VERSION:
+            raise DatasetFormatError(
+                f"unsupported index format version {version}"
+            )
+        graph = _restore_graph(data)
+        elimination = _restore_elimination(data, n)
+
+        if kind == _KIND_FAHL:
+            index = FAHLIndex.__new__(FAHLIndex)
+            index.beta = float(meta[3])
+            index.flows = np.asarray(data["flows"], dtype=np.float64)
+            index.flow_anchors = (
+                float(data["anchors"][0]),
+                float(data["anchors"][1]),
+            )
+        elif kind == _KIND_H2H:
+            index = H2HIndex.__new__(H2HIndex)
+        else:
+            raise DatasetFormatError(f"unknown index kind {kind}")
+
+        # bypass __init__ (which would rebuild): restore state directly
+        index.graph = graph
+        index.elim = elimination
+        index.labels = [np.empty(0)] * n
+        index.vias = [np.empty(0, dtype=np.int32)] * n
+        index.rebuild_structure()
+
+        label_offsets = data["label_offsets"]
+        label_values = data["label_values"]
+        via_values = data["via_values"]
+        via_offset = 0
+        for v in range(n):
+            lo, hi = int(label_offsets[v]), int(label_offsets[v + 1])
+            index.labels[v] = np.asarray(label_values[lo:hi], dtype=np.float64)
+            # the via array is one shorter than the label (no self entry)
+            length = hi - lo - 1
+            index.vias[v] = np.asarray(
+                via_values[via_offset: via_offset + length], dtype=np.int32
+            )
+            via_offset += length
+    return index

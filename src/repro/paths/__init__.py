@@ -1,0 +1,40 @@
+"""Candidate path enumeration and flow-aware scoring."""
+
+from repro.paths.astar_search import (
+    AdmissibleHeuristic,
+    EuclideanHeuristic,
+    OracleHeuristic,
+    ZeroHeuristic,
+    astar_path,
+)
+from repro.paths.candidates import (
+    enumerate_all_paths_within,
+    generate_candidates,
+    heuristic_for,
+    path_distance,
+)
+from repro.paths.scoring import (
+    NormalizationContext,
+    ScoredPath,
+    path_flow,
+    score_candidates,
+)
+from repro.paths.yen import CandidateSet, k_shortest_paths
+
+__all__ = [
+    "AdmissibleHeuristic",
+    "CandidateSet",
+    "EuclideanHeuristic",
+    "NormalizationContext",
+    "OracleHeuristic",
+    "ScoredPath",
+    "ZeroHeuristic",
+    "astar_path",
+    "enumerate_all_paths_within",
+    "generate_candidates",
+    "heuristic_for",
+    "k_shortest_paths",
+    "path_distance",
+    "path_flow",
+    "score_candidates",
+]

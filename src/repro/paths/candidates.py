@@ -1,0 +1,123 @@
+"""Candidate path generation for FSPQ (the ``Path_c`` of Alg. 5).
+
+The paper generates candidates "by the LCA node and Eq. 5"; concretely, a
+candidate set must hold every simple path whose spatial distance does not
+exceed ``MCPDis = η_u · SPDis`` (longer paths can never be the flow-aware
+optimum — Def. 5).  We enumerate them with bounded Yen deviations
+(:mod:`repro.paths.yen`) guided by the querying method's own distance
+oracle, so a faster oracle yields faster candidate generation — the same
+lever the paper's indexes pull.
+
+:func:`enumerate_all_paths_within` is an exponential exhaustive reference
+for property tests on small graphs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.road_network import RoadNetwork
+from repro.paths.astar_search import (
+    AdmissibleHeuristic,
+    EuclideanHeuristic,
+    OracleHeuristic,
+    ZeroHeuristic,
+)
+from repro.paths.yen import CandidateSet, k_shortest_paths
+
+__all__ = [
+    "generate_candidates",
+    "heuristic_for",
+    "enumerate_all_paths_within",
+]
+
+
+def heuristic_for(graph: RoadNetwork, oracle, target: int) -> AdmissibleHeuristic:
+    """Pick the best admissible heuristic available for ``oracle``.
+
+    Oracles exposing their own ``heuristic(target)`` factory (e.g. the ALT
+    landmark oracle, whose per-vertex bound is a table lookup rather than a
+    search) provide it directly; other index-backed oracles wrap their
+    exact ``distance``; the index-free baselines fall back to euclidean
+    coordinates or to Dijkstra (zero heuristic).
+    """
+    if oracle is not None:
+        factory = getattr(oracle, "heuristic", None)
+        if callable(factory):
+            return factory(target)
+        return OracleHeuristic(oracle, target)
+    if target in graph.coordinates:
+        return EuclideanHeuristic(graph, target)
+    return ZeroHeuristic()
+
+
+def generate_candidates(
+    graph: RoadNetwork,
+    source: int,
+    target: int,
+    max_distance: float,
+    oracle=None,
+    max_candidates: int = 64,
+) -> CandidateSet:
+    """All simple paths with distance <= ``max_distance`` (capped).
+
+    ``oracle`` is any object with ``distance(u, v)``; ``None`` selects the
+    index-free heuristics (the A*/Dijkstra baselines).
+    """
+    heuristic = heuristic_for(graph, oracle, target)
+    return k_shortest_paths(
+        graph,
+        source,
+        target,
+        heuristic,
+        max_distance=max_distance,
+        max_paths=max_candidates,
+    )
+
+
+def enumerate_all_paths_within(
+    graph: RoadNetwork,
+    source: int,
+    target: int,
+    max_distance: float,
+) -> CandidateSet:
+    """Exhaustive DFS over simple paths within the bound (tests only).
+
+    Exponential — only call on small graphs.
+    """
+    paths: list[list[int]] = []
+    distances: list[float] = []
+    on_path = [False] * graph.num_vertices
+    trail = [source]
+    on_path[source] = True
+
+    def visit(vertex: int, cost: float) -> None:
+        if vertex == target:
+            paths.append(list(trail))
+            distances.append(cost)
+            return
+        for nbr, w in graph.neighbor_items(vertex):
+            if on_path[nbr] or cost + w > max_distance:
+                continue
+            on_path[nbr] = True
+            trail.append(nbr)
+            visit(nbr, cost + w)
+            trail.pop()
+            on_path[nbr] = False
+
+    if source == target:
+        return CandidateSet(paths=[[source]], distances=[0.0], truncated=False)
+    visit(source, 0.0)
+    order = sorted(range(len(paths)), key=lambda i: (distances[i], paths[i]))
+    return CandidateSet(
+        paths=[paths[i] for i in order],
+        distances=[distances[i] for i in order],
+        truncated=False,
+    )
+
+
+def path_distance(graph: RoadNetwork, path: list[int]) -> float:
+    """Sum of edge weights along ``path`` (inf for an empty path)."""
+    if not path:
+        return math.inf
+    return sum(graph.weight(u, v) for u, v in zip(path, path[1:]))

@@ -1,0 +1,164 @@
+"""Yen's algorithm: loopless k-shortest paths within a distance bound.
+
+The FSPQ candidate set ``Path_c`` must contain every potentially optimal
+path — i.e. simple paths with spatial distance at most ``MCPDis = η_u ·
+SPDis`` (Def. 5).  Yen's deviation scheme enumerates simple paths in
+strictly non-decreasing distance order, so the enumeration stops exactly
+when the bound is crossed (or a candidate cap is hit, which is logged in
+the result rather than silently applied).
+
+:func:`iter_shortest_paths` is the *lazy* generator form: deviations of an
+accepted path are only computed when the consumer asks for the next path.
+This is what makes FPSPS's pruning bounds worth real time — when the
+engine's score-dominance test stops consuming, all remaining spur searches
+(the dominant query cost) are skipped entirely.
+
+Every spur search is an A* run with a caller-supplied admissible heuristic;
+with an index-backed :class:`~repro.paths.astar_search.OracleHeuristic` the
+spur searches expand almost only the vertices of the found path, which is
+how the label indexes accelerate candidate generation end-to-end.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.paths.astar_search import AdmissibleHeuristic, astar_path
+
+__all__ = ["CandidateSet", "iter_shortest_paths", "k_shortest_paths"]
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """Result of a bounded path enumeration.
+
+    Attributes
+    ----------
+    paths:
+        Simple paths in non-decreasing distance order.
+    distances:
+        Spatial distance of each path, aligned with ``paths``.
+    truncated:
+        True when the candidate cap stopped the enumeration before the
+        distance bound did (coverage caveat for very dense graphs).
+    """
+
+    paths: list[list[int]]
+    distances: list[float]
+    truncated: bool
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+
+def iter_shortest_paths(
+    graph: RoadNetwork,
+    source: int,
+    target: int,
+    heuristic: AdmissibleHeuristic,
+    max_distance: float = math.inf,
+    banned_vertices: set[int] | None = None,
+) -> Iterator[tuple[list[int], float]]:
+    """Yield loopless paths in non-decreasing distance order (lazy Yen).
+
+    Deviations of path *i* are computed only when path *i+1* is requested,
+    so an early-stopping consumer pays nothing for paths it never sees.
+    """
+    banned = set(banned_vertices) if banned_vertices else set()
+    best, best_dist = astar_path(
+        graph, source, target, heuristic,
+        banned_vertices=banned, cutoff=max_distance,
+    )
+    if not best or best_dist > max_distance:
+        return
+    yield best, best_dist
+
+    accepted: list[list[int]] = [best]
+    seen: set[tuple[int, ...]] = {tuple(best)}
+    # frontier of deviation candidates: (distance, tie, path)
+    frontier: list[tuple[float, int, list[int]]] = []
+    counter = 0
+
+    while True:
+        base = accepted[-1]
+        prefix_cost = 0.0
+        for i in range(len(base) - 1):
+            spur = base[i]
+            root = base[: i + 1]
+            banned_edges: set[tuple[int, int]] = set()
+            for path in accepted:
+                if len(path) > i and path[: i + 1] == root:
+                    a, b = path[i], path[i + 1]
+                    banned_edges.add((min(a, b), max(a, b)))
+            spur_banned = banned | set(root[:-1])
+            remaining = max_distance - prefix_cost
+            spur_path, spur_dist = astar_path(
+                graph,
+                spur,
+                target,
+                heuristic,
+                banned_vertices=spur_banned,
+                banned_edges=banned_edges,
+                cutoff=remaining,
+            )
+            if spur_path:
+                total = prefix_cost + spur_dist
+                candidate = root[:-1] + spur_path
+                key = tuple(candidate)
+                if total <= max_distance and key not in seen:
+                    seen.add(key)
+                    counter += 1
+                    heapq.heappush(frontier, (total, counter, candidate))
+            prefix_cost += graph.weight(base[i], base[i + 1])
+        if not frontier:
+            return
+        dist, _, path = heapq.heappop(frontier)
+        accepted.append(path)
+        yield path, dist
+
+
+def k_shortest_paths(
+    graph: RoadNetwork,
+    source: int,
+    target: int,
+    heuristic: AdmissibleHeuristic,
+    max_distance: float = math.inf,
+    max_paths: int = 64,
+    banned_vertices: set[int] | None = None,
+) -> CandidateSet:
+    """Enumerate loopless paths ``source -> target`` up to ``max_distance``.
+
+    Parameters
+    ----------
+    heuristic:
+        Admissible heuristic toward ``target``; must stay admissible under
+        edge/vertex removals (true for oracle and euclidean heuristics).
+    max_distance:
+        Inclusive distance bound (the paper's MCPDis).
+    max_paths:
+        Hard cap; ``truncated`` reports whether it fired.
+    banned_vertices:
+        Vertices no enumerated path may visit (constrained FSPQ).
+    """
+    if max_paths < 1:
+        raise QueryError(f"max_paths must be >= 1, got {max_paths}")
+    paths: list[list[int]] = []
+    distances: list[float] = []
+    truncated = False
+    for path, dist in iter_shortest_paths(
+        graph, source, target, heuristic,
+        max_distance=max_distance, banned_vertices=banned_vertices,
+    ):
+        if len(paths) == max_paths:
+            # the generator produced one more path within the bound: the
+            # cap fired before the distance bound did.
+            truncated = True
+            break
+        paths.append(path)
+        distances.append(dist)
+    return CandidateSet(paths=paths, distances=distances, truncated=truncated)

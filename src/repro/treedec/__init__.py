@@ -1,0 +1,32 @@
+"""Tree decomposition: elimination game, orderings, tree structure, LCA."""
+
+from repro.treedec.elimination import (
+    EliminationResult,
+    eliminate,
+    relax_from_bag,
+    replay_prefix,
+    run_elimination_steps,
+)
+from repro.treedec.lca import EulerTourLCA, naive_lca
+from repro.treedec.ordering import (
+    ImportanceFunction,
+    degree_flow_importance,
+    degree_importance,
+    normalize_flows,
+)
+from repro.treedec.tree import TreeDecomposition
+
+__all__ = [
+    "EliminationResult",
+    "relax_from_bag",
+    "run_elimination_steps",
+    "EulerTourLCA",
+    "ImportanceFunction",
+    "TreeDecomposition",
+    "degree_flow_importance",
+    "degree_importance",
+    "eliminate",
+    "naive_lca",
+    "normalize_flows",
+    "replay_prefix",
+]

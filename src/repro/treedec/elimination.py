@@ -1,0 +1,239 @@
+"""The elimination game: vertex ordering + bags + fill-in shortcuts.
+
+Eliminating a vertex ``v`` records its *bag* — ``v`` plus its neighbours in
+the current (partially eliminated) graph — and adds a clique over those
+neighbours with *shortcut weights* ``w(x, y) <- min(w(x, y), w(v, x) + w(v,
+y))``.  The bags, ordered by elimination rank, define the tree decomposition
+(Def. 6) and the shortcut weights make the hierarchical-label dynamic
+program exact (as in H2H / CH).
+
+Besides bags, the result keeps ``middles`` — for every bag edge, the
+eliminated vertex that realised its shortcut weight (``None`` for original
+edges) — used to unpack label queries into concrete vertex paths.
+
+Intermediate elimination states (what ISU/GSU resume from) are not logged;
+they are *reconstructed* from the current bags by :func:`replay_prefix`.
+Reconstruction — rather than a recorded change log — keeps maintenance
+correct when ILU weight repairs have rewritten bag weights since
+construction: the state after ``k`` eliminations is fully determined by the
+current base weights plus the (repaired) bags of the first ``k`` vertices,
+because eliminating ``c`` contributes exactly ``bags[c][x] + bags[c][y]``
+to each pair ``(x, y)`` of its bag.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import IndexBuildError
+from repro.graph.road_network import RoadNetwork
+from repro.treedec.ordering import ImportanceFunction
+
+__all__ = [
+    "EliminationResult",
+    "eliminate",
+    "relax_from_bag",
+    "replay_prefix",
+    "run_elimination_steps",
+]
+
+
+@dataclass
+class EliminationResult:
+    """Everything the elimination game produced.
+
+    Attributes
+    ----------
+    order:
+        Vertices in elimination order (ascending importance; last = root).
+    rank:
+        ``rank[v]`` = position of ``v`` in ``order``.
+    bags:
+        ``bags[v]`` maps each bag neighbour of ``v`` (all eliminated later)
+        to the shortcut weight at ``v``'s elimination time.
+    middles:
+        ``middles[v][x]`` is the vertex whose elimination realised the
+        shortcut ``(v, x)``, or ``None`` for an original graph edge.
+    phi_at_elim:
+        ``phi_at_elim[r]`` — the importance value of ``order[r]`` at the
+        moment it was eliminated.  Lemma 1 / ISU compare a re-scored vertex
+        against these to decide whether the ordering sequence changed.
+    """
+
+    order: list[int]
+    rank: np.ndarray
+    bags: list[dict[int, float]]
+    middles: list[dict[int, int | None]]
+    phi_at_elim: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def treewidth(self) -> int:
+        """``max |bag| - 1`` over all bags (bag includes the vertex itself)."""
+        return max((len(bag) for bag in self.bags), default=0)
+
+
+def run_elimination_steps(
+    adj: list[dict[int, float]],
+    mids: list[dict[int, int | None]],
+    importance: ImportanceFunction,
+    active: set[int],
+) -> tuple[list[int], list[float], dict[int, dict[int, float]],
+           dict[int, dict[int, int | None]]]:
+    """Eliminate every vertex of ``active`` from the given state, in place.
+
+    This is the elimination core shared by full construction and the ISU/GSU
+    maintenance paths (which resume from a reconstructed prefix state and
+    may restrict elimination to a rank window).  Vertices outside ``active``
+    stay in the graph; shortcuts among them are still added when an active
+    vertex is removed.
+
+    Returns ``(order, phi, bags, middles)`` for the eliminated vertices.
+    """
+    heap: list[tuple[float, int]] = []
+    for v in active:
+        heapq.heappush(heap, (importance(v, len(adj[v])), v))
+
+    remaining = set(active)
+    order: list[int] = []
+    phi: list[float] = []
+    bags: dict[int, dict[int, float]] = {}
+    middles: dict[int, dict[int, int | None]] = {}
+
+    while heap:
+        value, v = heapq.heappop(heap)
+        if v not in remaining:
+            continue
+        current = importance(v, len(adj[v]))
+        if current != value:
+            # stale entry; push the fresh value and retry
+            heapq.heappush(heap, (current, v))
+            continue
+
+        remaining.discard(v)
+        order.append(v)
+        phi.append(current)
+        bag = adj[v]
+        bags[v] = dict(bag)
+        middles[v] = {x: mids[v][x] for x in bag}
+
+        nbrs = list(bag.items())
+        touched: set[int] = set()
+        for i, (x, wx) in enumerate(nbrs):
+            del adj[x][v]
+            del mids[x][v]
+            touched.add(x)
+            for y, wy in nbrs[i + 1:]:
+                shortcut = wx + wy
+                existing = adj[x].get(y)
+                if existing is None or shortcut < existing:
+                    adj[x][y] = shortcut
+                    adj[y][x] = shortcut
+                    mids[x][y] = v
+                    mids[y][x] = v
+                    touched.add(y)
+        adj[v] = {}
+        mids[v] = {}
+
+        for x in touched:
+            if x in remaining:
+                heapq.heappush(heap, (importance(x, len(adj[x])), x))
+
+    return order, phi, bags, middles
+
+
+def eliminate(
+    graph: RoadNetwork,
+    importance: ImportanceFunction,
+) -> EliminationResult:
+    """Run the elimination game under ``importance`` (smallest first).
+
+    Ties break on vertex id, making the ordering — and everything downstream
+    — deterministic.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise IndexBuildError("cannot eliminate an empty graph")
+
+    adj: list[dict[int, float]] = [dict(graph.adjacency(v)) for v in range(n)]
+    mids: list[dict[int, int | None]] = [dict.fromkeys(adj[v], None) for v in range(n)]
+
+    order, phi, bag_map, middle_map = run_elimination_steps(
+        adj, mids, importance, set(range(n))
+    )
+    if len(order) != n:
+        raise IndexBuildError("elimination did not cover every vertex")
+    rank = np.full(n, -1, dtype=np.int64)
+    bags: list[dict[int, float]] = [{} for _ in range(n)]
+    middles: list[dict[int, int | None]] = [{} for _ in range(n)]
+    for r, v in enumerate(order):
+        rank[v] = r
+        bags[v] = bag_map[v]
+        middles[v] = middle_map[v]
+    return EliminationResult(
+        order=order,
+        rank=rank,
+        bags=bags,
+        middles=middles,
+        phi_at_elim=np.asarray(phi, dtype=np.float64),
+    )
+
+
+def relax_from_bag(
+    adj: list[dict[int, float]],
+    mids: list[dict[int, int | None]],
+    bag: dict[int, float],
+    middle: int,
+    remaining: set[int],
+) -> None:
+    """Apply one eliminated vertex's fill contributions to a working state.
+
+    Relaxes every pair of ``bag`` members that survive in ``remaining`` with
+    the shortcut weight through ``middle``.  Processing eliminated vertices
+    in ascending rank reproduces exactly the fill weights (and a consistent
+    middle assignment) of the real elimination under the *current* bag
+    weights.
+    """
+    members = [(x, w) for x, w in bag.items() if x in remaining]
+    for i, (x, wx) in enumerate(members):
+        for y, wy in members[i + 1:]:
+            shortcut = wx + wy
+            existing = adj[x].get(y)
+            if existing is None or shortcut < existing:
+                adj[x][y] = shortcut
+                adj[y][x] = shortcut
+                mids[x][y] = middle
+                mids[y][x] = middle
+
+
+def replay_prefix(
+    graph: RoadNetwork,
+    result: EliminationResult,
+    steps: int,
+) -> tuple[list[dict[int, float]], list[dict[int, int | None]]]:
+    """Reconstruct the elimination-graph state after ``steps`` eliminations.
+
+    Built from the current graph weights and the current (possibly
+    ILU-repaired) bags of the first ``steps`` vertices — no recorded change
+    log, so the reconstruction stays correct after arbitrary interleaved
+    weight maintenance.  Returns the adjacency and middle maps over the
+    *remaining* vertices, ready for :func:`run_elimination_steps`.
+    """
+    n = graph.num_vertices
+    if not 0 <= steps <= n:
+        raise IndexBuildError(f"steps must be in [0, {n}], got {steps}")
+    remaining = set(result.order[steps:])
+    adj: list[dict[int, float]] = [{} for _ in range(n)]
+    mids: list[dict[int, int | None]] = [{} for _ in range(n)]
+    for v in remaining:
+        for x, w in graph.adjacency(v).items():
+            if x in remaining:
+                adj[v][x] = w
+                mids[v][x] = None
+    for r in range(steps):
+        c = result.order[r]
+        relax_from_bag(adj, mids, result.bags[c], c, remaining)
+    return adj, mids

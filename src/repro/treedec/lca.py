@@ -1,0 +1,94 @@
+"""Constant-time lowest-common-ancestor queries over the decomposition tree.
+
+Standard Euler-tour + sparse-table RMQ: O(n log n) preprocessing, O(1) per
+query.  The label query (Alg. 2) calls this once per distance query, so it
+must be fast and allocation-free on the hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.treedec.tree import TreeDecomposition
+
+__all__ = ["EulerTourLCA", "naive_lca"]
+
+
+class EulerTourLCA:
+    """Sparse-table LCA over a :class:`TreeDecomposition`."""
+
+    def __init__(self, tree: TreeDecomposition) -> None:
+        n = tree.num_vertices
+        tour = np.empty(2 * n - 1 if n else 0, dtype=np.int64)
+        tour_depth = np.empty_like(tour)
+        first = np.full(n, -1, dtype=np.int64)
+
+        # iterative Euler tour (recursion would overflow on path-like trees)
+        idx = 0
+        if n:
+            stack: list[tuple[int, int]] = [(tree.root, 0)]
+            while stack:
+                node, child_idx = stack.pop()
+                if child_idx == 0:
+                    first[node] = idx
+                tour[idx] = node
+                tour_depth[idx] = tree.depth[node]
+                idx += 1
+                kids = tree.children[node]
+                if child_idx < len(kids):
+                    stack.append((node, child_idx + 1))
+                    stack.append((kids[child_idx], 0))
+        if idx != len(tour):
+            raise QueryError("euler tour did not visit the whole tree")
+
+        self._first = first
+        self._tour = tour
+        length = len(tour)
+        levels = max(1, length.bit_length())
+        # table[k] holds argmin indices over windows of length 2^k
+        table = np.empty((levels, length), dtype=np.int64)
+        table[0] = np.arange(length)
+        span = 1
+        for k in range(1, levels):
+            prev = table[k - 1]
+            limit = length - 2 * span
+            if limit < 0:
+                table[k] = prev
+            else:
+                left = prev[: limit + 1]
+                right = prev[span: limit + 1 + span]
+                pick = tour_depth[right] < tour_depth[left]
+                table[k, : limit + 1] = np.where(pick, right, left)
+                table[k, limit + 1:] = prev[limit + 1:]
+            span *= 2
+        self._table = table
+        self._tour_depth = tour_depth
+        self._num_vertices = n
+
+    def query(self, u: int, v: int) -> int:
+        """The LCA vertex of ``u`` and ``v``."""
+        if not (0 <= u < self._num_vertices and 0 <= v < self._num_vertices):
+            raise QueryError(f"LCA query on unknown vertices ({u}, {v})")
+        lo, hi = sorted((int(self._first[u]), int(self._first[v])))
+        length = hi - lo + 1
+        k = length.bit_length() - 1
+        a = self._table[k, lo]
+        b = self._table[k, hi - (1 << k) + 1]
+        best = a if self._tour_depth[a] <= self._tour_depth[b] else b
+        return int(self._tour[best])
+
+
+def naive_lca(tree: TreeDecomposition, u: int, v: int) -> int:
+    """Reference parent-walk LCA (for property tests)."""
+    du, dv = int(tree.depth[u]), int(tree.depth[v])
+    while du > dv:
+        u = int(tree.parent[u])
+        du -= 1
+    while dv > du:
+        v = int(tree.parent[v])
+        dv -= 1
+    while u != v:
+        u = int(tree.parent[u])
+        v = int(tree.parent[v])
+    return u

@@ -1,0 +1,180 @@
+"""Tree-decomposition structure built from an elimination result.
+
+Each vertex ``v`` owns one tree node ``X(v) = {v} ∪ bag(v)``; its parent is
+the bag member with the smallest elimination rank (the next to be
+eliminated), and the root is the last-eliminated vertex.  The classic
+elimination-ordering theorem guarantees every bag member of ``v`` is an
+ancestor of ``v`` — which is exactly what hierarchical 2-hop labels need.
+
+The structure exposes the paper's vocabulary: ancestor arrays
+(``X(v)_anc``), position arrays (Def. 8), tree width and tree height, and a
+Def.-6 validity check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexBuildError
+from repro.graph.road_network import RoadNetwork
+from repro.treedec.elimination import EliminationResult
+
+__all__ = ["TreeDecomposition"]
+
+
+class TreeDecomposition:
+    """Rooted tree over elimination bags.
+
+    Attributes
+    ----------
+    parent:
+        ``parent[v]`` — parent vertex of node ``X(v)`` (-1 for the root).
+    depth:
+        ``depth[v]`` — root has depth 0; equals ``len(anc(v)) - 1``.
+    children:
+        Child lists, ordered by elimination rank (deterministic).
+    order, rank:
+        The elimination order/rank the tree was built from.
+    """
+
+    def __init__(self, elimination: EliminationResult) -> None:
+        order = elimination.order
+        rank = elimination.rank
+        n = len(order)
+        parent = np.full(n, -1, dtype=np.int64)
+        children: list[list[int]] = [[] for _ in range(n)]
+        roots: list[int] = []
+        for v in order:
+            bag = elimination.bags[v]
+            if bag:
+                parent[v] = min(bag, key=lambda x: rank[x])
+            else:
+                roots.append(v)
+        if len(roots) != 1:
+            raise IndexBuildError(
+                f"expected exactly one root (connected graph), found {len(roots)}"
+            )
+        self.root = roots[0]
+        for v in order:
+            if parent[v] >= 0:
+                children[parent[v]].append(v)
+        for kids in children:
+            kids.sort(key=lambda x: rank[x])
+
+        depth = np.zeros(n, dtype=np.int64)
+        # process in descending rank: parents are always eliminated later,
+        # i.e. have larger rank, so a reverse-order sweep sees parents first.
+        for v in reversed(order):
+            if parent[v] >= 0:
+                depth[v] = depth[parent[v]] + 1
+
+        self.parent = parent
+        self.children = children
+        self.depth = depth
+        self.order = list(order)
+        self.rank = rank.copy()
+        self._elimination = elimination
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.order)
+
+    @property
+    def treewidth(self) -> int:
+        """``max |X(v)| - 1`` (paper's ϖ_T)."""
+        return self._elimination.treewidth
+
+    @property
+    def treeheight(self) -> int:
+        """Maximum depth of any node (paper's h_T)."""
+        return int(self.depth.max()) if self.num_vertices else 0
+
+    def bag(self, v: int) -> dict[int, float]:
+        """Bag neighbours of ``v`` with their shortcut weights."""
+        return self._elimination.bags[v]
+
+    def ancestor_array(self, v: int) -> list[int]:
+        """``X(v)_anc`` — the root-to-``v`` vertex path (inclusive)."""
+        path: list[int] = []
+        node = v
+        while node >= 0:
+            path.append(node)
+            node = int(self.parent[node])
+        path.reverse()
+        return path
+
+    def position_array(self, v: int) -> np.ndarray:
+        """Def.-8 position array: depths of ``X(v)``'s members, ascending.
+
+        Positions are 0-based depths into the ancestor array (the paper uses
+        1-based positions; Example 3's ``(1, 2, 5)`` is our ``(0, 1, 4)``).
+        The node's own position (= ``depth[v]``) is included, mirroring
+        ``v ∈ X(v)``.
+        """
+        positions = [int(self.depth[x]) for x in self.bag(v)]
+        positions.append(int(self.depth[v]))
+        positions.sort()
+        return np.asarray(positions, dtype=np.int64)
+
+    def subtree(self, v: int) -> list[int]:
+        """Vertices of the subtree rooted at ``v`` (preorder)."""
+        stack = [v]
+        out: list[int] = []
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(reversed(self.children[node]))
+        return out
+
+    # ------------------------------------------------------------------
+    def is_ancestor(self, a: int, v: int) -> bool:
+        """Whether ``a`` lies on the root-to-``v`` path (inclusive)."""
+        while v >= 0 and self.depth[v] >= self.depth[a]:
+            if v == a:
+                return True
+            v = int(self.parent[v])
+        return False
+
+    def validate(self, graph: RoadNetwork) -> None:
+        """Assert the three Def.-6 tree-decomposition properties.
+
+        Raises :class:`IndexBuildError` with a description on violation.
+        Intended for tests and debugging (O(n·w) to O(n·w·h)).
+        """
+        n = graph.num_vertices
+        if self.num_vertices != n:
+            raise IndexBuildError("tree does not cover the graph's vertex set")
+        # property 1: every vertex owns a node (by construction) and
+        # property (structural): bag members are ancestors.
+        for v in range(n):
+            for x in self.bag(v):
+                if not self.is_ancestor(x, v):
+                    raise IndexBuildError(
+                        f"bag member {x} of {v} is not an ancestor of {v}"
+                    )
+        # property 2: every graph edge is inside some node.
+        for u, v, _ in graph.edges():
+            lo, hi = (u, v) if self.rank[u] < self.rank[v] else (v, u)
+            if hi not in self.bag(lo):
+                raise IndexBuildError(f"edge ({u}, {v}) not covered by any bag")
+        # property 3: nodes containing each vertex form a connected subtree.
+        containing: list[list[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            containing[v].append(v)
+            for x in self.bag(v):
+                containing[x].append(v)
+        for u in range(n):
+            nodes = set(containing[u])
+            # connected iff every containing node except the shallowest has
+            # its parent... not in general; walk up instead: from each node,
+            # parent chains must stay within `nodes` until the shallowest.
+            top = min(nodes, key=lambda x: self.depth[x])
+            for node in nodes:
+                walk = node
+                while walk != top:
+                    walk = int(self.parent[walk])
+                    if walk < 0 or walk not in nodes:
+                        raise IndexBuildError(
+                            f"nodes containing vertex {u} are not connected"
+                        )

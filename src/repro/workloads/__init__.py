@@ -1,0 +1,45 @@
+"""Datasets, query groups and update streams for the experiments."""
+
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    Dataset,
+    dataset_statistics,
+    load_dataset,
+    make_frn,
+)
+from repro.workloads.queries import (
+    distance_bands,
+    estimate_diameter,
+    flatten_groups,
+    generate_query_groups,
+)
+from repro.workloads.trajectories import (
+    Trip,
+    flows_from_trips,
+    generate_trips,
+    reroute_flow_aware,
+)
+from repro.workloads.updates import (
+    generate_flow_updates,
+    generate_mixed_updates,
+    generate_weight_updates,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "Trip",
+    "flows_from_trips",
+    "generate_trips",
+    "reroute_flow_aware",
+    "dataset_statistics",
+    "distance_bands",
+    "estimate_diameter",
+    "flatten_groups",
+    "generate_flow_updates",
+    "generate_mixed_updates",
+    "generate_query_groups",
+    "generate_weight_updates",
+    "load_dataset",
+    "make_frn",
+]

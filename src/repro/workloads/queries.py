@@ -1,0 +1,124 @@
+"""Query-group generation (the paper's FQ1 .. FQ12 workload).
+
+Section VI buckets queries into twelve groups by the distance between query
+location and destination, growing geometrically up to (a fraction of) the
+network diameter, and samples queries uniformly within each band at random
+time slices.  The paper's banding formula is reproduced in spirit: twelve
+geometric bands between ``diameter * min_fraction`` and ``diameter *
+max_fraction``; longer bands mean longer — and for every method slower —
+queries (Fig. 6's x-axis).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.fspq import FSPQuery
+from repro.errors import QueryError
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["estimate_diameter", "distance_bands", "generate_query_groups"]
+
+
+def estimate_diameter(graph: RoadNetwork, seed: int = 0) -> float:
+    """Weighted pseudo-diameter via a double Dijkstra sweep."""
+    if graph.num_vertices == 0:
+        raise QueryError("cannot estimate the diameter of an empty graph")
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(graph.num_vertices))
+    dist = dijkstra_distances(graph, start)
+    finite = np.where(np.isfinite(dist))[0]
+    far = int(finite[np.argmax(dist[finite])])
+    dist2 = dijkstra_distances(graph, far)
+    finite2 = np.isfinite(dist2)
+    return float(dist2[finite2].max())
+
+
+def distance_bands(
+    diameter: float,
+    num_groups: int = 12,
+    min_fraction: float = 1.0 / 16.0,
+    max_fraction: float = 0.5,
+) -> list[tuple[float, float]]:
+    """Geometric ``(low, high]`` distance bands for the FQ groups."""
+    if num_groups < 1:
+        raise QueryError(f"num_groups must be >= 1, got {num_groups}")
+    if not 0 < min_fraction < max_fraction <= 1:
+        raise QueryError(
+            f"need 0 < min_fraction < max_fraction <= 1, got "
+            f"({min_fraction}, {max_fraction})"
+        )
+    low = diameter * min_fraction
+    high = diameter * max_fraction
+    ratio = (high / low) ** (1.0 / num_groups)
+    bands = []
+    edge = low
+    for _ in range(num_groups):
+        nxt = edge * ratio
+        bands.append((edge, nxt))
+        edge = nxt
+    return bands
+
+
+def generate_query_groups(
+    frn: FlowAwareRoadNetwork,
+    num_groups: int = 12,
+    queries_per_group: int = 10,
+    min_fraction: float = 1.0 / 16.0,
+    max_fraction: float = 0.5,
+    seed: int = 0,
+    max_attempts: int = 200,
+) -> list[list[FSPQuery]]:
+    """Sample FQ1..FQ12 query groups over an FRN.
+
+    Each query gets a uniform random time slice.  Groups whose band is
+    unpopulated on the given graph may come back short (never silently
+    padded with out-of-band queries); callers should check lengths.
+    """
+    if queries_per_group < 1:
+        raise QueryError(f"queries_per_group must be >= 1, got {queries_per_group}")
+    graph = frn.graph
+    rng = np.random.default_rng(seed)
+    diameter = estimate_diameter(graph, seed=seed)
+    bands = distance_bands(
+        diameter,
+        num_groups=num_groups,
+        min_fraction=min_fraction,
+        max_fraction=max_fraction,
+    )
+    groups: list[list[FSPQuery]] = []
+    n = graph.num_vertices
+    horizon = frn.num_timesteps
+    for low, high in bands:
+        queries: list[FSPQuery] = []
+        attempts = 0
+        while len(queries) < queries_per_group and attempts < max_attempts:
+            attempts += 1
+            source = int(rng.integers(n))
+            dist = dijkstra_distances(graph, source, cutoff=high)
+            in_band = np.where((dist > low) & (dist <= high))[0]
+            if len(in_band) == 0:
+                continue
+            take = min(
+                queries_per_group - len(queries),
+                max(1, len(in_band) // 4),
+            )
+            for target in rng.choice(in_band, size=take, replace=False):
+                queries.append(
+                    FSPQuery(
+                        source=source,
+                        target=int(target),
+                        timestep=int(rng.integers(horizon)),
+                    )
+                )
+        groups.append(queries)
+    return groups
+
+
+def flatten_groups(groups: list[list[FSPQuery]]) -> list[FSPQuery]:
+    """All queries of all groups, in group order."""
+    return [query for group in groups for query in group]

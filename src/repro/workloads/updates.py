@@ -1,0 +1,108 @@
+"""Update-stream generation for the maintenance experiments.
+
+Section VI drives the maintenance algorithms with three knobs:
+
+* an *average number of flow changes* per event ({4, 8, 12, 16} — Fig. 8);
+* an average number of weight changes (default 4 — Fig. 9);
+* an *update ratio* λ = (#flow changes)/(#weight changes) over a fixed
+  total budget (Fig. 13).
+
+The generators below sample those streams reproducibly from an FRN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+
+__all__ = [
+    "generate_weight_updates",
+    "generate_flow_updates",
+    "generate_mixed_updates",
+]
+
+
+def generate_weight_updates(
+    graph: RoadNetwork,
+    count: int,
+    magnitude: tuple[float, float] = (0.5, 2.0),
+    seed: int = 0,
+) -> list[tuple[int, int, float]]:
+    """``count`` random edge-weight changes as ``(u, v, new_weight)``.
+
+    New weights are the old weight scaled by a uniform factor from
+    ``magnitude`` and rounded to stay integer-like (DIMACS style), never
+    below 1.
+    """
+    if count < 0:
+        raise QueryError(f"count must be >= 0, got {count}")
+    lo, hi = magnitude
+    if not 0 < lo <= hi:
+        raise QueryError(f"magnitude must satisfy 0 < lo <= hi, got {magnitude}")
+    rng = np.random.default_rng(seed)
+    edges = list(graph.edges())
+    if not edges and count:
+        raise QueryError("graph has no edges to update")
+    updates: list[tuple[int, int, float]] = []
+    for index in rng.integers(0, len(edges), size=count):
+        u, v, w = edges[int(index)]
+        factor = rng.uniform(lo, hi)
+        updates.append((u, v, float(max(1.0, round(w * factor)))))
+    return updates
+
+
+def generate_flow_updates(
+    frn: FlowAwareRoadNetwork,
+    count: int,
+    timestep: int = 0,
+    magnitude: tuple[float, float] = (0.3, 3.0),
+    seed: int = 0,
+) -> dict[int, float]:
+    """``count`` distinct vertex flow changes as ``{vertex: new_flow}``.
+
+    New flows scale the vertex's predicted flow at ``timestep`` by a uniform
+    factor from ``magnitude``.
+    """
+    if count < 0:
+        raise QueryError(f"count must be >= 0, got {count}")
+    n = frn.num_vertices
+    if count > n:
+        raise QueryError(f"cannot pick {count} distinct vertices out of {n}")
+    rng = np.random.default_rng(seed)
+    current = frn.predicted_at(timestep % frn.num_timesteps)
+    vertices = rng.choice(n, size=count, replace=False)
+    lo, hi = magnitude
+    return {
+        int(v): float(max(0.0, current[int(v)] * rng.uniform(lo, hi)))
+        for v in vertices
+    }
+
+
+def generate_mixed_updates(
+    frn: FlowAwareRoadNetwork,
+    total: int,
+    update_ratio: float,
+    timestep: int = 0,
+    seed: int = 0,
+) -> tuple[dict[int, float], list[tuple[int, int, float]]]:
+    """Split a ``total`` update budget by λ = flow changes / weight changes.
+
+    Returns ``(flow_updates, weight_updates)`` with
+    ``len(flow) / len(weight) ≈ update_ratio`` and
+    ``len(flow) + len(weight) == total`` (Fig. 13's workload).
+    """
+    if total < 0:
+        raise QueryError(f"total must be >= 0, got {total}")
+    if update_ratio <= 0:
+        raise QueryError(f"update_ratio must be positive, got {update_ratio}")
+    num_flow = int(round(total * update_ratio / (1.0 + update_ratio)))
+    num_flow = min(num_flow, frn.num_vertices)
+    num_weight = total - num_flow
+    flows = generate_flow_updates(
+        frn, num_flow, timestep=timestep, seed=seed
+    )
+    weights = generate_weight_updates(frn.graph, num_weight, seed=seed + 1)
+    return flows, weights

@@ -1,0 +1,41 @@
+"""Hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.road_network import RoadNetwork
+
+
+@st.composite
+def connected_graphs(
+    draw,
+    min_vertices: int = 3,
+    max_vertices: int = 16,
+    max_weight: int = 20,
+    extra_edge_factor: float = 1.0,
+):
+    """A random connected weighted graph (spanning tree + extra edges)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    graph = RoadNetwork(n)
+    # random spanning tree: attach vertex i to a random earlier vertex
+    for i in range(1, n):
+        parent = draw(st.integers(0, i - 1))
+        weight = draw(st.integers(1, max_weight))
+        graph.add_edge(i, parent, float(weight))
+    extra = draw(st.integers(0, max(0, int(n * extra_edge_factor))))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v and not graph.has_edge(u, v):
+            weight = draw(st.integers(1, max_weight))
+            graph.add_edge(u, v, float(weight))
+    return graph
+
+
+@st.composite
+def flow_vectors(draw, graph: RoadNetwork, max_flow: int = 100):
+    """A per-vertex non-negative flow vector for ``graph``."""
+    return [
+        float(draw(st.integers(0, max_flow))) for _ in range(graph.num_vertices)
+    ]

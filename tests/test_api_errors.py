@@ -1,0 +1,102 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_lookup_errors_are_key_errors(self):
+        # callers using dict-style access patterns can catch KeyError
+        assert issubclass(errors.VertexNotFoundError, KeyError)
+        assert issubclass(errors.EdgeNotFoundError, KeyError)
+
+    def test_vertex_error_carries_vertex(self):
+        err = errors.VertexNotFoundError(42)
+        assert err.vertex == 42
+        assert "42" in str(err)
+
+    def test_edge_error_carries_edge(self):
+        err = errors.EdgeNotFoundError(1, 2)
+        assert err.edge == (1, 2)
+
+    def test_constraint_error_is_query_error(self):
+        from repro.core.constrained import ConstraintError
+
+        assert issubclass(ConstraintError, errors.QueryError)
+
+    def test_one_catch_all_suffices(self, small_grid):
+        from repro.labeling.h2h import build_h2h
+
+        index = build_h2h(small_grid)
+        with pytest.raises(errors.ReproError):
+            index.distance(0, 10_000)
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.experiments
+        import repro.flow
+        import repro.graph
+        import repro.labeling
+        import repro.paths
+        import repro.treedec
+        import repro.workloads
+
+        for module in (
+            repro.analysis, repro.baselines, repro.core, repro.flow,
+            repro.graph, repro.labeling, repro.paths, repro.treedec,
+            repro.workloads, repro.experiments,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_headline_types_importable_from_top_level(self):
+        assert repro.FAHLIndex is not None
+        assert repro.FlowAwareEngine is not None
+        assert repro.H2HIndex is not None
+        assert repro.FSPQuery is not None
+
+    def test_public_functions_have_docstrings(self):
+        import inspect
+
+        undocumented = [
+            name
+            for name in repro.__all__
+            if not name.startswith("__")
+            and callable(getattr(repro, name))
+            and not (inspect.getdoc(getattr(repro, name)) or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_experiment_registry_complete(self):
+        from repro.experiments import EXPERIMENTS
+
+        # every paper table/figure present plus the companions
+        for key in ("table1", "table3", "fig6", "fig7ab", "fig7cd", "fig8",
+                    "fig9", "fig10", "fig11", "fig12", "fig13",
+                    "ablation-beta", "ablation-pruning", "quality"):
+            assert key in EXPERIMENTS, key
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)

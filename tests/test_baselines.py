@@ -1,0 +1,251 @@
+"""Unit tests for the baseline methods: Dijkstra, A*, CH, G-tree."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.astar import AStarOracle
+from repro.baselines.ch import CHIndex, build_ch
+from repro.baselines.dijkstra import (
+    DijkstraOracle,
+    dijkstra_distance,
+    dijkstra_distances,
+    dijkstra_path,
+)
+from repro.baselines.gtree import TDGTree, build_gtree
+from repro.errors import (
+    DisconnectedGraphError,
+    EdgeNotFoundError,
+    GraphError,
+    IndexStateError,
+    QueryError,
+)
+from repro.graph.road_network import RoadNetwork
+
+
+class TestDijkstra:
+    def test_known_distances(self, triangle_graph):
+        dist = dijkstra_distances(triangle_graph, 0)
+        assert list(dist) == [0.0, 1.0, 3.0]
+
+    def test_early_exit_targets(self, medium_grid):
+        full = dijkstra_distances(medium_grid, 0)
+        partial = dijkstra_distances(medium_grid, 0, targets={5})
+        assert partial[5] == full[5]
+
+    def test_cutoff(self, medium_grid):
+        dist = dijkstra_distances(medium_grid, 0, cutoff=150.0)
+        assert np.isinf(dist).any()
+        finite = dist[np.isfinite(dist)]
+        assert (finite <= 150.0).all()
+
+    def test_point_to_point(self, medium_grid, rng):
+        n = medium_grid.num_vertices
+        for _ in range(20):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert dijkstra_distance(medium_grid, s, t) == pytest.approx(
+                dijkstra_distances(medium_grid, s)[t]
+            )
+
+    def test_unreachable_is_inf(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0)])
+        assert dijkstra_distance(graph, 0, 2) == math.inf
+        assert dijkstra_path(graph, 0, 2) == []
+
+    def test_path_weight_matches(self, medium_grid, rng):
+        n = medium_grid.num_vertices
+        for _ in range(20):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = dijkstra_path(medium_grid, s, t)
+            weight = sum(
+                medium_grid.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert weight == pytest.approx(dijkstra_distance(medium_grid, s, t))
+
+    def test_unknown_vertices(self, triangle_graph):
+        with pytest.raises(QueryError):
+            dijkstra_distances(triangle_graph, 9)
+        with pytest.raises(QueryError):
+            dijkstra_distance(triangle_graph, 0, 9)
+
+    def test_oracle_interface(self, triangle_graph):
+        oracle = DijkstraOracle(triangle_graph)
+        assert oracle.distance(0, 2) == 3.0
+        assert oracle.path(0, 2) == [0, 1, 2]
+
+
+class TestAStar:
+    def test_matches_dijkstra(self, medium_grid, rng):
+        oracle = AStarOracle(medium_grid)
+        n = medium_grid.num_vertices
+        for _ in range(40):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert oracle.distance(s, t) == pytest.approx(
+                dijkstra_distance(medium_grid, s, t)
+            )
+
+    def test_path_valid(self, medium_grid, rng):
+        oracle = AStarOracle(medium_grid)
+        n = medium_grid.num_vertices
+        for _ in range(15):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = oracle.path(s, t)
+            assert path[0] == s and path[-1] == t
+
+    def test_without_coordinates_falls_back(self, triangle_graph):
+        oracle = AStarOracle(triangle_graph)  # no coordinates
+        assert oracle.distance(0, 2) == 3.0
+
+    def test_self_query(self, medium_grid):
+        oracle = AStarOracle(medium_grid)
+        assert oracle.distance(4, 4) == 0.0
+        assert oracle.path(4, 4) == [4]
+
+
+class TestCH:
+    def test_matches_dijkstra(self, medium_grid, rng):
+        index = build_ch(medium_grid)
+        n = medium_grid.num_vertices
+        for _ in range(60):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert index.distance(s, t) == pytest.approx(
+                dijkstra_distance(medium_grid, s, t)
+            )
+
+    def test_paths_valid(self, medium_grid, rng):
+        index = build_ch(medium_grid)
+        n = medium_grid.num_vertices
+        for _ in range(30):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = index.path(s, t)
+            assert path[0] == s and path[-1] == t
+            weight = sum(
+                medium_grid.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert weight == pytest.approx(index.distance(s, t))
+
+    def test_order_is_permutation(self, small_grid):
+        index = build_ch(small_grid)
+        assert sorted(index.order) == list(range(small_grid.num_vertices))
+
+    def test_self_query(self, small_grid):
+        index = build_ch(small_grid)
+        assert index.distance(3, 3) == 0.0
+        assert index.path(3, 3) == [3]
+
+    def test_rejects_empty_and_disconnected(self):
+        with pytest.raises(IndexStateError):
+            CHIndex(RoadNetwork(0))
+        with pytest.raises(DisconnectedGraphError):
+            CHIndex(RoadNetwork(4, edges=[(0, 1, 1.0), (2, 3, 1.0)]))
+
+    def test_unknown_vertices(self, small_grid):
+        index = build_ch(small_grid)
+        with pytest.raises(QueryError):
+            index.distance(0, 9_999)
+
+    def test_stats(self, small_grid):
+        index = build_ch(small_grid)
+        assert index.index_size_entries() >= small_grid.num_edges
+        assert "shortcuts" in repr(index)
+
+    def test_witness_limits_affect_shortcuts_not_results(self, small_grid, rng):
+        strict = CHIndex(small_grid.copy(), hop_limit=1, settle_limit=2)
+        loose = CHIndex(small_grid.copy(), hop_limit=16, settle_limit=500)
+        assert strict.num_shortcuts >= loose.num_shortcuts
+        n = small_grid.num_vertices
+        for _ in range(20):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert strict.distance(s, t) == pytest.approx(loose.distance(s, t))
+
+
+class TestGTree:
+    def test_matches_dijkstra(self, medium_grid, rng):
+        index = build_gtree(medium_grid, leaf_size=16)
+        n = medium_grid.num_vertices
+        for _ in range(60):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert index.distance(s, t) == pytest.approx(
+                dijkstra_distance(medium_grid, s, t)
+            )
+
+    def test_same_leaf_queries(self, medium_grid):
+        index = build_gtree(medium_grid, leaf_size=16)
+        leaf_of = index._leaf_of
+        pairs = 0
+        for s in range(medium_grid.num_vertices):
+            for t in range(s + 1, medium_grid.num_vertices):
+                if leaf_of[s] == leaf_of[t]:
+                    assert index.distance(s, t) == pytest.approx(
+                        dijkstra_distance(medium_grid, s, t)
+                    )
+                    pairs += 1
+                    if pairs >= 30:
+                        return
+        assert pairs > 0
+
+    def test_leaf_size_respected(self, medium_grid):
+        index = build_gtree(medium_grid, leaf_size=10)
+        assert all(len(leaf.vertices) <= 10 for leaf in index._leaves)
+
+    def test_update_inside_leaf(self, medium_grid, rng):
+        index = build_gtree(medium_grid, leaf_size=16)
+        # find an intra-leaf edge
+        edge = next(
+            (u, v, w)
+            for u, v, w in medium_grid.edges()
+            if index._leaf_of[u] == index._leaf_of[v]
+        )
+        u, v, w = edge
+        records = index.update_edge_weight(u, v, w * 2)
+        assert records > 1
+        n = medium_grid.num_vertices
+        for _ in range(30):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert index.distance(s, t) == pytest.approx(
+                dijkstra_distance(medium_grid, s, t)
+            )
+
+    def test_update_crossing_edge(self, medium_grid, rng):
+        index = build_gtree(medium_grid, leaf_size=16)
+        edge = next(
+            (u, v, w)
+            for u, v, w in medium_grid.edges()
+            if index._leaf_of[u] != index._leaf_of[v]
+        )
+        u, v, w = edge
+        records = index.update_edge_weight(u, v, max(1.0, w / 2))
+        assert records == 1
+        for _ in range(30):
+            s, t = map(int, rng.integers(0, medium_grid.num_vertices, 2))
+            assert index.distance(s, t) == pytest.approx(
+                dijkstra_distance(medium_grid, s, t)
+            )
+
+    def test_update_validation(self, small_grid):
+        index = build_gtree(small_grid, leaf_size=8)
+        u, v, _ = next(iter(small_grid.edges()))
+        with pytest.raises(GraphError):
+            index.update_edge_weight(u, v, 0.0)
+        non_edge = next(
+            (a, b)
+            for a in range(small_grid.num_vertices)
+            for b in range(a + 1, small_grid.num_vertices)
+            if not small_grid.has_edge(a, b)
+        )
+        with pytest.raises(EdgeNotFoundError):
+            index.update_edge_weight(*non_edge, 5.0)
+
+    def test_rejects_empty_and_disconnected(self):
+        with pytest.raises(IndexStateError):
+            TDGTree(RoadNetwork(0))
+        with pytest.raises(DisconnectedGraphError):
+            TDGTree(RoadNetwork(4, edges=[(0, 1, 1.0), (2, 3, 1.0)]))
+
+    def test_stats(self, small_grid):
+        index = build_gtree(small_grid, leaf_size=8)
+        assert index.num_leaves >= 2
+        assert index.index_size_entries() > 0

@@ -1,0 +1,95 @@
+"""Unit tests for the batch query session and memoized oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import MemoizedOracle, batch_query
+from repro.core.fahl import build_fahl
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def engine(small_frn):
+    index = build_fahl(small_frn)
+    return FlowAwareEngine(small_frn, oracle=index, alpha=0.5, eta_u=3.0,
+                           max_candidates=8)
+
+
+class TestMemoizedOracle:
+    def test_caches_symmetrically(self, small_frn):
+        index = build_fahl(small_frn)
+        oracle = MemoizedOracle(index)
+        a = oracle.distance(0, 5)
+        b = oracle.distance(5, 0)
+        assert a == b
+        assert oracle.hits == 1
+        assert oracle.misses == 1
+        assert len(oracle) == 1
+
+    def test_matches_underlying(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        oracle = MemoizedOracle(index)
+        n = small_frn.num_vertices
+        for _ in range(30):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert oracle.distance(s, t) == index.distance(s, t)
+
+    def test_invalidate(self, small_frn):
+        index = build_fahl(small_frn)
+        oracle = MemoizedOracle(index)
+        oracle.distance(0, 1)
+        oracle.invalidate()
+        assert len(oracle) == 0
+
+    def test_path_delegates(self, small_frn):
+        index = build_fahl(small_frn)
+        oracle = MemoizedOracle(index)
+        assert oracle.path(0, 5) == index.path(0, 5)
+
+    def test_requires_distance_method(self):
+        with pytest.raises(QueryError):
+            MemoizedOracle(None)
+        with pytest.raises(QueryError):
+            MemoizedOracle(object())
+
+
+class TestBatchQuery:
+    def test_results_match_sequential(self, engine, small_frn, rng):
+        n = small_frn.num_vertices
+        queries = []
+        while len(queries) < 12:
+            s, t = map(int, rng.integers(0, n, 2))
+            if s != t:
+                queries.append(FSPQuery(s, t, int(rng.integers(48))))
+        sequential = [engine.query(q) for q in queries]
+        batched = batch_query(engine, queries)
+        assert len(batched) == len(queries)
+        for seq, bat in zip(sequential, batched):
+            assert bat.path == seq.path
+            assert bat.score == pytest.approx(seq.score)
+
+    def test_restores_engine_oracle(self, engine):
+        original = engine.oracle
+        batch_query(engine, [FSPQuery(0, 5, 0)])
+        assert engine.oracle is original
+
+    def test_empty_batch(self, engine):
+        assert batch_query(engine, []) == []
+
+    def test_shared_targets_hit_cache(self, engine, small_frn, rng):
+        n = small_frn.num_vertices
+        target = n - 1
+        queries = [
+            FSPQuery(int(s), target, 0)
+            for s in rng.choice(n - 1, size=6, replace=False)
+        ]
+        wrapped = MemoizedOracle(engine.oracle)
+        engine.oracle = wrapped
+        try:
+            batch_query(engine, queries)
+        finally:
+            engine.oracle = wrapped._oracle
+        assert wrapped.hits > 0  # cross-query reuse happened

@@ -1,0 +1,128 @@
+"""Unit tests for capacity-based flow (Def. 4) and the FRN model (Def. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError
+from repro.flow.capacity import capacity_based_flow, synthesize_lane_counts
+from repro.flow.series import FlowSeries
+from repro.flow.synthetic import generate_flow_series
+from repro.graph.frn import FlowAwareRoadNetwork
+
+
+class TestLaneCounts:
+    def test_range(self, small_grid):
+        lanes = synthesize_lane_counts(small_grid, max_lanes=5, seed=0)
+        assert lanes.shape == (small_grid.num_vertices,)
+        assert lanes.min() >= 1
+        assert lanes.max() <= 5
+
+    def test_deterministic(self, small_grid):
+        a = synthesize_lane_counts(small_grid, seed=4)
+        b = synthesize_lane_counts(small_grid, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_invalid_max_lanes(self, small_grid):
+        with pytest.raises(FlowError):
+            synthesize_lane_counts(small_grid, max_lanes=0)
+
+
+class TestCapacityBasedFlow:
+    def test_formula_on_vector(self):
+        flow = np.array([10.0, 20.0])
+        lanes = np.array([2, 4])
+        blended = capacity_based_flow(flow, lanes, w_c=0.5)
+        # C_f = 0.5*P + 0.5*(P / N_l)
+        assert blended[0] == pytest.approx(0.5 * 10 + 0.5 * 5)
+        assert blended[1] == pytest.approx(0.5 * 20 + 0.5 * 5)
+
+    def test_wc_extremes(self):
+        flow = np.array([12.0])
+        lanes = np.array([3])
+        assert capacity_based_flow(flow, lanes, w_c=1.0)[0] == 12.0
+        assert capacity_based_flow(flow, lanes, w_c=0.0)[0] == 4.0
+
+    def test_full_series(self):
+        series = FlowSeries(np.array([[10.0, 20.0], [30.0, 40.0]]))
+        lanes = np.array([1, 2])
+        blended = capacity_based_flow(series, lanes, w_c=0.5)
+        assert blended.shape == (2, 2)
+        assert blended[0, 1] == pytest.approx(0.5 * 20 + 0.5 * 10)
+
+    def test_invalid_wc(self):
+        with pytest.raises(FlowError):
+            capacity_based_flow(np.array([1.0]), np.array([1]), w_c=1.5)
+
+    def test_invalid_lanes(self):
+        with pytest.raises(FlowError):
+            capacity_based_flow(np.array([1.0]), np.array([0]))
+        with pytest.raises(FlowError):
+            capacity_based_flow(np.array([1.0, 2.0]), np.array([1]))
+
+
+class TestFRN:
+    def test_dimensions(self, small_frn):
+        assert small_frn.num_vertices == small_frn.graph.num_vertices
+        assert small_frn.num_timesteps == 48
+
+    def test_mismatched_flow_rejected(self, small_grid):
+        flow = FlowSeries(np.ones((4, small_grid.num_vertices + 1)))
+        with pytest.raises(FlowError):
+            FlowAwareRoadNetwork(small_grid, flow)
+
+    def test_predicted_defaults_to_truth(self, small_frn):
+        assert small_frn.predicted_flow is small_frn.flow
+
+    def test_predicted_must_match_horizon(self, small_grid):
+        truth = generate_flow_series(small_grid, days=2, seed=0)
+        predicted = generate_flow_series(small_grid, days=1, seed=0)
+        with pytest.raises(FlowError):
+            FlowAwareRoadNetwork(small_grid, truth, predicted_flow=predicted)
+
+    def test_lanes_validation(self, small_grid):
+        truth = generate_flow_series(small_grid, days=1, seed=0)
+        with pytest.raises(FlowError):
+            FlowAwareRoadNetwork(small_grid, truth,
+                                 lanes=np.zeros(small_grid.num_vertices))
+        with pytest.raises(FlowError):
+            FlowAwareRoadNetwork(small_grid, truth, lanes=np.array([1, 2]))
+
+    def test_total_predicted_flow(self, small_frn):
+        total = small_frn.total_predicted_flow()
+        assert total.shape == (small_frn.num_vertices,)
+        assert np.allclose(total, small_frn.predicted_flow.matrix.sum(axis=0))
+
+    def test_capacity_flow_requires_lanes(self, small_frn):
+        with pytest.raises(FlowError):
+            small_frn.capacity_flow_at(0)
+
+    def test_capacity_flow_with_lanes(self, small_grid):
+        truth = generate_flow_series(small_grid, days=1, seed=0)
+        lanes = synthesize_lane_counts(small_grid, seed=1)
+        frn = FlowAwareRoadNetwork(small_grid, truth, lanes=lanes)
+        blended = frn.capacity_flow_at(0, w_c=0.5)
+        assert blended.shape == (small_grid.num_vertices,)
+        # per-lane load never exceeds the raw flow, so the blend is <= raw
+        assert (blended <= truth.at(0) + 1e-12).all()
+
+    def test_path_flow_and_distance(self, small_frn):
+        graph = small_frn.graph
+        # find any 2-edge path
+        v0 = 0
+        v1 = next(iter(graph.neighbors(v0)))
+        v2 = next(n for n in graph.neighbors(v1) if n != v0)
+        path = [v0, v1, v2]
+        flow_vector = small_frn.predicted_at(0)
+        assert small_frn.path_flow(path, 0) == pytest.approx(
+            float(flow_vector[v0] + flow_vector[v1] + flow_vector[v2])
+        )
+        assert small_frn.path_distance(path) == pytest.approx(
+            graph.weight(v0, v1) + graph.weight(v1, v2)
+        )
+
+    def test_with_flow_updates(self, small_frn):
+        updated = small_frn.with_flow_updates(0, {0: 999.0})
+        assert updated.predicted_at(0)[0] == 999.0
+        assert small_frn.predicted_at(0)[0] != 999.0

@@ -1,0 +1,65 @@
+"""Tests for the fahl-repro command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig6"])
+        assert args.experiment == "fig6"
+        assert args.scale == 0.35
+        assert args.queries == 5
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "fig8", "--scale", "0.1", "--datasets", "brn,nyc",
+             "--alpha", "0.3", "--seed", "7"]
+        )
+        assert args.scale == 0.1
+        assert args.datasets == "brn,nyc"
+        assert args.alpha == 0.3
+        assert args.seed == 7
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_table3_micro(self, capsys):
+        code = main(
+            ["run", "table3", "--scale", "0.05", "--datasets", "BRN",
+             "--queries", "1", "--groups", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "BRN" in out
+
+    def test_run_fig8_micro(self, capsys):
+        code = main(
+            ["run", "fig8", "--scale", "0.05", "--datasets", "BRN",
+             "--queries", "1", "--groups", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GSU" in out and "ISU" in out

@@ -1,0 +1,54 @@
+"""Tests for the stats / export-dataset CLI subcommands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.dimacs import load_dimacs
+
+
+class TestStatsCommand:
+    def test_prints_both_indexes(self, capsys):
+        code = main(["stats", "BRN", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "H2H" in out
+        assert "FAHL" in out
+        assert "entries_ratio" in out
+
+    def test_beta_flag(self, capsys):
+        code = main(["stats", "BRN", "--scale", "0.05", "--beta", "0.9"])
+        assert code == 0
+        assert "FAHL(b=0.9)" in capsys.readouterr().out
+
+
+class TestExportCommand:
+    def test_round_trip(self, tmp_path, capsys):
+        out_dir = tmp_path / "export"
+        code = main([
+            "export-dataset", "BRN", str(out_dir),
+            "--scale", "0.05", "--days", "1",
+        ])
+        assert code == 0
+        assert (out_dir / "brn.gr").exists()
+        assert (out_dir / "brn.co").exists()
+        assert (out_dir / "brn.flows.npz").exists()
+        # the exported graph reloads through the DIMACS reader
+        graph = load_dimacs(out_dir / "brn.gr", out_dir / "brn.co")
+        assert graph.num_vertices > 10
+        assert len(graph.coordinates) == graph.num_vertices
+        with np.load(out_dir / "brn.flows.npz") as flows:
+            assert flows["truth"].shape[1] == graph.num_vertices
+            assert flows["predicted"].shape == flows["truth"].shape
+            assert int(flows["interval_minutes"]) == 60
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        code = main([
+            "export-dataset", "NYC", str(nested),
+            "--scale", "0.05", "--days", "1",
+        ])
+        assert code == 0
+        assert nested.exists()

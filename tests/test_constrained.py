@@ -1,0 +1,188 @@
+"""Unit tests for constrained FSPQ (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constrained import (
+    ConstrainedFlowAwareEngine,
+    ConstraintError,
+    QueryConstraints,
+)
+from repro.core.fahl import build_fahl
+from repro.core.fspq import FSPQuery
+from repro.errors import QueryError
+from repro.flow.series import FlowSeries
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+
+
+@pytest.fixture()
+def diamond_frn() -> FlowAwareRoadNetwork:
+    """0-1-3 (short, busy) vs 0-2-3 (long, quiet)."""
+    graph = RoadNetwork(4, edges=[(0, 1, 1.0), (1, 3, 1.0),
+                                  (0, 2, 2.0), (2, 3, 2.0)])
+    flow = FlowSeries(np.array([[5.0, 100.0, 1.0, 5.0]]))
+    return FlowAwareRoadNetwork(graph, flow)
+
+
+@pytest.fixture()
+def engine(diamond_frn) -> ConstrainedFlowAwareEngine:
+    index = build_fahl(diamond_frn)
+    return ConstrainedFlowAwareEngine(
+        diamond_frn, oracle=index, alpha=0.7, eta_u=3.0
+    )
+
+
+class TestQueryConstraints:
+    def test_trivial(self):
+        assert QueryConstraints().is_trivial()
+        assert not QueryConstraints(max_hops=3).is_trivial()
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            QueryConstraints(max_vertex_flow=-1.0)
+        with pytest.raises(QueryError):
+            QueryConstraints(max_path_flow=-0.5)
+        with pytest.raises(QueryError):
+            QueryConstraints(max_hops=0)
+
+    def test_admits_checks(self):
+        flow = np.array([1.0, 50.0, 2.0])
+        constraints = QueryConstraints(max_vertex_flow=10.0)
+        assert constraints.admits([0, 2], flow)
+        assert not constraints.admits([0, 1, 2], flow)
+        hops = QueryConstraints(max_hops=1)
+        assert hops.admits([0, 2], flow)
+        assert not hops.admits([0, 1, 2], flow)
+        total = QueryConstraints(max_path_flow=10.0)
+        assert total.admits([0, 2], flow)
+        assert not total.admits([0, 1], flow)
+
+
+class TestConstrainedEngine:
+    def test_trivial_constraints_match_unconstrained(self, engine):
+        query = FSPQuery(0, 3, 0)
+        plain = engine.query(query)
+        constrained = engine.query_constrained(query, QueryConstraints())
+        assert constrained.path == plain.path
+        assert constrained.score == pytest.approx(plain.score)
+
+    def test_forbidden_vertex_forces_detour(self, engine):
+        query = FSPQuery(0, 3, 0)
+        result = engine.query_constrained(
+            query, QueryConstraints(forbidden_vertices=frozenset({1}))
+        )
+        assert result.path == (0, 2, 3)
+        # SPDis is anchored to the constrained graph
+        assert result.shortest_distance == 4.0
+
+    def test_max_vertex_flow_avoids_congestion(self, engine):
+        # alpha=0.7 would normally pick the busy short route; the vertex
+        # flow cap forbids vertex 1 (flow 100)
+        query = FSPQuery(0, 3, 0)
+        unconstrained = engine.query_constrained(query, QueryConstraints())
+        assert unconstrained.path == (0, 1, 3)
+        result = engine.query_constrained(
+            query, QueryConstraints(max_vertex_flow=50.0)
+        )
+        assert result.path == (0, 2, 3)
+
+    def test_max_path_flow(self, engine):
+        result = engine.query_constrained(
+            FSPQuery(0, 3, 0), QueryConstraints(max_path_flow=50.0)
+        )
+        assert result.path == (0, 2, 3)
+        assert result.flow <= 50.0
+
+    def test_max_hops(self, small_frn):
+        index = build_fahl(small_frn)
+        engine = ConstrainedFlowAwareEngine(small_frn, oracle=index,
+                                            alpha=0.5, eta_u=3.0)
+        n = small_frn.num_vertices
+        query = FSPQuery(0, n - 1, 0)
+        base = engine.query_constrained(query, QueryConstraints())
+        hops = len(base.path) - 1
+        result = engine.query_constrained(
+            query, QueryConstraints(max_hops=hops + 5)
+        )
+        assert len(result.path) - 1 <= hops + 5
+
+    def test_infeasible_raises(self, engine):
+        with pytest.raises(ConstraintError):
+            engine.query_constrained(
+                FSPQuery(0, 3, 0),
+                QueryConstraints(forbidden_vertices=frozenset({1, 2})),
+            )
+
+    def test_forbidden_endpoint_rejected(self, engine):
+        with pytest.raises(ConstraintError):
+            engine.query_constrained(
+                FSPQuery(0, 3, 0),
+                QueryConstraints(forbidden_vertices=frozenset({0})),
+            )
+
+    def test_impossible_flow_cap(self, engine):
+        with pytest.raises(ConstraintError):
+            engine.query_constrained(
+                FSPQuery(0, 3, 0), QueryConstraints(max_vertex_flow=0.5)
+            )
+
+    def test_self_query_respects_flow_cap(self, engine):
+        result = engine.query_constrained(
+            FSPQuery(2, 2, 0), QueryConstraints(max_vertex_flow=10.0)
+        )
+        assert result.path == (2,)
+        with pytest.raises(ConstraintError):
+            engine.query_constrained(
+                FSPQuery(1, 1, 0), QueryConstraints(max_vertex_flow=10.0)
+            )
+
+    def test_counts_rejected_candidates(self, engine):
+        result = engine.query_constrained(
+            FSPQuery(0, 3, 0), QueryConstraints(max_vertex_flow=50.0)
+        )
+        assert result.num_pruned >= 1  # the busy route was rejected
+
+    def test_constrained_on_grid_is_exact(self, small_frn, rng):
+        """Forbidding random vertices: the engine's SPDis must equal a
+        Dijkstra run on the graph minus those vertices."""
+        import heapq
+        import math
+
+        index = build_fahl(small_frn)
+        engine = ConstrainedFlowAwareEngine(small_frn, oracle=index,
+                                            alpha=0.5, eta_u=3.0)
+        graph = small_frn.graph
+        n = graph.num_vertices
+        for _ in range(8):
+            s, t = map(int, rng.integers(0, n, 2))
+            if s == t:
+                continue
+            banned = {
+                int(v) for v in rng.choice(n, size=3, replace=False)
+            } - {s, t}
+            # reference Dijkstra avoiding the banned set
+            dist = {s: 0.0}
+            heap = [(0.0, s)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if d > dist.get(u, math.inf):
+                    continue
+                for v, w in graph.neighbor_items(u):
+                    if v in banned:
+                        continue
+                    nd = d + w
+                    if nd < dist.get(v, math.inf):
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+            expected = dist.get(t, math.inf)
+            constraints = QueryConstraints(forbidden_vertices=frozenset(banned))
+            if math.isinf(expected):
+                with pytest.raises(ConstraintError):
+                    engine.query_constrained(FSPQuery(s, t, 0), constraints)
+            else:
+                result = engine.query_constrained(FSPQuery(s, t, 0), constraints)
+                assert result.shortest_distance == pytest.approx(expected)
+                assert not set(result.path) & banned

@@ -1,0 +1,84 @@
+"""Unit tests for CSR snapshots and connectivity validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.csr import to_csr
+from repro.graph.road_network import RoadNetwork
+from repro.graph.validation import (
+    connected_components,
+    is_connected,
+    largest_component,
+    require_connected,
+)
+
+
+class TestCSR:
+    def test_shapes(self, triangle_graph):
+        csr = to_csr(triangle_graph)
+        assert csr.num_vertices == 3
+        assert csr.num_edges == 3
+        assert len(csr.indices) == 6  # both directions
+
+    def test_neighbors_sorted(self, small_grid):
+        csr = to_csr(small_grid)
+        for v in range(csr.num_vertices):
+            nbrs = csr.neighbors(v)
+            assert list(nbrs) == sorted(nbrs)
+
+    def test_weights_aligned(self, triangle_graph):
+        csr = to_csr(triangle_graph)
+        for v in range(3):
+            for nbr, w in zip(csr.neighbors(v), csr.neighbor_weights(v)):
+                assert triangle_graph.weight(v, int(nbr)) == w
+
+    def test_degrees_match(self, small_grid):
+        csr = to_csr(small_grid)
+        expected = np.array([small_grid.degree(v) for v in small_grid.vertices()])
+        assert np.array_equal(csr.degrees(), expected)
+
+    def test_empty_graph(self):
+        csr = to_csr(RoadNetwork(0))
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+
+
+class TestValidation:
+    def test_connected_graph(self, triangle_graph):
+        assert is_connected(triangle_graph)
+        require_connected(triangle_graph)  # must not raise
+
+    def test_trivial_graphs_connected(self):
+        assert is_connected(RoadNetwork(0))
+        assert is_connected(RoadNetwork(1))
+
+    def test_disconnected_detected(self):
+        graph = RoadNetwork(4, edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        assert not is_connected(graph)
+        with pytest.raises(DisconnectedGraphError):
+            require_connected(graph, context="test")
+
+    def test_components_largest_first(self):
+        graph = RoadNetwork(5, edges=[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        comps = connected_components(graph)
+        assert sorted(comps[0]) == [0, 1, 2]
+        assert sorted(comps[1]) == [3, 4]
+
+    def test_isolated_vertices_are_components(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0)])
+        assert len(connected_components(graph)) == 2
+
+    def test_largest_component_subgraph(self):
+        graph = RoadNetwork(5, edges=[(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.0)])
+        sub, relabel = largest_component(graph)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert set(relabel) == {0, 1, 2}
+
+    def test_largest_component_empty(self):
+        sub, relabel = largest_component(RoadNetwork(0))
+        assert sub.num_vertices == 0
+        assert relabel == {}

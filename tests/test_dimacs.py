@@ -1,0 +1,106 @@
+"""Unit tests for DIMACS file IO."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import DatasetFormatError
+from repro.graph.dimacs import load_dimacs, read_co, read_gr, write_gr
+from repro.graph.generators import grid_network
+from repro.graph.road_network import RoadNetwork
+
+SAMPLE_GR = """c a comment line
+p sp 3 4
+a 1 2 10
+a 2 1 10
+a 2 3 5
+a 3 2 5
+"""
+
+SAMPLE_CO = """c coordinates
+p aux sp co 3
+v 1 100 200
+v 2 -50 75
+v 3 0 0
+"""
+
+
+class TestReadGr:
+    def test_basic_parse(self):
+        graph = read_gr(io.StringIO(SAMPLE_GR))
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2  # both directions folded
+        assert graph.weight(0, 1) == 10.0
+        assert graph.weight(1, 2) == 5.0
+
+    def test_asymmetric_arcs_keep_minimum(self):
+        text = "p sp 2 2\na 1 2 10\na 2 1 4\n"
+        graph = read_gr(io.StringIO(text))
+        assert graph.weight(0, 1) == 4.0
+
+    def test_missing_problem_line(self):
+        with pytest.raises(DatasetFormatError):
+            read_gr(io.StringIO("a 1 2 3\n"))
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(DatasetFormatError):
+            read_gr(io.StringIO("p sp 2 0\np sp 2 0\n"))
+
+    def test_arc_count_mismatch(self):
+        with pytest.raises(DatasetFormatError):
+            read_gr(io.StringIO("p sp 2 3\na 1 2 1\n"))
+
+    def test_unknown_record(self):
+        with pytest.raises(DatasetFormatError):
+            read_gr(io.StringIO("p sp 2 0\nx nonsense\n"))
+
+    def test_malformed_arc(self):
+        with pytest.raises(DatasetFormatError):
+            read_gr(io.StringIO("p sp 2 1\na 1 2\n"))
+
+    def test_out_of_range_vertex(self):
+        with pytest.raises(DatasetFormatError):
+            read_gr(io.StringIO("p sp 2 1\na 1 5 3\n"))
+
+
+class TestWriteGr:
+    def test_round_trip(self, tmp_path):
+        original = grid_network(5, 5, seed=2)
+        path = tmp_path / "net.gr"
+        write_gr(original, path)
+        loaded = read_gr(path)
+        assert loaded.num_vertices == original.num_vertices
+        assert sorted(loaded.edges()) == sorted(original.edges())
+
+    def test_writes_both_directions(self):
+        graph = RoadNetwork(2, edges=[(0, 1, 7.0)])
+        buffer = io.StringIO()
+        write_gr(graph, buffer)
+        text = buffer.getvalue()
+        assert "a 1 2 7" in text
+        assert "a 2 1 7" in text
+
+
+class TestReadCo:
+    def test_basic_parse(self):
+        coords = read_co(io.StringIO(SAMPLE_CO))
+        assert coords[0] == (100.0, 200.0)
+        assert coords[1] == (-50.0, 75.0)
+
+    def test_malformed_line(self):
+        with pytest.raises(DatasetFormatError):
+            read_co(io.StringIO("v 1 2\n"))
+
+
+class TestLoadDimacs:
+    def test_with_coordinates(self, tmp_path):
+        graph = grid_network(4, 4, seed=1)
+        gr = tmp_path / "g.gr"
+        write_gr(graph, gr)
+        co = tmp_path / "g.co"
+        with open(co, "w", encoding="ascii") as handle:
+            handle.write("v 1 10 20\n")
+        loaded = load_dimacs(gr, co)
+        assert loaded.coordinates[0] == (10.0, 20.0)

@@ -1,0 +1,137 @@
+"""Unit tests for traffic incidents and bidirectional Dijkstra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.baselines.bidirectional import (
+    BidirectionalDijkstra,
+    bidirectional_distance,
+)
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.fahl import build_fahl
+from repro.core.maintenance import apply_flow_updates
+from repro.errors import FlowError, QueryError
+from repro.flow.events import (
+    TrafficIncident,
+    apply_incidents,
+    incident_update_stream,
+    random_incidents,
+)
+from repro.flow.synthetic import generate_flow_series
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+from tests.strategies import connected_graphs
+
+
+class TestTrafficIncident:
+    def test_intensity_shape(self):
+        incident = TrafficIncident(epicentre=0, start=2, duration=4,
+                                   severity=5.0, radius=2)
+        # full severity at epicentre, start slice
+        assert incident.intensity(0, 0) == pytest.approx(5.0)
+        # halves per hop
+        assert incident.intensity(0, 1) == pytest.approx(3.0)
+        assert incident.intensity(0, 2) == pytest.approx(2.0)
+        # ramps down over time
+        assert incident.intensity(2, 0) == pytest.approx(3.0)
+        # outside window or radius: no effect
+        assert incident.intensity(4, 0) == 1.0
+        assert incident.intensity(0, 3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(FlowError):
+            TrafficIncident(0, 0, duration=0)
+        with pytest.raises(FlowError):
+            TrafficIncident(0, 0, duration=2, severity=1.0)
+        with pytest.raises(FlowError):
+            TrafficIncident(0, 0, duration=2, radius=-1)
+
+
+class TestApplyIncidents:
+    def test_surge_localised(self, small_grid):
+        series = generate_flow_series(small_grid, days=1, seed=0)
+        incident = TrafficIncident(epicentre=0, start=5, duration=2,
+                                   severity=4.0, radius=1)
+        surged = apply_incidents(small_grid, series, [incident])
+        # epicentre quadruples at the start slice
+        assert surged.matrix[5, 0] == pytest.approx(series.matrix[5, 0] * 4.0)
+        # untouched slices identical
+        assert np.array_equal(surged.matrix[0], series.matrix[0])
+        # vertices beyond the radius untouched
+        far = max(
+            small_grid.vertices(),
+            key=lambda v: 0 if small_grid.has_edge(0, v) or v == 0 else v,
+        )
+        assert surged.matrix[5, far] == series.matrix[5, far]
+
+    def test_unknown_epicentre(self, small_grid):
+        series = generate_flow_series(small_grid, days=1, seed=0)
+        incident = TrafficIncident(epicentre=10_000, start=0, duration=1)
+        with pytest.raises(FlowError):
+            apply_incidents(small_grid, series, [incident])
+
+    def test_random_incidents_reproducible(self, small_grid):
+        a = random_incidents(small_grid, 24, 5, seed=3)
+        b = random_incidents(small_grid, 24, 5, seed=3)
+        assert a == b
+        assert len(a) == 5
+
+    def test_update_stream_feeds_maintenance(self, small_grid):
+        series = generate_flow_series(small_grid, days=1, seed=1)
+        incidents = random_incidents(small_grid, 24, 3, seed=2)
+        stream = incident_update_stream(small_grid, series, incidents)
+        assert stream  # incidents touch at least one slice
+        frn = FlowAwareRoadNetwork(small_grid, series)
+        index = build_fahl(frn)
+        first_slice = sorted(stream)[0]
+        stats = apply_flow_updates(index, stream[first_slice], method="isu")
+        assert len(stats) == len(stream[first_slice])
+        index.tree.validate(small_grid)
+
+
+class TestBidirectionalDijkstra:
+    def test_matches_dijkstra(self, medium_grid, rng):
+        n = medium_grid.num_vertices
+        for _ in range(50):
+            s, t = map(int, rng.integers(0, n, 2))
+            dist, path = bidirectional_distance(medium_grid, s, t)
+            assert dist == pytest.approx(dijkstra_distance(medium_grid, s, t))
+            if path:
+                weight = sum(
+                    medium_grid.weight(a, b) for a, b in zip(path, path[1:])
+                )
+                assert weight == pytest.approx(dist)
+                assert path[0] == s and path[-1] == t
+
+    def test_self_query(self, medium_grid):
+        assert bidirectional_distance(medium_grid, 3, 3) == (0.0, [3])
+
+    def test_unreachable(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0)])
+        dist, path = bidirectional_distance(graph, 0, 2)
+        assert dist == float("inf")
+        assert path == []
+
+    def test_oracle_interface(self, small_grid):
+        oracle = BidirectionalDijkstra(small_grid)
+        assert oracle.distance(0, 5) == pytest.approx(
+            dijkstra_distance(small_grid, 0, 5)
+        )
+        path = oracle.path(0, 5)
+        assert path[0] == 0 and path[-1] == 5
+
+    def test_unknown_vertices(self, small_grid):
+        with pytest.raises(QueryError):
+            bidirectional_distance(small_grid, 0, 10_000)
+
+
+@given(graph=connected_graphs(max_vertices=14))
+def test_property_bidirectional_equals_dijkstra(graph):
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 4)):
+        for t in range(0, n, max(1, n // 4)):
+            dist, _ = bidirectional_distance(graph, s, t)
+            assert dist == pytest.approx(dijkstra_distance(graph, s, t))

@@ -1,0 +1,115 @@
+"""Smoke + behaviour tests for the experiment harness (micro scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fspq import FSPQuery
+from repro.errors import QueryError
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import (
+    ALL_METHODS,
+    ExperimentConfig,
+    ExperimentTable,
+    build_method,
+    build_method_suite,
+    format_table,
+    time_queries,
+)
+from repro.workloads.datasets import load_dataset
+
+MICRO = ExperimentConfig(
+    datasets=("BRN",),
+    scale=0.05,
+    days=1,
+    num_groups=2,
+    queries_per_group=2,
+    max_candidates=6,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_dataset():
+    return load_dataset("BRN", scale=0.05, days=1, seed=0)
+
+
+class TestRunnerInfra:
+    def test_config_overrides(self):
+        config = MICRO.with_overrides(alpha=0.7)
+        assert config.alpha == 0.7
+        assert config.scale == MICRO.scale
+
+    def test_format_table_alignment(self):
+        text = format_table("t", ["a", "bb"], [[1, 2.5], [10, 0.001]], ["note"])
+        lines = text.splitlines()
+        assert lines[0] == "== t =="
+        assert lines[-1] == "# note"
+
+    def test_experiment_table_rows(self):
+        table = ExperimentTable(title="x", headers=["h"])
+        table.add_row(1)
+        assert table.rows == [[1]]
+        assert "x" in table.render()
+
+    def test_build_unknown_method(self, micro_dataset):
+        with pytest.raises(QueryError):
+            build_method("FOO", micro_dataset, MICRO)
+
+    def test_suite_builds_all_methods(self, micro_dataset):
+        suite = build_method_suite(micro_dataset, MICRO)
+        assert set(suite) == set(ALL_METHODS)
+        # FAHL-O and FAHL-W share the index build
+        assert suite["FAHL-O"].index is suite["FAHL-W"].index
+        assert suite["FAHL-W"].engine.pruning == "lemma4"
+        assert suite["FAHL-O"].engine.pruning == "none"
+
+    def test_methods_have_private_graphs(self, micro_dataset):
+        suite = build_method_suite(micro_dataset, MICRO, methods=("H2H", "CH"))
+        assert suite["H2H"].frn.graph is not suite["CH"].frn.graph
+        assert suite["H2H"].frn.graph is not micro_dataset.frn.graph
+
+    def test_all_methods_agree_on_spdis(self, micro_dataset):
+        suite = build_method_suite(micro_dataset, MICRO)
+        n = micro_dataset.num_vertices
+        for s, t in [(0, n - 1), (1, n // 2)]:
+            values = {
+                name: built.engine.shortest_distance(s, t)
+                for name, built in suite.items()
+            }
+            baseline = values["H2H"]
+            for name, value in values.items():
+                assert value == pytest.approx(baseline), name
+
+    def test_all_methods_agree_on_fspq_result(self, micro_dataset):
+        # every engine enumerates the same MCPDis candidate set, so with
+        # pruning off the flow-aware optimum must coincide across methods
+        config = MICRO.with_overrides(max_candidates=64)
+        suite = build_method_suite(micro_dataset, config)
+        n = micro_dataset.num_vertices
+        query = FSPQuery(0, n - 1, 0)
+        results = {
+            name: built.engine.query(query)
+            for name, built in suite.items()
+            if name != "FAHL-W"  # lemma4 pruning may legitimately deviate
+        }
+        scores = {name: r.score for name, r in results.items()}
+        baseline = scores["H2H"]
+        for name, score in scores.items():
+            assert score == pytest.approx(baseline), name
+
+    def test_time_queries_empty(self, micro_dataset):
+        suite = build_method_suite(micro_dataset, MICRO, methods=("H2H",))
+        assert time_queries(suite["H2H"], []) == 0.0
+
+
+class TestExperimentSmoke:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_runs_and_produces_rows(self, name):
+        table = EXPERIMENTS[name].run(MICRO)
+        assert table.rows, name
+        assert len(table.headers) >= 2
+        for row in table.rows:
+            assert len(row) == len(table.headers)
+        rendered = table.render()
+        assert table.title in rendered

@@ -1,0 +1,136 @@
+"""Unit tests for the ALT landmark oracle and the PLL baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance, dijkstra_distances
+from repro.baselines.landmarks import ALTOracle, LandmarkHeuristic, select_landmarks
+from repro.baselines.pll import PLLIndex, build_pll
+from repro.errors import (
+    DisconnectedGraphError,
+    IndexBuildError,
+    IndexStateError,
+    QueryError,
+)
+from repro.graph.road_network import RoadNetwork
+from repro.paths.candidates import heuristic_for
+
+
+class TestLandmarkSelection:
+    def test_count_and_uniqueness(self, medium_grid):
+        landmarks = select_landmarks(medium_grid, 6, seed=1)
+        assert len(landmarks) == 6
+        assert len(set(landmarks)) == 6
+
+    def test_landmarks_spread_apart(self, medium_grid):
+        landmarks = select_landmarks(medium_grid, 4, seed=0)
+        # every pair of chosen landmarks should be farther apart than a
+        # typical edge
+        for i, a in enumerate(landmarks):
+            dist = dijkstra_distances(medium_grid, a)
+            for b in landmarks[i + 1:]:
+                assert dist[b] > 0
+
+    def test_invalid_count(self, small_grid):
+        with pytest.raises(IndexBuildError):
+            select_landmarks(small_grid, 0)
+        with pytest.raises(IndexBuildError):
+            select_landmarks(small_grid, small_grid.num_vertices + 1)
+
+
+class TestALTOracle:
+    def test_heuristic_admissible(self, medium_grid, rng):
+        oracle = ALTOracle(medium_grid, num_landmarks=6, seed=0)
+        n = medium_grid.num_vertices
+        for _ in range(25):
+            s, t = map(int, rng.integers(0, n, 2))
+            heuristic = oracle.heuristic(t)
+            true = dijkstra_distance(medium_grid, s, t)
+            assert heuristic.estimate(s) <= true + 1e-9
+
+    def test_exact_distances(self, medium_grid, rng):
+        oracle = ALTOracle(medium_grid, num_landmarks=6, seed=0)
+        n = medium_grid.num_vertices
+        for _ in range(40):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert oracle.distance(s, t) == pytest.approx(
+                dijkstra_distance(medium_grid, s, t)
+            )
+
+    def test_paths_valid(self, medium_grid, rng):
+        oracle = ALTOracle(medium_grid, num_landmarks=4, seed=0)
+        n = medium_grid.num_vertices
+        for _ in range(15):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = oracle.path(s, t)
+            assert path[0] == s and path[-1] == t
+
+    def test_heuristic_for_picks_factory(self, medium_grid):
+        oracle = ALTOracle(medium_grid, num_landmarks=3, seed=0)
+        heuristic = heuristic_for(medium_grid, oracle, 5)
+        assert isinstance(heuristic, LandmarkHeuristic)
+
+    def test_index_size(self, small_grid):
+        oracle = ALTOracle(small_grid, num_landmarks=3, seed=0)
+        assert oracle.index_size_entries() == 3 * small_grid.num_vertices
+
+    def test_rejects_disconnected(self):
+        graph = RoadNetwork(4, edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            ALTOracle(graph)
+
+    def test_unknown_target(self, small_grid):
+        oracle = ALTOracle(small_grid, num_landmarks=2, seed=0)
+        with pytest.raises(QueryError):
+            oracle.heuristic(10_000)
+
+
+class TestPLL:
+    def test_exact_distances(self, medium_grid, rng):
+        index = build_pll(medium_grid)
+        n = medium_grid.num_vertices
+        for _ in range(60):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert index.distance(s, t) == pytest.approx(
+                dijkstra_distance(medium_grid, s, t)
+            )
+
+    def test_self_distance(self, small_grid):
+        index = build_pll(small_grid)
+        assert index.distance(4, 4) == 0.0
+
+    def test_every_pair_shares_a_hub(self, small_grid):
+        import math
+
+        index = build_pll(small_grid)
+        n = small_grid.num_vertices
+        for s in range(0, n, 5):
+            for t in range(0, n, 5):
+                assert math.isfinite(index.distance(s, t))
+
+    def test_first_hub_labels_everyone(self, small_grid):
+        index = build_pll(small_grid)
+        top = index.order[0]
+        assert all(top in index.labels[v] for v in range(small_grid.num_vertices))
+
+    def test_labels_are_pruned(self, medium_grid):
+        # pruning must keep average label size well below n
+        index = build_pll(medium_grid)
+        assert index.average_label_size() < medium_grid.num_vertices / 4
+
+    def test_stats(self, small_grid):
+        index = build_pll(small_grid)
+        assert index.index_size_entries() > 0
+        assert "avg_label" in repr(index)
+
+    def test_rejects_empty_and_disconnected(self):
+        with pytest.raises(IndexStateError):
+            PLLIndex(RoadNetwork(0))
+        with pytest.raises(DisconnectedGraphError):
+            PLLIndex(RoadNetwork(4, edges=[(0, 1, 1.0), (2, 3, 1.0)]))
+
+    def test_unknown_vertices(self, small_grid):
+        index = build_pll(small_grid)
+        with pytest.raises(QueryError):
+            index.distance(0, 9_999)

@@ -1,0 +1,97 @@
+"""Unit tests for the FAHL index (construction + Alg. 2 queries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.fahl import FAHLIndex, build_fahl
+from repro.errors import DisconnectedGraphError, IndexBuildError, IndexStateError
+from repro.graph.road_network import RoadNetwork
+from repro.labeling.h2h import build_h2h
+
+
+class TestConstruction:
+    def test_from_frn(self, small_frn):
+        index = build_fahl(small_frn)
+        assert index.graph is small_frn.graph
+        assert index.beta == 0.5
+        index.tree.validate(small_frn.graph)
+
+    def test_flow_vector_validated(self, small_grid):
+        with pytest.raises(IndexBuildError):
+            FAHLIndex(small_grid, np.ones(3))
+
+    def test_empty_graph(self):
+        with pytest.raises(IndexStateError):
+            FAHLIndex(RoadNetwork(0), np.empty(0))
+
+    def test_disconnected_graph(self):
+        graph = RoadNetwork(4, edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            FAHLIndex(graph, np.ones(4))
+
+    def test_anchors_frozen(self, small_grid):
+        flows = np.linspace(0, 100, small_grid.num_vertices)
+        index = FAHLIndex(small_grid, flows)
+        assert index.flow_anchors == (0.0, 100.0)
+
+    def test_capacity_variant(self, small_grid):
+        from repro.flow.capacity import synthesize_lane_counts
+        from repro.flow.synthetic import generate_flow_series
+        from repro.graph.frn import FlowAwareRoadNetwork
+
+        truth = generate_flow_series(small_grid, days=1, seed=0)
+        lanes = synthesize_lane_counts(small_grid, seed=1)
+        frn = FlowAwareRoadNetwork(small_grid, truth, lanes=lanes)
+        plain = build_fahl(frn, use_capacity=False)
+        capacity = build_fahl(frn, use_capacity=True, w_c=0.3)
+        assert not np.array_equal(plain.flows, capacity.flows)
+
+    def test_beta_zero_close_to_h2h_size(self, small_grid):
+        flows = np.random.default_rng(0).uniform(0, 100, small_grid.num_vertices)
+        fahl = FAHLIndex(small_grid, flows, beta=0.0)
+        h2h = build_h2h(small_grid)
+        # beta=0 degenerates to (normalised) degree ordering; sizes match to
+        # within tie-breaking noise
+        ratio = fahl.index_size_entries() / h2h.index_size_entries()
+        assert 0.8 < ratio < 1.25
+
+
+class TestQueries:
+    def test_exact_distances(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        graph = small_frn.graph
+        n = graph.num_vertices
+        for _ in range(80):
+            s, t = map(int, rng.integers(0, n, 2))
+            ref = dijkstra_distances(graph, s)[t]
+            assert index.distance(s, t) == pytest.approx(ref)
+
+    def test_paths_match_distances(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        graph = small_frn.graph
+        n = graph.num_vertices
+        for _ in range(40):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = index.path(s, t)
+            weight = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+            assert weight == pytest.approx(index.distance(s, t))
+
+    def test_low_flow_vertices_prefer_root(self, small_grid):
+        # with beta=1 ordering is purely by flow: the lowest-flow vertex is
+        # eliminated last, i.e. becomes the root (paper Section III intuition)
+        rng = np.random.default_rng(3)
+        flows = rng.uniform(10, 100, small_grid.num_vertices)
+        lowest = int(np.argmin(flows))
+        index = FAHLIndex(small_grid, flows, beta=1.0)
+        assert index.tree.root == lowest
+
+    def test_phi_of_uses_anchors(self, small_grid):
+        flows = np.linspace(0, 100, small_grid.num_vertices)
+        index = FAHLIndex(small_grid, flows, beta=1.0)
+        # importance falls with flow; a flow above the anchor max pushes the
+        # (1 - normalised) term below 0
+        index.flows[0] = 200.0
+        assert index.phi_of(0, degree=2) < 0.0

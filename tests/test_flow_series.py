@@ -1,0 +1,171 @@
+"""Unit tests for FlowSeries, synthetic flow and predictors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError
+from repro.flow.predictor import SeasonalNaivePredictor, TrainablePredictor
+from repro.flow.series import FlowSeries
+from repro.flow.synthetic import diurnal_profile, generate_flow_series
+
+
+class TestFlowSeries:
+    def test_shapes(self):
+        series = FlowSeries(np.ones((4, 3)))
+        assert series.num_timesteps == 4
+        assert series.num_vertices == 3
+        assert series.total_records() == 12
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(FlowError):
+            FlowSeries(np.ones(5))
+        with pytest.raises(FlowError):
+            FlowSeries(np.ones((2, 2, 2)))
+
+    def test_rejects_negative_and_nonfinite(self):
+        with pytest.raises(FlowError):
+            FlowSeries(np.array([[-1.0, 2.0]]))
+        with pytest.raises(FlowError):
+            FlowSeries(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(FlowError):
+            FlowSeries(np.ones((2, 2)), interval_minutes=0)
+
+    def test_at_and_flow(self):
+        series = FlowSeries(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert list(series.at(1)) == [3.0, 4.0]
+        assert series.flow(0, 1) == 3.0
+
+    def test_timestep_out_of_range(self):
+        series = FlowSeries(np.ones((2, 2)))
+        with pytest.raises(FlowError):
+            series.at(5)
+
+    def test_vertex_series(self):
+        series = FlowSeries(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert list(series.vertex_series(1)) == [2.0, 4.0]
+        with pytest.raises(FlowError):
+            series.vertex_series(9)
+
+    def test_with_updates_copies(self):
+        series = FlowSeries(np.ones((2, 2)))
+        updated = series.with_updates(0, {1: 7.0})
+        assert updated.flow(1, 0) == 7.0
+        assert series.flow(1, 0) == 1.0
+
+    def test_with_updates_rejects_negative(self):
+        series = FlowSeries(np.ones((2, 2)))
+        with pytest.raises(FlowError):
+            series.with_updates(0, {0: -1.0})
+
+    def test_resample_coarser(self):
+        series = FlowSeries(np.arange(8, dtype=float).reshape(4, 2),
+                            interval_minutes=30)
+        coarse = series.resampled(60)
+        assert coarse.num_timesteps == 2
+        assert list(coarse.at(1)) == [4.0, 5.0]
+
+    def test_resample_finer(self):
+        series = FlowSeries(np.arange(4, dtype=float).reshape(2, 2),
+                            interval_minutes=60)
+        fine = series.resampled(30)
+        assert fine.num_timesteps == 4
+        assert list(fine.at(1)) == [0.0, 1.0]
+
+    def test_resample_incompatible(self):
+        series = FlowSeries(np.ones((2, 2)), interval_minutes=60)
+        with pytest.raises(FlowError):
+            series.resampled(45)
+
+
+class TestSyntheticFlow:
+    def test_diurnal_profile_mean_one(self):
+        profile = diurnal_profile(24)
+        assert profile.shape == (24,)
+        assert abs(profile.mean() - 1.0) < 1e-9
+
+    def test_diurnal_has_two_peaks(self):
+        profile = diurnal_profile(48)
+        morning = profile[14:20].max()  # 7:00 - 10:00
+        midday = profile[24:28].min()   # noon trough
+        evening = profile[34:40].max()  # 17:00 - 20:00
+        assert morning > midday
+        assert evening > midday
+
+    def test_generate_shapes(self, small_grid):
+        series = generate_flow_series(small_grid, days=3, interval_minutes=60, seed=0)
+        assert series.num_timesteps == 72
+        assert series.num_vertices == small_grid.num_vertices
+
+    def test_generate_deterministic(self, small_grid):
+        a = generate_flow_series(small_grid, days=1, seed=5)
+        b = generate_flow_series(small_grid, days=1, seed=5)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_generate_nonnegative(self, small_grid):
+        series = generate_flow_series(small_grid, days=1, seed=1)
+        assert (series.matrix >= 0).all()
+
+    def test_mean_flow_respected(self, small_grid):
+        series = generate_flow_series(small_grid, days=2, mean_flow=50.0, seed=2)
+        assert 30.0 < series.matrix.mean() < 75.0
+
+    def test_invalid_args(self, small_grid):
+        with pytest.raises(FlowError):
+            generate_flow_series(small_grid, days=0)
+        with pytest.raises(FlowError):
+            generate_flow_series(small_grid, interval_minutes=7)
+        with pytest.raises(FlowError):
+            generate_flow_series(small_grid, mean_flow=0)
+        with pytest.raises(FlowError):
+            generate_flow_series(small_grid, noise=-1)
+
+
+class TestPredictors:
+    def test_seasonal_naive_shifts_one_day(self, small_grid):
+        truth = generate_flow_series(small_grid, days=2, seed=0)
+        predicted = SeasonalNaivePredictor().fit(truth).predict()
+        day = 24
+        assert np.array_equal(predicted.matrix[day:], truth.matrix[:-day])
+
+    def test_seasonal_requires_fit(self):
+        with pytest.raises(FlowError):
+            SeasonalNaivePredictor().predict()
+
+    def test_trainable_accuracy_monotone_in_epochs(self, small_grid):
+        truth = generate_flow_series(small_grid, days=2, seed=0)
+        accuracies = [
+            TrainablePredictor(epochs=e, seed=1).fit(truth).accuracy(truth)
+            for e in (0, 50, 100, 200)
+        ]
+        assert accuracies == sorted(accuracies)
+        assert accuracies[-1] > 0.9
+
+    def test_trainable_error_level_decays(self):
+        low = TrainablePredictor(epochs=200).error_level
+        high = TrainablePredictor(epochs=0).error_level
+        assert low < high
+
+    def test_trainable_deterministic(self, small_grid):
+        truth = generate_flow_series(small_grid, days=1, seed=0)
+        a = TrainablePredictor(epochs=50, seed=3).fit(truth).predict()
+        b = TrainablePredictor(epochs=50, seed=3).fit(truth).predict()
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_trainable_validates_args(self):
+        with pytest.raises(FlowError):
+            TrainablePredictor(epochs=-1)
+        with pytest.raises(FlowError):
+            TrainablePredictor(decay=0.0)
+        with pytest.raises(FlowError):
+            TrainablePredictor(decay=1.5)
+
+    def test_accuracy_shape_mismatch(self, small_grid):
+        truth = generate_flow_series(small_grid, days=1, seed=0)
+        other = generate_flow_series(small_grid, days=2, seed=0)
+        predictor = TrainablePredictor(epochs=10).fit(truth)
+        with pytest.raises(FlowError):
+            predictor.accuracy(other)

@@ -1,0 +1,46 @@
+"""Fuzz tests: the DIMACS parser must reject garbage, round-trip graphs."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DatasetFormatError, ReproError
+from repro.graph.dimacs import read_gr, write_gr
+from tests.strategies import connected_graphs
+
+
+@given(st.text(alphabet=st.characters(codec="ascii"), max_size=300))
+def test_parser_never_crashes_on_garbage(text):
+    """Arbitrary ASCII either parses or raises a *library* error — raw
+    ValueError/IndexError must never escape the parser."""
+    try:
+        read_gr(io.StringIO(text))
+    except ReproError:
+        pass
+
+
+@given(graph=connected_graphs(max_vertices=12))
+def test_round_trip_any_graph(graph):
+    buffer = io.StringIO()
+    write_gr(graph, buffer)
+    buffer.seek(0)
+    loaded = read_gr(buffer)
+    assert loaded.num_vertices == graph.num_vertices
+    assert sorted(loaded.edges()) == sorted(graph.edges())
+
+
+@given(st.integers(-5, 5), st.integers(-5, 5))
+def test_header_count_mismatch_detected(extra_vertices, missing_arcs):
+    if extra_vertices == 0 and missing_arcs == 0:
+        return
+    declared_arcs = max(0, 2 + missing_arcs)
+    text = f"p sp {max(2, 2 + extra_vertices)} {declared_arcs}\na 1 2 3\na 2 1 3\n"
+    if declared_arcs == 2:
+        read_gr(io.StringIO(text))  # consistent header parses
+    else:
+        with pytest.raises(DatasetFormatError):
+            read_gr(io.StringIO(text))

@@ -1,0 +1,87 @@
+"""Unit tests for the synthetic road-network generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    grid_network,
+    random_road_network,
+    ring_radial_network,
+)
+from repro.graph.validation import is_connected
+
+
+class TestGridNetwork:
+    def test_connected(self):
+        assert is_connected(grid_network(8, 8, seed=1))
+
+    def test_deterministic(self):
+        a = grid_network(6, 7, seed=5)
+        b = grid_network(6, 7, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = grid_network(8, 8, seed=1)
+        b = grid_network(8, 8, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_no_deletions_full_lattice(self):
+        graph = grid_network(4, 5, delete_fraction=0.0, diagonal_fraction=0.0, seed=0)
+        assert graph.num_vertices == 20
+        assert graph.num_edges == 4 * 4 + 5 * 3  # rows*cols-ish lattice count
+
+    def test_road_like_degree(self):
+        graph = grid_network(15, 15, seed=3)
+        avg_degree = 2 * graph.num_edges / graph.num_vertices
+        assert 2.0 <= avg_degree <= 4.5
+
+    def test_coordinates_attached(self):
+        graph = grid_network(4, 4, seed=0)
+        assert len(graph.coordinates) == graph.num_vertices
+
+    def test_integer_weights(self):
+        graph = grid_network(5, 5, seed=0)
+        assert all(float(w).is_integer() for _, _, w in graph.edges())
+
+    def test_invalid_sizes(self):
+        with pytest.raises(GraphError):
+            grid_network(1, 5)
+        with pytest.raises(GraphError):
+            grid_network(5, 5, delete_fraction=1.0)
+
+
+class TestRingRadial:
+    def test_structure(self):
+        graph = ring_radial_network(3, 8, seed=0)
+        assert graph.num_vertices == 1 + 3 * 8
+        assert is_connected(graph)
+
+    def test_center_degree_equals_spokes(self):
+        graph = ring_radial_network(2, 6, seed=0)
+        assert graph.degree(0) == 6
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            ring_radial_network(0, 8)
+        with pytest.raises(GraphError):
+            ring_radial_network(2, 2)
+
+
+class TestRandomRoad:
+    def test_connected_component_returned(self):
+        graph = random_road_network(120, seed=1)
+        assert is_connected(graph)
+        assert graph.num_vertices <= 120
+
+    def test_deterministic(self):
+        a = random_road_network(60, seed=9)
+        b = random_road_network(60, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            random_road_network(1)
+        with pytest.raises(GraphError):
+            random_road_network(10, k_nearest=0)

@@ -1,0 +1,162 @@
+"""Unit tests for flow-aware kNN, departure planning, G-tree paths, ARIMA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.baselines.gtree import build_gtree
+from repro.core.departure import best_departure
+from repro.core.fahl import build_fahl
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.knn import flow_aware_knn
+from repro.errors import FlowError, QueryError
+from repro.flow.arima import SeasonalARPredictor
+from repro.flow.series import FlowSeries
+from repro.flow.synthetic import generate_flow_series
+from repro.graph.frn import FlowAwareRoadNetwork
+
+
+@pytest.fixture()
+def small_engine(small_frn):
+    index = build_fahl(small_frn)
+    return FlowAwareEngine(small_frn, oracle=index, alpha=0.5, eta_u=3.0,
+                           max_candidates=8)
+
+
+class TestFlowAwareKNN:
+    def test_returns_k_sorted_matches(self, small_engine, small_frn, rng):
+        pois = [int(v) for v in rng.choice(small_frn.num_vertices, 12,
+                                           replace=False)]
+        source = pois.pop()
+        matches = flow_aware_knn(small_engine, source, pois, k=3, timestep=0)
+        assert len(matches) == 3
+        assert [m.rank for m in matches] == [1, 2, 3]
+        scores = [m.result.score for m in matches]
+        assert scores == sorted(scores)
+
+    def test_best_match_beats_all_shortlisted(self, small_engine, small_frn, rng):
+        pois = [int(v) for v in rng.choice(small_frn.num_vertices, 8,
+                                           replace=False) if v != 0]
+        matches = flow_aware_knn(small_engine, 0, pois, k=len(pois),
+                                 timestep=0, prefilter=len(pois))
+        best = matches[0]
+        for other in matches[1:]:
+            assert best.result.score <= other.result.score + 1e-12
+
+    def test_prefilter_shrinks_work(self, small_engine, small_frn, rng):
+        pois = [int(v) for v in rng.choice(small_frn.num_vertices, 10,
+                                           replace=False) if v != 0]
+        matches = flow_aware_knn(small_engine, 0, pois, k=2, timestep=0,
+                                 prefilter=3)
+        assert len(matches) == 2
+        # the shortlisted POIs are the spatially closest ones
+        dists = sorted(
+            dijkstra_distance(small_frn.graph, 0, p) for p in pois
+        )
+        for match in matches:
+            assert dijkstra_distance(small_frn.graph, 0, match.poi) <= dists[2]
+
+    def test_validation(self, small_engine):
+        with pytest.raises(QueryError):
+            flow_aware_knn(small_engine, 0, [0], k=1, timestep=0)
+        with pytest.raises(QueryError):
+            flow_aware_knn(small_engine, 0, [1, 2], k=0, timestep=0)
+        with pytest.raises(QueryError):
+            flow_aware_knn(small_engine, 0, [1, 2], k=2, timestep=0,
+                           prefilter=1)
+
+
+class TestBestDeparture:
+    def test_picks_minimum_objective(self, small_engine, small_frn):
+        target = small_frn.num_vertices - 1
+        plan = best_departure(small_engine, 0, target, range(0, 24),
+                              objective="flow")
+        assert plan.timestep in plan.sweep
+        best_flow = plan.result.flow
+        assert all(best_flow <= r.flow + 1e-9 for r in plan.sweep.values())
+
+    def test_off_peak_beats_rush_hour(self, small_engine, small_frn):
+        # diurnal flow: 04:00 must carry less traffic than 08:00
+        target = small_frn.num_vertices - 1
+        plan = best_departure(small_engine, 0, target, [4, 8],
+                              objective="flow")
+        assert plan.timestep == 4
+        assert plan.worst_timestep == 8
+
+    def test_objectives_validated(self, small_engine):
+        with pytest.raises(QueryError):
+            best_departure(small_engine, 0, 1, [0], objective="vibes")
+        with pytest.raises(QueryError):
+            best_departure(small_engine, 0, 1, [])
+
+    def test_sweep_complete(self, small_engine, small_frn):
+        plan = best_departure(small_engine, 0, 5, range(0, 6))
+        assert sorted(plan.sweep) == list(range(6))
+
+
+class TestGTreePaths:
+    def test_paths_realize_distances(self, medium_grid, rng):
+        index = build_gtree(medium_grid, leaf_size=16)
+        n = medium_grid.num_vertices
+        for _ in range(40):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = index.path(s, t)
+            assert path[0] == s and path[-1] == t
+            weight = sum(
+                medium_grid.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert weight == pytest.approx(index.distance(s, t))
+
+    def test_same_leaf_path(self, medium_grid):
+        index = build_gtree(medium_grid, leaf_size=16)
+        leaf = index._leaves[0]
+        s, t = leaf.vertices[0], leaf.vertices[-1]
+        path = index.path(s, t)
+        weight = sum(medium_grid.weight(a, b) for a, b in zip(path, path[1:]))
+        assert weight == pytest.approx(index.distance(s, t))
+
+    def test_self_path(self, medium_grid):
+        index = build_gtree(medium_grid, leaf_size=16)
+        assert index.path(7, 7) == [7]
+
+
+class TestSeasonalAR:
+    def test_fits_and_predicts_diurnal_flow(self, small_grid):
+        truth = generate_flow_series(small_grid, days=4, seed=2, noise=0.05)
+        predictor = SeasonalARPredictor(ar_order=2).fit(truth)
+        accuracy = predictor.accuracy(truth)
+        assert accuracy > 0.8
+
+    def test_beats_no_seasonality_on_diurnal_data(self, small_grid):
+        truth = generate_flow_series(small_grid, days=4, seed=2, noise=0.05)
+        with_season = SeasonalARPredictor(ar_order=2, seasonal=True).fit(truth)
+        without = SeasonalARPredictor(ar_order=2, seasonal=False).fit(truth)
+        assert with_season.accuracy(truth) >= without.accuracy(truth) - 0.02
+
+    def test_predictions_nonnegative(self, small_grid):
+        truth = generate_flow_series(small_grid, days=3, seed=1)
+        predicted = SeasonalARPredictor().fit(truth).predict()
+        assert (predicted.matrix >= 0).all()
+
+    def test_requires_fit(self):
+        with pytest.raises(FlowError):
+            SeasonalARPredictor().predict()
+
+    def test_rejects_short_series(self, small_grid):
+        short = FlowSeries(np.ones((5, small_grid.num_vertices)))
+        with pytest.raises(FlowError):
+            SeasonalARPredictor(ar_order=2).fit(short)
+
+    def test_validates_args(self):
+        with pytest.raises(FlowError):
+            SeasonalARPredictor(ar_order=0)
+        with pytest.raises(FlowError):
+            SeasonalARPredictor(ridge=-1.0)
+
+    def test_usable_in_frn(self, small_grid):
+        truth = generate_flow_series(small_grid, days=3, seed=0)
+        predicted = SeasonalARPredictor().fit(truth).predict()
+        frn = FlowAwareRoadNetwork(small_grid, truth, predicted_flow=predicted)
+        assert frn.predicted_flow.num_timesteps == truth.num_timesteps

@@ -1,0 +1,151 @@
+"""Unit tests for the hierarchical labeling machinery and H2H."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.errors import DisconnectedGraphError, IndexStateError, QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.labeling.h2h import H2HIndex, build_h2h
+from repro.labeling.hierarchy import build_hierarchy_index
+from repro.treedec.ordering import degree_importance
+
+
+def all_pairs_exact(index, graph, rng, samples=80):
+    n = graph.num_vertices
+    for _ in range(samples):
+        s, t = map(int, rng.integers(0, n, 2))
+        ref = dijkstra_distances(graph, s)[t]
+        assert index.distance(s, t) == pytest.approx(ref)
+
+
+class TestH2HDistances:
+    def test_exact_on_grid(self, medium_grid, rng):
+        index = build_h2h(medium_grid)
+        all_pairs_exact(index, medium_grid, rng)
+
+    def test_exact_on_paper_graph(self, paper_like_graph):
+        index = build_h2h(paper_like_graph)
+        for s in range(6):
+            ref = dijkstra_distances(paper_like_graph, s)
+            for t in range(6):
+                assert index.distance(s, t) == pytest.approx(ref[t])
+
+    def test_self_distance_zero(self, small_grid):
+        index = build_h2h(small_grid)
+        assert index.distance(5, 5) == 0.0
+
+    def test_symmetry(self, small_grid, rng):
+        index = build_h2h(small_grid)
+        n = small_grid.num_vertices
+        for _ in range(30):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert index.distance(s, t) == index.distance(t, s)
+
+    def test_unknown_vertex(self, small_grid):
+        index = build_h2h(small_grid)
+        with pytest.raises(QueryError):
+            index.distance(0, 10_000)
+        with pytest.raises(QueryError):
+            index.path(-5, 0)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(IndexStateError):
+            build_h2h(RoadNetwork(0))
+
+    def test_rejects_disconnected(self):
+        graph = RoadNetwork(4, edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            build_h2h(graph)
+
+    def test_two_vertex_graph(self):
+        graph = RoadNetwork(2, edges=[(0, 1, 4.0)])
+        index = build_h2h(graph)
+        assert index.distance(0, 1) == 4.0
+        assert index.path(0, 1) == [0, 1]
+
+
+class TestPaths:
+    def test_paths_are_shortest_walks(self, medium_grid, rng):
+        index = build_h2h(medium_grid)
+        n = medium_grid.num_vertices
+        for _ in range(60):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = index.path(s, t)
+            assert path[0] == s and path[-1] == t
+            weight = sum(
+                medium_grid.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert weight == pytest.approx(index.distance(s, t))
+
+    def test_paths_are_simple(self, medium_grid, rng):
+        index = build_h2h(medium_grid)
+        n = medium_grid.num_vertices
+        for _ in range(40):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = index.path(s, t)
+            assert len(path) == len(set(path))
+
+    def test_self_path(self, small_grid):
+        index = build_h2h(small_grid)
+        assert index.path(7, 7) == [7]
+
+
+class TestStructure:
+    def test_label_lengths_match_depth(self, small_grid):
+        index = build_h2h(small_grid)
+        for v in range(small_grid.num_vertices):
+            assert len(index.labels[v]) == index.tree.depth[v] + 1
+            assert index.labels[v][-1] == 0.0
+
+    def test_label_entries_are_exact_ancestor_distances(self, small_grid):
+        index = build_h2h(small_grid)
+        for v in range(0, small_grid.num_vertices, 7):
+            anc = index.anc[v]
+            ref = dijkstra_distances(small_grid, v)
+            for j, a in enumerate(anc):
+                assert index.labels[v][j] == pytest.approx(ref[a])
+
+    def test_index_size_accounting(self, small_grid):
+        index = build_h2h(small_grid)
+        expected = sum(len(lbl) for lbl in index.labels) + sum(
+            len(p) for p in index.positions
+        )
+        assert index.index_size_entries() == expected
+        assert index.index_size_bytes() > 0
+
+    def test_repr_mentions_stats(self, small_grid):
+        index = build_h2h(small_grid)
+        text = repr(index)
+        assert "treewidth" in text and "entries" in text
+
+    def test_inverse_bags(self, small_grid):
+        index = build_h2h(small_grid)
+        inverse = index.inverse_bags()
+        for c in range(small_grid.num_vertices):
+            for x in index.elim.bags[c]:
+                assert c in inverse[x]
+
+    def test_build_hierarchy_generic_ordering(self, small_grid, rng):
+        index = build_hierarchy_index(small_grid, degree_importance())
+        all_pairs_exact(index, small_grid, rng, samples=30)
+
+
+class TestRefreshLabels:
+    def test_full_refresh_counts_everything(self, small_grid):
+        index = build_h2h(small_grid)
+        assert index.refresh_labels() == small_grid.num_vertices
+
+    def test_noop_partial_refresh(self, small_grid):
+        index = build_h2h(small_grid)
+        # refreshing with an arbitrary seed but unchanged weights: labels
+        # recompute to identical values, so nothing counts as affected
+        assert index.refresh_labels(seeds={0}) == 0
+
+    def test_force_subtree_recomputes(self, small_grid):
+        index = build_h2h(small_grid)
+        root = index.tree.root
+        affected = index.refresh_labels(force_subtree_roots={root})
+        assert affected == small_grid.num_vertices

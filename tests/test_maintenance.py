@@ -1,0 +1,227 @@
+"""Unit tests for ILU (weight updates) and ISU/GSU (flow updates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.fahl import FAHLIndex, build_fahl
+from repro.core.maintenance import (
+    apply_flow_update,
+    apply_flow_updates,
+    apply_weight_update,
+    apply_weight_updates,
+)
+from repro.errors import EdgeNotFoundError, GraphError, IndexStateError
+from repro.labeling.h2h import build_h2h
+
+
+def assert_exact(index, graph, rng, samples=50):
+    n = graph.num_vertices
+    for _ in range(samples):
+        s, t = map(int, rng.integers(0, n, 2))
+        ref = dijkstra_distances(graph, s)[t]
+        assert index.distance(s, t) == pytest.approx(ref), (s, t)
+
+
+class TestILU:
+    def test_weight_decrease_exact(self, small_grid, rng):
+        index = build_h2h(small_grid)
+        u, v, w = next(iter(small_grid.edges()))
+        stats = apply_weight_update(index, u, v, max(1.0, w / 2))
+        assert stats.shortcuts_changed >= 1
+        assert_exact(index, small_grid, rng)
+
+    def test_weight_increase_exact(self, small_grid, rng):
+        index = build_h2h(small_grid)
+        u, v, w = next(iter(small_grid.edges()))
+        apply_weight_update(index, u, v, w * 3)
+        assert_exact(index, small_grid, rng)
+
+    def test_noop_update(self, small_grid):
+        index = build_h2h(small_grid)
+        u, v, w = next(iter(small_grid.edges()))
+        stats = apply_weight_update(index, u, v, w)
+        assert stats.shortcuts_changed == 0
+        assert stats.labels_affected == 0
+
+    def test_unknown_edge_rejected(self, small_grid):
+        index = build_h2h(small_grid)
+        non_edge = None
+        for u in range(small_grid.num_vertices):
+            for v in range(u + 1, small_grid.num_vertices):
+                if not small_grid.has_edge(u, v):
+                    non_edge = (u, v)
+                    break
+            if non_edge:
+                break
+        with pytest.raises(EdgeNotFoundError):
+            apply_weight_update(index, *non_edge, 5.0)
+
+    def test_nonpositive_weight_rejected(self, small_grid):
+        index = build_h2h(small_grid)
+        u, v, _ = next(iter(small_grid.edges()))
+        with pytest.raises(GraphError):
+            apply_weight_update(index, u, v, 0.0)
+
+    def test_matches_fresh_rebuild_labels(self, small_grid, rng):
+        index = build_h2h(small_grid)
+        edges = list(small_grid.edges())
+        for i in range(10):
+            u, v, w = edges[int(rng.integers(len(edges)))]
+            w_now = small_grid.weight(u, v)
+            apply_weight_update(index, u, v, max(1.0, round(w_now * rng.uniform(0.4, 2.5))))
+        fresh = build_h2h(small_grid.copy())
+        # same ordering (weights don't influence degree ordering), so labels
+        # must agree entry-for-entry
+        assert fresh.elim.order == index.elim.order
+        for x in range(small_grid.num_vertices):
+            assert np.allclose(fresh.labels[x], index.labels[x])
+
+    def test_paths_valid_after_updates(self, small_grid, rng):
+        index = build_h2h(small_grid)
+        edges = list(small_grid.edges())
+        for _ in range(8):
+            u, v, _ = edges[int(rng.integers(len(edges)))]
+            w_now = small_grid.weight(u, v)
+            apply_weight_update(index, u, v, max(1.0, round(w_now * rng.uniform(0.4, 2.5))))
+        n = small_grid.num_vertices
+        for _ in range(30):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = index.path(s, t)
+            weight = sum(small_grid.weight(a, b) for a, b in zip(path, path[1:]))
+            assert weight == pytest.approx(index.distance(s, t))
+
+    def test_batch_updates_aggregate(self, small_grid):
+        index = build_h2h(small_grid)
+        edges = list(small_grid.edges())[:3]
+        updates = [(u, v, w + 5) for u, v, w in edges]
+        stats = apply_weight_updates(index, updates)
+        assert stats.shortcuts_changed >= len(updates)
+
+    def test_works_on_fahl_index(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        u, v, w = next(iter(small_frn.graph.edges()))
+        apply_weight_update(index, u, v, w + 10)
+        assert_exact(index, small_frn.graph, rng)
+
+
+class TestStructureUpdate:
+    def test_isu_exact_after_many_updates(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        n = small_frn.num_vertices
+        for _ in range(25):
+            vertex = int(rng.integers(n))
+            apply_flow_update(index, vertex, float(rng.uniform(0, 200)), method="isu")
+        index.tree.validate(small_frn.graph)
+        assert_exact(index, small_frn.graph, rng)
+
+    def test_gsu_exact_after_many_updates(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        n = small_frn.num_vertices
+        for _ in range(10):
+            vertex = int(rng.integers(n))
+            apply_flow_update(index, vertex, float(rng.uniform(0, 200)), method="gsu")
+        index.tree.validate(small_frn.graph)
+        assert_exact(index, small_frn.graph, rng)
+
+    def test_flows_updated_on_index(self, small_frn):
+        index = build_fahl(small_frn)
+        apply_flow_update(index, 3, 12345.0, method="isu")
+        assert index.flows[3] == 12345.0
+
+    def test_lemma1_noop_small_change(self, small_frn):
+        index = build_fahl(small_frn)
+        vertex = index.tree.root
+        # nudging the root's flow down increases phi -> root stays root
+        stats = apply_flow_update(
+            index, vertex, float(index.flows[vertex]) * 0.999, method="isu"
+        )
+        assert stats.strategy == "noop"
+
+    def test_large_change_restructures(self, small_frn):
+        index = build_fahl(small_frn)
+        # drive the first-eliminated vertex's flow to zero: its importance
+        # jumps, the ordering must change
+        vertex = index.elim.order[0]
+        stats = apply_flow_update(index, vertex, 0.0, method="isu")
+        assert stats.strategy in ("isu", "gsu")
+        assert stats.labels_affected >= 0
+
+    def test_gsu_forced(self, small_frn):
+        index = build_fahl(small_frn)
+        vertex = index.elim.order[0]
+        stats = apply_flow_update(index, vertex, 0.0, method="gsu")
+        assert stats.strategy in ("noop", "gsu")
+
+    def test_invalid_method(self, small_frn):
+        index = build_fahl(small_frn)
+        with pytest.raises(IndexStateError):
+            apply_flow_update(index, 0, 10.0, method="bogus")
+
+    def test_negative_flow_rejected(self, small_frn):
+        index = build_fahl(small_frn)
+        with pytest.raises(GraphError):
+            apply_flow_update(index, 0, -1.0)
+
+    def test_unknown_vertex_rejected(self, small_frn):
+        index = build_fahl(small_frn)
+        with pytest.raises(IndexStateError):
+            apply_flow_update(index, 10_000, 1.0)
+
+    def test_batch_flow_updates(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        updates = {
+            int(v): float(rng.uniform(0, 300))
+            for v in rng.choice(small_frn.num_vertices, size=6, replace=False)
+        }
+        stats = apply_flow_updates(index, updates, method="isu")
+        assert len(stats) == len(updates)
+        assert_exact(index, small_frn.graph, rng, samples=30)
+
+    def test_interleaved_flow_and_weight_updates(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        graph = small_frn.graph
+        edges = list(graph.edges())
+        n = graph.num_vertices
+        for i in range(12):
+            if i % 2 == 0:
+                u, v, _ = edges[int(rng.integers(len(edges)))]
+                w_now = graph.weight(u, v)
+                apply_weight_update(
+                    index, u, v, max(1.0, round(w_now * rng.uniform(0.5, 2.0)))
+                )
+            else:
+                apply_flow_update(
+                    index, int(rng.integers(n)), float(rng.uniform(0, 150))
+                )
+        index.tree.validate(graph)
+        assert_exact(index, graph, rng)
+
+    def test_isu_result_is_valid_decomposition(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        for _ in range(8):
+            apply_flow_update(
+                index,
+                int(rng.integers(small_frn.num_vertices)),
+                float(rng.uniform(0, 250)),
+                method="isu",
+            )
+            index.tree.validate(small_frn.graph)
+
+    def test_paths_valid_after_structure_updates(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        graph = small_frn.graph
+        for _ in range(10):
+            apply_flow_update(
+                index,
+                int(rng.integers(graph.num_vertices)),
+                float(rng.uniform(0, 250)),
+            )
+        n = graph.num_vertices
+        for _ in range(25):
+            s, t = map(int, rng.integers(0, n, 2))
+            path = index.path(s, t)
+            weight = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+            assert weight == pytest.approx(index.distance(s, t))

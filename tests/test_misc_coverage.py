@@ -1,0 +1,115 @@
+"""Coverage for remaining engine/CLI/serialization paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.fahl import build_fahl
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery
+from repro.core.maintenance import apply_flow_update
+from repro.errors import QueryError
+from repro.experiments.runner import ExperimentTable
+from repro.labeling.serialize import load_index, save_index
+
+
+class TestEngineKnobs:
+    def test_min_candidates_validated(self, small_frn):
+        with pytest.raises(QueryError):
+            FlowAwareEngine(small_frn, min_candidates=0)
+        with pytest.raises(QueryError):
+            FlowAwareEngine(small_frn, max_candidates=0)
+
+    def test_early_stopped_flag_reported(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        eager = FlowAwareEngine(small_frn, oracle=index, pruning="lemma4",
+                                max_candidates=32, min_candidates=1)
+        n = small_frn.num_vertices
+        fired = 0
+        for _ in range(15):
+            s, t = map(int, rng.integers(0, n, 2))
+            if s == t:
+                continue
+            result = eager.query(FSPQuery(s, t, 0))
+            fired += result.early_stopped
+        assert fired > 0  # with floor 1 the stop fires regularly
+
+    def test_min_candidates_floor_respected(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        engine = FlowAwareEngine(small_frn, oracle=index, pruning="lemma4",
+                                 max_candidates=32, min_candidates=6)
+        n = small_frn.num_vertices
+        for _ in range(10):
+            s, t = map(int, rng.integers(0, n, 2))
+            if s == t:
+                continue
+            result = engine.query(FSPQuery(s, t, 0))
+            if result.early_stopped:
+                assert result.num_candidates >= 6
+
+    def test_index_free_shortest_distance(self, small_frn):
+        engine = FlowAwareEngine(small_frn, oracle=None)
+        from repro.baselines.dijkstra import dijkstra_distance
+
+        assert engine.shortest_distance(0, 7) == pytest.approx(
+            dijkstra_distance(small_frn.graph, 0, 7)
+        )
+
+    def test_disconnected_query_raises(self):
+        from repro.flow.series import FlowSeries
+        from repro.graph.frn import FlowAwareRoadNetwork
+        from repro.graph.road_network import RoadNetwork
+
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0)])
+        frn = FlowAwareRoadNetwork(graph, FlowSeries(np.ones((1, 3))))
+        engine = FlowAwareEngine(frn)  # index-free: no connectivity demand
+        with pytest.raises(QueryError):
+            engine.query(FSPQuery(0, 2, 0))
+
+
+class TestSerializedMaintenance:
+    def test_loaded_fahl_supports_flow_updates(self, small_frn, tmp_path, rng):
+        from repro.baselines.dijkstra import dijkstra_distances
+
+        index = build_fahl(small_frn)
+        save_index(index, tmp_path / "fahl.npz")
+        loaded = load_index(tmp_path / "fahl.npz")
+        for _ in range(5):
+            vertex = int(rng.integers(loaded.graph.num_vertices))
+            apply_flow_update(loaded, vertex, float(rng.uniform(0, 200)))
+        n = loaded.graph.num_vertices
+        for _ in range(20):
+            s, t = map(int, rng.integers(0, n, 2))
+            ref = dijkstra_distances(loaded.graph, s)[t]
+            assert loaded.distance(s, t) == pytest.approx(ref)
+
+
+class TestMarkdownRendering:
+    def test_render_markdown_structure(self):
+        table = ExperimentTable(title="T", headers=["a", "b"],
+                                notes=["hello"])
+        table.add_row(1, 2.5)
+        table.add_row("x", 1e-5)
+        text = table.render_markdown()
+        assert text.startswith("### T")
+        assert "| a | b |" in text
+        assert "| 1 | 2.500 |" in text
+        assert "1.000e-05" in text
+        assert "*hello*" in text
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main([
+            "report", str(out),
+            "--scale", "0.05", "--queries", "1", "--groups", "2",
+            "--datasets", "BRN",
+        ])
+        assert code == 0
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("# FAHL reproduction report")
+        assert "### Table I" in text
+        assert "fahl-repro run fig6" in text

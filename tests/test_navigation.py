@@ -1,0 +1,116 @@
+"""Unit tests for en-route navigation sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fahl import build_fahl
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.navigation import (
+    NavigationSession,
+    compare_static_vs_live,
+)
+from repro.errors import QueryError
+from repro.flow.series import FlowSeries
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+
+
+@pytest.fixture()
+def shifting_frn() -> FlowAwareRoadNetwork:
+    """Two parallel routes whose congestion flips mid-drive.
+
+    Route A: 0-1-2-5 (short); route B: 0-3-4-5 (longer).  At slice 0 route
+    A is quiet and gets chosen; from slice 1 on, vertex 2 — still ahead of
+    a slow vehicle — jams, so a live navigator should divert onto B while a
+    static plan drives straight into the jam.
+    """
+    graph = RoadNetwork(6, edges=[
+        (0, 1, 2.0), (1, 2, 2.0), (2, 5, 2.0),
+        (0, 3, 2.0), (3, 4, 2.0), (4, 5, 2.0),
+    ])
+    calm = [1.0, 5.0, 4.0, 6.0, 6.0, 1.0]
+    jammed = [1.0, 5.0, 500.0, 6.0, 6.0, 1.0]
+    matrix = np.array([calm, jammed, jammed, jammed, jammed, jammed])
+    return FlowAwareRoadNetwork(graph, FlowSeries(matrix))
+
+
+@pytest.fixture()
+def shifting_engine(shifting_frn):
+    index = build_fahl(shifting_frn)
+    return FlowAwareEngine(shifting_frn, oracle=index, alpha=0.3, eta_u=3.0,
+                           max_candidates=8)
+
+
+class TestNavigationSession:
+    def test_static_drive_completes_on_plan(self, shifting_engine):
+        log = NavigationSession(
+            shifting_engine, 0, 5, departure=0, hops_per_slice=1
+        ).drive(replan=False)
+        assert log.completed
+        assert log.visited == [0, 1, 2, 5]
+        assert log.replans == 0
+        assert log.experienced_flow > 400  # drove into the jam
+
+    def test_live_drive_diverts_around_jam(self, shifting_engine):
+        log = NavigationSession(
+            shifting_engine, 0, 5, departure=0, hops_per_slice=1,
+            replan_threshold=0.05,
+        ).drive(replan=True)
+        assert log.completed
+        assert log.replans >= 1
+        assert 2 not in log.visited  # dodged the jammed vertex
+
+    def test_live_beats_static_on_experienced_flow(self, shifting_engine):
+        static, live = compare_static_vs_live(
+            shifting_engine, 0, 5, departure=0, hops_per_slice=1
+        )
+        assert static.completed and live.completed
+        assert live.experienced_flow < static.experienced_flow
+
+    def test_fast_vehicle_outruns_the_jam(self, shifting_engine):
+        # traversing everything within slice 0 never sees the jam
+        log = NavigationSession(
+            shifting_engine, 0, 5, departure=0, hops_per_slice=8
+        ).drive(replan=True)
+        assert log.completed
+        assert log.slices == 1
+        assert log.replans == 0
+        assert log.experienced_flow < 20
+
+    def test_distance_accounts_edges(self, shifting_engine):
+        log = NavigationSession(
+            shifting_engine, 0, 5, departure=0, hops_per_slice=1
+        ).drive(replan=False)
+        assert log.distance == pytest.approx(6.0)
+
+    def test_same_source_target(self, shifting_engine):
+        log = NavigationSession(shifting_engine, 2, 2).drive()
+        assert log.completed
+        assert log.visited == [2]
+        assert log.distance == 0.0
+
+    def test_validation(self, shifting_engine):
+        with pytest.raises(QueryError):
+            NavigationSession(shifting_engine, 0, 99)
+        with pytest.raises(QueryError):
+            NavigationSession(shifting_engine, 0, 5, hops_per_slice=0)
+        with pytest.raises(QueryError):
+            NavigationSession(shifting_engine, 0, 5, replan_threshold=-0.1)
+
+
+class TestOnRealisticNetwork:
+    def test_long_drive_on_grid(self, small_frn):
+        index = build_fahl(small_frn)
+        engine = FlowAwareEngine(small_frn, oracle=index, alpha=0.4,
+                                 eta_u=3.0, max_candidates=8)
+        static, live = compare_static_vs_live(
+            engine, 0, small_frn.num_vertices - 1, departure=6,
+            hops_per_slice=2,
+        )
+        assert static.completed and live.completed
+        assert static.visited[0] == live.visited[0] == 0
+        assert static.visited[-1] == live.visited[-1]
+        # live re-planning never experiences dramatically more congestion
+        assert live.experienced_flow <= static.experienced_flow * 1.25

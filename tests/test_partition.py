@@ -1,0 +1,67 @@
+"""Unit tests for the graph bisection used by G-tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.partition import bisect, recursive_bisection
+from repro.errors import PartitionError
+from repro.graph.road_network import RoadNetwork
+
+
+class TestBisect:
+    def test_partitions_all_vertices(self, medium_grid):
+        vertices = list(medium_grid.vertices())
+        left, right = bisect(medium_grid, vertices)
+        assert sorted(left + right) == vertices
+        assert left and right
+
+    def test_balance_respected(self, medium_grid):
+        vertices = list(medium_grid.vertices())
+        left, right = bisect(medium_grid, vertices, balance=0.6)
+        cap = 0.6 * len(vertices)
+        assert len(left) <= cap + 1
+        assert len(right) <= cap + 1
+
+    def test_cut_is_reasonable_on_grid(self, medium_grid):
+        # a 10x10-ish grid has a bisection cut around its side length; the
+        # heuristic must stay well below a random cut (~half the edges)
+        vertices = list(medium_grid.vertices())
+        left, right = bisect(medium_grid, vertices)
+        left_set = set(left)
+        cut = sum(
+            1 for u, v, _ in medium_grid.edges() if (u in left_set) != (v in left_set)
+        )
+        assert cut < medium_grid.num_edges / 4
+
+    def test_path_graph(self):
+        graph = RoadNetwork(10, edges=[(i, i + 1, 1.0) for i in range(9)])
+        left, right = bisect(graph, list(range(10)))
+        left_set = set(left)
+        cut = sum(1 for i in range(9) if (i in left_set) != ((i + 1) in left_set))
+        assert cut == 1
+
+    def test_validation(self, small_grid):
+        with pytest.raises(PartitionError):
+            bisect(small_grid, [0])
+        with pytest.raises(PartitionError):
+            bisect(small_grid, list(small_grid.vertices()), balance=0.4)
+
+
+class TestRecursiveBisection:
+    def test_leaves_cover_graph(self, medium_grid):
+        leaves = recursive_bisection(medium_grid, leaf_size=12)
+        flattened = sorted(v for leaf in leaves for v in leaf)
+        assert flattened == list(medium_grid.vertices())
+
+    def test_leaf_size_bound(self, medium_grid):
+        leaves = recursive_bisection(medium_grid, leaf_size=12)
+        assert all(len(leaf) <= 12 for leaf in leaves)
+
+    def test_single_leaf_when_big_enough(self, small_grid):
+        leaves = recursive_bisection(small_grid, leaf_size=10_000)
+        assert len(leaves) == 1
+
+    def test_invalid_leaf_size(self, small_grid):
+        with pytest.raises(PartitionError):
+            recursive_bisection(small_grid, leaf_size=0)

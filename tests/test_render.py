@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_network, render_routes
+from repro.errors import QueryError
+from repro.graph.road_network import RoadNetwork
+
+
+class TestRenderNetwork:
+    def test_dimensions(self, small_grid):
+        text = render_network(small_grid, width=40, height=12)
+        lines = text.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+
+    def test_plain_network_uses_dots(self, small_grid):
+        text = render_network(small_grid, width=30, height=10)
+        assert "." in text
+        assert set(text) <= {".", " ", "\n"}
+
+    def test_flow_shading_monotone(self, small_grid):
+        low = np.zeros(small_grid.num_vertices)
+        high = np.arange(small_grid.num_vertices, dtype=float)
+        flat = render_network(small_grid, low, width=30, height=10)
+        shaded = render_network(small_grid, high, width=30, height=10)
+        # a constant field shades uniformly; a spread field uses more glyphs
+        assert len(set(shaded) - {" ", "\n"}) > len(set(flat) - {" ", "\n"})
+
+    def test_requires_coordinates(self, triangle_graph):
+        with pytest.raises(QueryError):
+            render_network(triangle_graph)
+
+    def test_rejects_bad_inputs(self, small_grid):
+        with pytest.raises(QueryError):
+            render_network(small_grid, width=1)
+        with pytest.raises(QueryError):
+            render_network(small_grid, np.zeros(3))
+
+
+class TestRenderRoutes:
+    def test_route_marks_and_legend(self, small_grid):
+        route = [0, 1, 2]
+        text = render_routes(small_grid, {"fast": route}, width=30, height=10)
+        assert "S" in text and "T" in text
+        assert "f=fast" in text
+
+    def test_two_routes(self, small_grid):
+        text = render_routes(
+            small_grid,
+            {"alpha": [0, 1], "beta": [3, 4]},
+            width=30,
+            height=10,
+        )
+        assert "a=alpha" in text and "b=beta" in text
+
+    def test_rejects_empty(self, small_grid):
+        with pytest.raises(QueryError):
+            render_routes(small_grid, {})
+        with pytest.raises(QueryError):
+            render_routes(small_grid, {"x": []})

@@ -1,0 +1,157 @@
+"""Unit tests for the RoadNetwork graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    VertexNotFoundError,
+)
+from repro.graph.road_network import RoadNetwork
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = RoadNetwork(0)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_vertices_range(self):
+        graph = RoadNetwork(5)
+        assert list(graph.vertices()) == [0, 1, 2, 3, 4]
+        assert len(graph) == 5
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            RoadNetwork(-1)
+
+    def test_edges_from_constructor(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 2.0), (1, 2, 3.0)])
+        assert graph.num_edges == 2
+        assert graph.weight(0, 1) == 2.0
+
+    def test_coordinates_stored(self):
+        graph = RoadNetwork(2, coordinates={0: (1.0, 2.0)})
+        assert graph.coordinates[0] == (1.0, 2.0)
+        assert 1 not in graph.coordinates
+
+
+class TestEdges:
+    def test_add_edge_symmetric(self):
+        graph = RoadNetwork(3)
+        graph.add_edge(0, 2, 5.0)
+        assert graph.weight(0, 2) == 5.0
+        assert graph.weight(2, 0) == 5.0
+        assert graph.has_edge(2, 0)
+
+    def test_parallel_edges_keep_minimum(self):
+        graph = RoadNetwork(2)
+        graph.add_edge(0, 1, 5.0)
+        graph.add_edge(0, 1, 3.0)
+        graph.add_edge(0, 1, 9.0)
+        assert graph.weight(0, 1) == 3.0
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = RoadNetwork(2)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1, 1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        graph = RoadNetwork(2)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1, -2.0)
+
+    def test_unknown_vertex_rejected(self):
+        graph = RoadNetwork(2)
+        with pytest.raises(VertexNotFoundError):
+            graph.add_edge(0, 7, 1.0)
+
+    def test_missing_edge_weight_raises(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.weight(0, 2)
+
+    def test_set_weight_overwrites(self):
+        graph = RoadNetwork(2, edges=[(0, 1, 4.0)])
+        graph.set_weight(0, 1, 9.0)
+        assert graph.weight(1, 0) == 9.0
+
+    def test_set_weight_requires_edge(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0)])
+        with pytest.raises(EdgeNotFoundError):
+            graph.set_weight(0, 2, 2.0)
+
+    def test_set_weight_rejects_nonpositive(self):
+        graph = RoadNetwork(2, edges=[(0, 1, 1.0)])
+        with pytest.raises(GraphError):
+            graph.set_weight(0, 1, 0.0)
+
+    def test_remove_edge(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0), (1, 2, 2.0)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 1
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(0, 1)
+
+    def test_edges_iterates_once_each(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        edges = sorted(graph.edges())
+        assert edges == [(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0)]
+
+
+class TestAccessors:
+    def test_degree(self, triangle_graph):
+        assert all(triangle_graph.degree(v) == 2 for v in range(3))
+
+    def test_degree_unknown_vertex(self, triangle_graph):
+        with pytest.raises(VertexNotFoundError):
+            triangle_graph.degree(10)
+
+    def test_neighbors(self, triangle_graph):
+        assert sorted(triangle_graph.neighbors(0)) == [1, 2]
+
+    def test_neighbor_items(self, triangle_graph):
+        items = dict(triangle_graph.neighbor_items(1))
+        assert items == {0: 1.0, 2: 2.0}
+
+    def test_contains(self, triangle_graph):
+        assert 0 in triangle_graph
+        assert 3 not in triangle_graph
+        assert -1 not in triangle_graph
+
+    def test_total_weight(self, triangle_graph):
+        assert triangle_graph.total_weight() == 7.0
+
+
+class TestCopySubgraph:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.set_weight(0, 1, 99.0)
+        assert triangle_graph.weight(0, 1) == 1.0
+        assert clone.weight(0, 1) == 99.0
+
+    def test_copy_preserves_coordinates(self):
+        graph = RoadNetwork(2, edges=[(0, 1, 1.0)], coordinates={0: (0.0, 0.0)})
+        assert graph.copy().coordinates == {0: (0.0, 0.0)}
+
+    def test_subgraph_relabels(self, triangle_graph):
+        sub, relabel = triangle_graph.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert sub.weight(relabel[1], relabel[2]) == 2.0
+
+    def test_subgraph_drops_external_edges(self):
+        graph = RoadNetwork(4, edges=[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        sub, _ = graph.subgraph([0, 1, 3])
+        assert sub.num_edges == 1  # only (0, 1) survives
+
+    def test_repr(self, triangle_graph):
+        assert "n=3" in repr(triangle_graph)
+        assert "m=3" in repr(triangle_graph)

@@ -1,0 +1,115 @@
+"""Unit tests for index serialization and introspection statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fahl import FAHLIndex, build_fahl
+from repro.core.maintenance import apply_weight_update
+from repro.core.stats import compare_indexes, index_statistics
+from repro.errors import DatasetFormatError
+from repro.labeling.h2h import H2HIndex, build_h2h
+from repro.labeling.serialize import load_index, save_index
+
+
+class TestSerialization:
+    def test_h2h_round_trip(self, small_grid, tmp_path, rng):
+        index = build_h2h(small_grid)
+        path = tmp_path / "h2h.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, H2HIndex)
+        n = small_grid.num_vertices
+        for _ in range(40):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert loaded.distance(s, t) == index.distance(s, t)
+            assert loaded.path(s, t) == index.path(s, t)
+
+    def test_fahl_round_trip(self, small_frn, tmp_path, rng):
+        index = build_fahl(small_frn, beta=0.7)
+        path = tmp_path / "fahl.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, FAHLIndex)
+        assert loaded.beta == 0.7
+        assert loaded.flow_anchors == index.flow_anchors
+        assert np.array_equal(loaded.flows, index.flows)
+        n = small_frn.num_vertices
+        for _ in range(40):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert loaded.distance(s, t) == index.distance(s, t)
+
+    def test_coordinates_preserved(self, small_grid, tmp_path):
+        index = build_h2h(small_grid)
+        save_index(index, tmp_path / "g.npz")
+        loaded = load_index(tmp_path / "g.npz")
+        assert loaded.graph.coordinates == small_grid.coordinates
+
+    def test_loaded_index_supports_maintenance(self, small_grid, tmp_path, rng):
+        from repro.baselines.dijkstra import dijkstra_distances
+
+        index = build_h2h(small_grid)
+        save_index(index, tmp_path / "g.npz")
+        loaded = load_index(tmp_path / "g.npz")
+        u, v, w = next(iter(loaded.graph.edges()))
+        apply_weight_update(loaded, u, v, w * 2)
+        n = loaded.graph.num_vertices
+        for _ in range(25):
+            s, t = map(int, rng.integers(0, n, 2))
+            ref = dijkstra_distances(loaded.graph, s)[t]
+            assert loaded.distance(s, t) == pytest.approx(ref)
+
+    def test_version_check(self, small_grid, tmp_path):
+        index = build_h2h(small_grid)
+        path = tmp_path / "g.npz"
+        save_index(index, path)
+        # corrupt the version field
+        data = dict(np.load(path))
+        data["meta"][0] = 99
+        np.savez_compressed(path, **data)
+        with pytest.raises(DatasetFormatError):
+            load_index(path)
+
+    def test_elimination_metadata_survives(self, small_frn, tmp_path):
+        index = build_fahl(small_frn)
+        save_index(index, tmp_path / "g.npz")
+        loaded = load_index(tmp_path / "g.npz")
+        assert loaded.elim.order == index.elim.order
+        assert np.array_equal(loaded.elim.phi_at_elim, index.elim.phi_at_elim)
+        for v in range(small_frn.num_vertices):
+            assert loaded.elim.bags[v] == index.elim.bags[v]
+            assert loaded.elim.middles[v] == index.elim.middles[v]
+
+
+class TestStatistics:
+    def test_basic_fields(self, small_grid):
+        index = build_h2h(small_grid)
+        stats = index_statistics(index)
+        assert stats.num_vertices == small_grid.num_vertices
+        assert stats.total_entries == index.index_size_entries()
+        assert stats.treewidth == index.treewidth
+        assert stats.max_label_length <= stats.treeheight + 1
+        assert stats.mean_label_length > 0
+
+    def test_as_rows(self, small_grid):
+        stats = index_statistics(build_h2h(small_grid))
+        rows = dict(stats.as_rows())
+        assert rows["vertices"] == small_grid.num_vertices
+        assert "treewidth" in rows
+
+    def test_compare_indexes(self, small_frn):
+        h2h = build_h2h(small_frn.graph)
+        fahl = build_fahl(small_frn)
+        ratios = compare_indexes(h2h, fahl)
+        assert set(ratios) == {
+            "entries_ratio", "bytes_ratio", "treewidth_ratio",
+            "treeheight_ratio", "mean_label_ratio",
+        }
+        # same machinery, similar graph: ratios near 1
+        assert 0.5 < ratios["entries_ratio"] < 2.0
+
+    def test_compare_self_is_unity(self, small_grid):
+        index = build_h2h(small_grid)
+        ratios = compare_indexes(index, index)
+        assert all(r == pytest.approx(1.0) for r in ratios.values())

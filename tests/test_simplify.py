@@ -1,0 +1,125 @@
+"""Unit + property tests for degree-2 chain contraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.errors import GraphError
+from repro.graph.road_network import RoadNetwork
+from repro.graph.simplify import contract_degree_two
+from tests.strategies import connected_graphs
+
+
+def chain_graph() -> RoadNetwork:
+    """Two hubs joined by two chains of shape vertices plus a spur.
+
+    0 (hub) - 1 - 2 - 3 (hub) via chain, 0 - 4 - 3 via second chain,
+    3 - 5 spur.
+    """
+    return RoadNetwork(6, edges=[
+        (0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0),
+        (0, 4, 2.0), (4, 3, 2.0),
+        (3, 5, 7.0),
+    ])
+
+
+class TestContraction:
+    def test_interiors_removed(self):
+        result = contract_degree_two(chain_graph())
+        # retained: 0 (deg 2? 0 has nbrs 1 and 4 -> degree 2!) ...
+        # vertex 5 (deg 1), vertex 3 (deg 3) are retained; chains collapse
+        assert 3 in result.to_new
+        assert 5 in result.to_new
+        assert 1 not in result.to_new
+        assert 2 not in result.to_new
+
+    def test_distances_preserved(self):
+        graph = chain_graph()
+        result = contract_degree_two(graph)
+        for old_u in result.to_new:
+            for old_v in result.to_new:
+                expected = dijkstra_distance(graph, old_u, old_v)
+                got = dijkstra_distance(
+                    result.graph, result.to_new[old_u], result.to_new[old_v]
+                )
+                assert got == pytest.approx(expected)
+
+    def test_parallel_chains_keep_minimum(self):
+        graph = chain_graph()
+        result = contract_degree_two(graph)
+        # both chains join 3 and (the retained anchor nearest 0's side);
+        # the surviving edge weight equals the cheaper chain total
+        new_3 = result.to_new[3]
+        new_5 = result.to_new[5]
+        assert result.graph.weight(new_3, new_5) == 7.0
+
+    def test_expand_path_round_trip(self):
+        graph = chain_graph()
+        result = contract_degree_two(graph)
+        new_3, new_5 = result.to_new[3], result.to_new[5]
+        expanded = result.expand_path([new_5, new_3])
+        assert expanded == [5, 3]
+        # a path across a contracted chain restores the interiors
+        anchors = sorted(result.to_new)
+        for a in anchors:
+            for b in anchors:
+                if a == b:
+                    continue
+                from repro.baselines.dijkstra import dijkstra_path
+
+                simple = dijkstra_path(
+                    result.graph, result.to_new[a], result.to_new[b]
+                )
+                expanded = result.expand_path(simple)
+                assert expanded[0] == a and expanded[-1] == b
+                weight = sum(
+                    graph.weight(x, y)
+                    for x, y in zip(expanded, expanded[1:])
+                )
+                assert weight == pytest.approx(
+                    dijkstra_distance(graph, a, b)
+                )
+
+    def test_pure_cycle_untouched(self):
+        cycle = RoadNetwork(4, edges=[(0, 1, 1.0), (1, 2, 1.0),
+                                      (2, 3, 1.0), (3, 0, 1.0)])
+        result = contract_degree_two(cycle)
+        assert result.graph.num_vertices == 4
+        assert result.chains == {}
+
+    def test_no_degree_two_vertices_is_identity(self, triangle_graph):
+        # a triangle's vertices all have degree 2 -> it is a pure cycle
+        result = contract_degree_two(triangle_graph)
+        assert result.graph.num_vertices == 3
+
+    def test_aggregate_flows(self):
+        graph = chain_graph()
+        result = contract_degree_two(graph)
+        flows = np.arange(6, dtype=float) + 1.0  # 1..6
+        aggregated = result.aggregate_flows(flows)
+        assert aggregated.shape == (result.graph.num_vertices,)
+        # the surviving interiors' mass is redistributed, never lost from
+        # chains that survived contraction
+        assert aggregated.sum() >= flows[[v for v in result.to_new]].sum()
+
+    def test_aggregate_flow_validation(self):
+        result = contract_degree_two(chain_graph())
+        with pytest.raises(GraphError):
+            result.aggregate_flows(np.ones(2))
+
+
+@given(graph=connected_graphs(min_vertices=4, max_vertices=14))
+def test_property_contraction_preserves_distances(graph):
+    result = contract_degree_two(graph)
+    anchors = sorted(result.to_new)
+    step = max(1, len(anchors) // 4)
+    for a in anchors[::step]:
+        for b in anchors[::step]:
+            expected = dijkstra_distance(graph, a, b)
+            got = dijkstra_distance(
+                result.graph, result.to_new[a], result.to_new[b]
+            )
+            assert got == pytest.approx(expected)

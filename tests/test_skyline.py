@@ -1,0 +1,165 @@
+"""Unit + property tests for the bi-criteria skyline search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fahl import FAHLIndex, build_fahl
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery
+from repro.core.skyline import SkylinePath, skyline_paths
+from repro.errors import QueryError
+from repro.flow.series import FlowSeries
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+from repro.paths.candidates import enumerate_all_paths_within
+from repro.paths.scoring import path_flow
+from tests.strategies import connected_graphs
+
+
+@pytest.fixture()
+def diamond_frn() -> FlowAwareRoadNetwork:
+    graph = RoadNetwork(4, edges=[(0, 1, 1.0), (1, 3, 1.0),
+                                  (0, 2, 2.0), (2, 3, 2.0)])
+    flow = FlowSeries(np.array([[5.0, 100.0, 1.0, 5.0]]))
+    return FlowAwareRoadNetwork(graph, flow)
+
+
+class TestSkylineBasics:
+    def test_diamond_has_two_skyline_paths(self, diamond_frn):
+        result = skyline_paths(diamond_frn, 0, 3, 0)
+        assert len(result) == 2
+        assert result.paths[0].path == (0, 1, 3)  # shorter, busier
+        assert result.paths[1].path == (0, 2, 3)  # longer, quieter
+        assert not result.truncated
+
+    def test_frontier_sorted_and_undominated(self, small_frn, rng):
+        n = small_frn.num_vertices
+        for _ in range(5):
+            s, t = map(int, rng.integers(0, n, 2))
+            if s == t:
+                continue
+            result = skyline_paths(small_frn, s, t, 0,
+                                   max_distance=2.5 * 1000.0)
+            dists = [p.distance for p in result.paths]
+            flows = [p.flow for p in result.paths]
+            assert dists == sorted(dists)
+            # along increasing distance, flow must strictly decrease
+            assert all(a > b for a, b in zip(flows, flows[1:]))
+            for i, a in enumerate(result.paths):
+                for b in result.paths[i + 1:]:
+                    assert not a.dominates(b)
+                    assert not b.dominates(a)
+
+    def test_self_query(self, diamond_frn):
+        result = skyline_paths(diamond_frn, 2, 2, 0)
+        assert len(result) == 1
+        assert result.paths[0].path == (2,)
+
+    def test_max_distance_restricts(self, diamond_frn):
+        result = skyline_paths(diamond_frn, 0, 3, 0, max_distance=2.0)
+        assert [p.path for p in result.paths] == [(0, 1, 3)]
+
+    def test_paths_are_simple(self, small_frn, rng):
+        n = small_frn.num_vertices
+        s, t = 0, n - 1
+        result = skyline_paths(small_frn, s, t, 0, max_distance=3000.0)
+        for sp in result.paths:
+            assert len(sp.path) == len(set(sp.path))
+
+    def test_validation(self, diamond_frn):
+        with pytest.raises(QueryError):
+            skyline_paths(diamond_frn, 0, 99, 0)
+        with pytest.raises(QueryError):
+            skyline_paths(diamond_frn, 0, 3, 0, max_labels_per_vertex=0)
+
+    def test_dominates_semantics(self):
+        a = SkylinePath(path=(0,), distance=1.0, flow=1.0)
+        b = SkylinePath(path=(1,), distance=2.0, flow=2.0)
+        c = SkylinePath(path=(2,), distance=1.0, flow=1.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(c)  # equal in both: no strict improvement
+
+
+class TestSkylineVsExhaustive:
+    def test_matches_brute_force_frontier(self, rng):
+        graph = RoadNetwork(6, edges=[
+            (0, 1, 2.0), (0, 2, 3.0), (1, 2, 1.0), (1, 3, 4.0),
+            (2, 4, 2.0), (3, 5, 1.0), (4, 5, 3.0), (1, 4, 5.0),
+        ])
+        flows = np.array([[3.0, 20.0, 2.0, 8.0, 1.0, 4.0]])
+        frn = FlowAwareRoadNetwork(graph, FlowSeries(flows))
+        bound = 20.0
+        result = skyline_paths(frn, 0, 5, 0, max_distance=bound)
+        # brute force: all simple paths, filter dominated
+        brute = enumerate_all_paths_within(graph, 0, 5, bound)
+        flow_vector = frn.predicted_at(0)
+        candidates = [
+            SkylinePath(
+                path=tuple(p),
+                distance=d,
+                flow=path_flow(flow_vector, p),
+            )
+            for p, d in zip(brute.paths, brute.distances)
+        ]
+        frontier = [
+            c for c in candidates
+            if not any(o.dominates(c) for o in candidates)
+        ]
+        expected = sorted({(c.distance, c.flow) for c in frontier})
+        got = [(p.distance, p.flow) for p in result.paths]
+        assert got == expected
+
+
+class TestFSPQOnSkyline:
+    def test_fspq_optimum_is_on_skyline(self, small_frn, rng):
+        """Eq. 1 is monotone in both criteria: its optimum is never
+        dominated, hence lies on the skyline."""
+        index = build_fahl(small_frn)
+        engine = FlowAwareEngine(small_frn, oracle=index, alpha=0.5,
+                                 eta_u=2.0, pruning="none",
+                                 max_candidates=512)
+        n = small_frn.num_vertices
+        checked = 0
+        for _ in range(6):
+            s, t = map(int, rng.integers(0, n, 2))
+            if s == t:
+                continue
+            result = engine.query(FSPQuery(s, t, 0))
+            if result.truncated:
+                continue
+            sky = skyline_paths(
+                small_frn, s, t, 0,
+                max_distance=2.0 * result.shortest_distance,
+            )
+            assert not sky.truncated
+            pairs = [(p.distance, p.flow) for p in sky.paths]
+            assert (result.distance, result.flow) in pairs
+            checked += 1
+        assert checked > 0
+
+
+@given(graph=connected_graphs(max_vertices=8), data=st.data())
+def test_property_skyline_members_undominated(graph, data):
+    n = graph.num_vertices
+    flows = np.array(
+        [[float(data.draw(st.integers(1, 30))) for _ in range(n)]]
+    )
+    frn = FlowAwareRoadNetwork(graph, FlowSeries(flows))
+    s = data.draw(st.integers(0, n - 1))
+    t = data.draw(st.integers(0, n - 1))
+    if s == t:
+        return
+    from repro.baselines.dijkstra import dijkstra_distance
+
+    spdis = dijkstra_distance(graph, s, t)
+    result = skyline_paths(frn, s, t, 0, max_distance=2.0 * spdis)
+    assert result.paths  # the shortest path is always on the frontier
+    assert result.paths[0].distance == pytest.approx(spdis)
+    for i, a in enumerate(result.paths):
+        for b in result.paths[i + 1:]:
+            assert not a.dominates(b) and not b.dominates(a)

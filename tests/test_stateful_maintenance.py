@@ -1,0 +1,102 @@
+"""Stateful property testing: random interleaved operations on a FAHL index.
+
+A hypothesis rule machine drives the index through arbitrary sequences of
+weight updates (ILU), flow updates (ISU/GSU) and queries, comparing every
+distance against a from-scratch Dijkstra on the mutated graph and
+re-validating the tree decomposition along the way.  This is the strongest
+consistency check in the suite — it found the stale-replay bug during
+development.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.fahl import FAHLIndex
+from repro.core.maintenance import apply_flow_update, apply_weight_update
+from repro.graph.road_network import RoadNetwork
+
+
+def _fixed_graph() -> RoadNetwork:
+    """A small fixed graph: rich enough for interesting eliminations."""
+    edges = [
+        (0, 1, 4.0), (0, 2, 7.0), (1, 2, 2.0), (1, 3, 5.0),
+        (2, 4, 3.0), (3, 4, 6.0), (3, 5, 1.0), (4, 6, 8.0),
+        (5, 6, 2.0), (5, 7, 9.0), (6, 7, 3.0), (0, 7, 20.0),
+        (2, 5, 11.0),
+    ]
+    return RoadNetwork(8, edges=edges)
+
+
+class MaintenanceMachine(RuleBasedStateMachine):
+    """Random ILU/ISU/GSU interleavings never break exactness."""
+
+    @initialize(seed=st.integers(0, 2**16))
+    def setup(self, seed: int) -> None:
+        self.graph = _fixed_graph()
+        rng = np.random.default_rng(seed)
+        flows = rng.uniform(1.0, 100.0, self.graph.num_vertices)
+        self.index = FAHLIndex(self.graph, flows, beta=0.5)
+        self.edges = list(self.graph.edges())
+        self.ops = 0
+
+    @rule(edge_idx=st.integers(0, 12), factor=st.sampled_from(
+        [0.25, 0.5, 1.0, 2.0, 4.0]))
+    def weight_update(self, edge_idx: int, factor: float) -> None:
+        u, v, _ = self.edges[edge_idx % len(self.edges)]
+        current = self.graph.weight(u, v)
+        apply_weight_update(self.index, u, v, max(1.0, round(current * factor)))
+        self.ops += 1
+
+    @rule(vertex=st.integers(0, 7), flow=st.floats(0.0, 500.0),
+          method=st.sampled_from(["isu", "gsu"]))
+    def flow_update(self, vertex: int, flow: float, method: str) -> None:
+        apply_flow_update(self.index, vertex, flow, method=method)
+        self.ops += 1
+
+    @rule(s=st.integers(0, 7), t=st.integers(0, 7))
+    def spot_check_query(self, s: int, t: int) -> None:
+        expected = dijkstra_distance(self.graph, s, t)
+        assert self.index.distance(s, t) == pytest.approx(expected)
+        path = self.index.path(s, t)
+        weight = sum(self.graph.weight(a, b) for a, b in zip(path, path[1:]))
+        assert weight == pytest.approx(expected)
+
+    @precondition(lambda self: self.ops > 0 and self.ops % 3 == 0)
+    @rule()
+    def full_exactness_sweep(self) -> None:
+        for s in range(self.graph.num_vertices):
+            for t in range(self.graph.num_vertices):
+                assert self.index.distance(s, t) == pytest.approx(
+                    dijkstra_distance(self.graph, s, t)
+                )
+
+    @invariant()
+    def tree_is_valid_decomposition(self) -> None:
+        if hasattr(self, "index"):
+            self.index.tree.validate(self.graph)
+
+    @invariant()
+    def label_shapes_consistent(self) -> None:
+        if hasattr(self, "index"):
+            depth = self.index.tree.depth
+            for v in range(self.graph.num_vertices):
+                assert len(self.index.labels[v]) == depth[v] + 1
+                assert self.index.labels[v][-1] == 0.0
+
+
+MaintenanceMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestMaintenanceMachine = MaintenanceMachine.TestCase

@@ -1,0 +1,140 @@
+"""Unit tests for the time-dependent travel-time substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.errors import GraphError, QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.graph.time_weights import (
+    TravelTimeFunction,
+    td_dijkstra,
+    ttf_from_flow_profile,
+)
+
+
+class TestTravelTimeFunction:
+    def test_constant(self):
+        ttf = TravelTimeFunction.constant(7.0)
+        assert ttf(0.0) == 7.0
+        assert ttf(1000.0) == 7.0
+        assert ttf.min_travel_time() == ttf.max_travel_time() == 7.0
+
+    def test_interpolation_and_wraparound(self):
+        ttf = TravelTimeFunction(
+            np.array([0.0, 720.0]), np.array([10.0, 20.0]), period=1440.0
+        )
+        assert ttf(0.0) == 10.0
+        assert ttf(360.0) == pytest.approx(15.0)
+        assert ttf(720.0) == 20.0
+        # wraps: value at period equals value at 0
+        assert ttf(1440.0) == pytest.approx(10.0)
+        assert ttf(1080.0) == pytest.approx(15.0)
+
+    def test_fifo_enforced(self):
+        # slope (10 - 100) / 60 = -1.5 < -1: overtaking possible -> reject
+        with pytest.raises(GraphError):
+            TravelTimeFunction(
+                np.array([0.0, 60.0]), np.array([100.0, 10.0]), period=1440.0
+            )
+
+    def test_fifo_property_holds(self):
+        ttf = TravelTimeFunction(
+            np.array([0.0, 300.0, 600.0]),
+            np.array([30.0, 90.0, 40.0]),
+            period=1440.0,
+        )
+        times = np.linspace(0, 1440, 289)
+        arrivals = [ttf.arrival(t) for t in times]
+        assert all(b >= a - 1e-9 for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            TravelTimeFunction(np.array([5.0]), np.array([1.0]))  # not at 0
+        with pytest.raises(GraphError):
+            TravelTimeFunction(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(GraphError):
+            TravelTimeFunction(np.array([0.0]), np.array([0.0]))  # zero time
+        with pytest.raises(GraphError):
+            TravelTimeFunction(np.array([0.0]), np.array([1.0]), period=0)
+
+
+class TestTTFFromFlow:
+    def test_bpr_shape(self):
+        profile = np.array([10.0, 100.0, 10.0])
+        ttf = ttf_from_flow_profile(30.0, profile, capacity=50.0,
+                                    interval_minutes=480.0)
+        # congested slice is slower than free-flow slices
+        assert ttf(480.0) > ttf(0.0)
+        assert ttf.min_travel_time() >= 30.0
+
+    def test_fifo_clamping(self):
+        # an abrupt drop after a huge peak would violate FIFO without the
+        # clamp; construction must succeed regardless
+        profile = np.array([1.0, 500.0, 1.0, 1.0])
+        ttf = ttf_from_flow_profile(10.0, profile, capacity=20.0,
+                                    interval_minutes=30.0)
+        assert ttf.max_travel_time() > 10.0
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            ttf_from_flow_profile(0.0, np.array([1.0]), capacity=1.0)
+        with pytest.raises(GraphError):
+            ttf_from_flow_profile(1.0, np.array([]), capacity=1.0)
+
+
+class TestTDDijkstra:
+    @pytest.fixture()
+    def diamond(self) -> RoadNetwork:
+        return RoadNetwork(4, edges=[(0, 1, 10.0), (1, 3, 10.0),
+                                     (0, 2, 15.0), (2, 3, 15.0)])
+
+    def test_static_matches_dijkstra(self, diamond):
+        arrival, path = td_dijkstra(diamond, {}, 0, 3, departure=0.0)
+        assert arrival == pytest.approx(dijkstra_distance(diamond, 0, 3))
+        assert path == [0, 1, 3]
+
+    def test_congestion_shifts_route(self, diamond):
+        # the fast route becomes slow during the rush window
+        rush = TravelTimeFunction(
+            np.array([0.0, 60.0, 120.0]),
+            np.array([10.0, 60.0, 10.0]),
+            period=1440.0,
+        )
+        functions = {(0, 1): rush, (1, 3): rush}
+        # off-peak: the 0-1-3 route wins
+        off_peak, path_off = td_dijkstra(diamond, functions, 0, 3, 1000.0)
+        assert path_off == [0, 1, 3]
+        # at the peak the detour wins
+        peak, path_peak = td_dijkstra(diamond, functions, 0, 3, 60.0)
+        assert path_peak == [0, 2, 3]
+        assert peak == pytest.approx(60.0 + 30.0)
+
+    def test_departure_offset_carries_through(self, diamond):
+        arrival, _ = td_dijkstra(diamond, {}, 0, 3, departure=500.0)
+        assert arrival == pytest.approx(500.0 + 20.0)
+
+    def test_unreachable(self):
+        graph = RoadNetwork(3, edges=[(0, 1, 1.0)])
+        arrival, path = td_dijkstra(graph, {}, 0, 2, 0.0)
+        assert arrival == float("inf")
+        assert path == []
+
+    def test_unknown_vertices(self, diamond):
+        with pytest.raises(QueryError):
+            td_dijkstra(diamond, {}, 0, 99, 0.0)
+
+    def test_fifo_monotone_arrivals(self, diamond, rng):
+        rush = TravelTimeFunction(
+            np.array([0.0, 400.0, 800.0]),
+            np.array([12.0, 40.0, 12.0]),
+            period=1440.0,
+        )
+        functions = {(0, 1): rush}
+        arrivals = [
+            td_dijkstra(diamond, functions, 0, 3, t)[0]
+            for t in np.linspace(0, 1440, 37)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(arrivals, arrivals[1:]))

@@ -1,0 +1,116 @@
+"""Edge-case topologies: every index must survive degenerate shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ch import CHIndex
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.baselines.gtree import TDGTree
+from repro.baselines.pll import PLLIndex
+from repro.core.fahl import FAHLIndex
+from repro.labeling.h2h import H2HIndex
+from repro.graph.road_network import RoadNetwork
+
+
+def path_graph(n: int) -> RoadNetwork:
+    return RoadNetwork(n, edges=[(i, i + 1, float(i + 1)) for i in range(n - 1)])
+
+
+def star_graph(n: int) -> RoadNetwork:
+    return RoadNetwork(n, edges=[(0, i, float(i)) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> RoadNetwork:
+    return RoadNetwork(
+        n,
+        edges=[
+            (i, j, float(i + j + 1))
+            for i in range(n)
+            for j in range(i + 1, n)
+        ],
+    )
+
+
+def cycle_graph(n: int) -> RoadNetwork:
+    return RoadNetwork(
+        n, edges=[(i, (i + 1) % n, 1.0) for i in range(n)]
+    )
+
+
+TOPOLOGIES = {
+    "path": path_graph(9),
+    "star": star_graph(8),
+    "complete": complete_graph(7),
+    "cycle": cycle_graph(10),
+    "two-vertex": RoadNetwork(2, edges=[(0, 1, 3.0)]),
+}
+
+
+def assert_oracle_exact(oracle, graph):
+    n = graph.num_vertices
+    for s in range(n):
+        ref = dijkstra_distances(graph, s)
+        for t in range(n):
+            assert oracle.distance(s, t) == pytest.approx(ref[t]), (s, t)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+class TestAllIndexesOnDegenerateShapes:
+    def test_h2h(self, name):
+        graph = TOPOLOGIES[name].copy()
+        assert_oracle_exact(H2HIndex(graph), graph)
+
+    def test_fahl(self, name):
+        graph = TOPOLOGIES[name].copy()
+        flows = np.linspace(1, 50, graph.num_vertices)
+        assert_oracle_exact(FAHLIndex(graph, flows), graph)
+
+    def test_ch(self, name):
+        graph = TOPOLOGIES[name].copy()
+        assert_oracle_exact(CHIndex(graph), graph)
+
+    def test_gtree(self, name):
+        graph = TOPOLOGIES[name].copy()
+        assert_oracle_exact(TDGTree(graph, leaf_size=3), graph)
+
+    def test_pll(self, name):
+        graph = TOPOLOGIES[name].copy()
+        assert_oracle_exact(PLLIndex(graph), graph)
+
+
+class TestShapeSpecificStructure:
+    def test_path_graph_treewidth_one(self):
+        index = H2HIndex(path_graph(12).copy())
+        assert index.treewidth == 1
+
+    def test_star_is_flat(self):
+        # min-degree eliminates leaves first; the final hub/leaf tie-break
+        # may crown either, but the tree stays (almost) flat
+        index = H2HIndex(star_graph(9).copy())
+        assert index.treewidth == 1
+        assert index.treeheight <= 2
+
+    def test_complete_graph_treewidth(self):
+        index = H2HIndex(complete_graph(6).copy())
+        assert index.treewidth == 5  # a clique is one bag
+
+    def test_fahl_on_star_respects_flow(self):
+        graph = star_graph(9).copy()
+        # beta=1: lowest-flow leaf becomes the root, everything still exact
+        flows = np.arange(9, dtype=float) + 1.0
+        flows[4] = 0.0
+        index = FAHLIndex(graph, flows, beta=1.0)
+        assert index.tree.root == 4
+        assert_oracle_exact(index, graph)
+
+    def test_maintenance_on_path_graph(self):
+        from repro.core.maintenance import apply_flow_update, apply_weight_update
+
+        graph = path_graph(9).copy()
+        flows = np.ones(9)
+        index = FAHLIndex(graph, flows)
+        apply_weight_update(index, 3, 4, 50.0)
+        apply_flow_update(index, 5, 99.0, method="isu")
+        assert_oracle_exact(index, graph)

@@ -1,0 +1,118 @@
+"""Unit tests for the trajectory-driven flow substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import DijkstraOracle
+from repro.core.fahl import build_fahl
+from repro.core.fpsps import FlowAwareEngine
+from repro.errors import FlowError
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.workloads.trajectories import (
+    Trip,
+    flows_from_trips,
+    generate_trips,
+    reroute_flow_aware,
+)
+
+
+@pytest.fixture()
+def trips(small_grid):
+    oracle = DijkstraOracle(small_grid)
+    return generate_trips(small_grid, oracle, num_vehicles=40, days=1,
+                          interval_minutes=60, seed=5)
+
+
+class TestGenerateTrips:
+    def test_paths_are_valid_walks(self, small_grid, trips):
+        assert trips
+        for trip in trips:
+            for a, b in zip(trip.path, trip.path[1:]):
+                assert small_grid.has_edge(a, b)
+
+    def test_departures_in_horizon(self, trips):
+        assert all(0 <= t.departure < 24 for t in trips)
+
+    def test_rush_hour_demand_skew(self, small_grid):
+        oracle = DijkstraOracle(small_grid)
+        many = generate_trips(small_grid, oracle, num_vehicles=400, days=1,
+                              seed=1)
+        departures = np.array([t.departure for t in many])
+        rush = ((departures >= 7) & (departures <= 9)).sum()
+        night = ((departures >= 1) & (departures <= 3)).sum()
+        assert rush > night
+
+    def test_deterministic(self, small_grid):
+        oracle = DijkstraOracle(small_grid)
+        a = generate_trips(small_grid, oracle, num_vehicles=20, seed=9)
+        b = generate_trips(small_grid, oracle, num_vehicles=20, seed=9)
+        assert a == b
+
+    def test_validation(self, small_grid):
+        oracle = DijkstraOracle(small_grid)
+        with pytest.raises(FlowError):
+            generate_trips(small_grid, oracle, num_vehicles=0)
+        with pytest.raises(FlowError):
+            generate_trips(small_grid, oracle, 5, interval_minutes=7)
+        with pytest.raises(FlowError):
+            generate_trips(small_grid, oracle, 5, trips_per_vehicle_per_day=0)
+
+
+class TestFlowsFromTrips:
+    def test_total_passages_conserved(self, small_grid, trips):
+        series = flows_from_trips(trips, small_grid.num_vertices, 24)
+        counted = int(series.matrix.sum())
+        # every path vertex whose slice lands inside the horizon is counted
+        expected = sum(
+            1
+            for trip in trips
+            for hop in range(len(trip.path))
+            if trip.departure + hop // 8 < 24
+        )
+        assert counted == expected
+
+    def test_usable_as_frn(self, small_grid, trips):
+        series = flows_from_trips(trips, small_grid.num_vertices, 24)
+        frn = FlowAwareRoadNetwork(small_grid, series)
+        index = build_fahl(frn)
+        assert index.graph is small_grid
+
+    def test_long_trips_spread_over_slices(self, small_grid):
+        path = tuple(range(10))  # not a real walk; counting only
+        trip = Trip(departure=0, path=path)
+        series = flows_from_trips([trip], small_grid.num_vertices, 4,
+                                  hops_per_slice=4)
+        assert series.matrix[0].sum() == 4
+        assert series.matrix[1].sum() == 4
+        assert series.matrix[2].sum() == 2
+
+    def test_validation(self, small_grid, trips):
+        with pytest.raises(FlowError):
+            flows_from_trips(trips, small_grid.num_vertices, 0)
+        with pytest.raises(FlowError):
+            flows_from_trips(trips, small_grid.num_vertices, 24,
+                             hops_per_slice=0)
+
+
+class TestRerouteFlowAware:
+    def test_fleet_dodges_congestion(self, small_grid, trips):
+        series = flows_from_trips(trips, small_grid.num_vertices, 24)
+        frn = FlowAwareRoadNetwork(small_grid, series)
+        index = build_fahl(frn)
+        engine = FlowAwareEngine(frn, oracle=index, alpha=0.3, eta_u=3.0,
+                                 max_candidates=8)
+        rerouted, ratio = reroute_flow_aware(trips, engine)
+        assert len(rerouted) == len(trips)
+        # flow-aware plans never carry more congestion than shortest paths
+        assert ratio <= 1.0 + 1e-9
+        for old, new in zip(trips, rerouted):
+            assert old.path[0] == new.path[0]
+            assert old.path[-1] == new.path[-1]
+
+    def test_requires_trips(self, small_frn):
+        index = build_fahl(small_frn)
+        engine = FlowAwareEngine(small_frn, oracle=index)
+        with pytest.raises(FlowError):
+            reroute_flow_aware([], engine)

@@ -1,0 +1,169 @@
+"""Unit tests for datasets, query groups and update streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.errors import DatasetFormatError, QueryError
+from repro.graph.validation import is_connected
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    dataset_statistics,
+    load_dataset,
+    make_frn,
+)
+from repro.workloads.queries import (
+    distance_bands,
+    estimate_diameter,
+    flatten_groups,
+    generate_query_groups,
+)
+from repro.workloads.updates import (
+    generate_flow_updates,
+    generate_mixed_updates,
+    generate_weight_updates,
+)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_datasets_build(self, name):
+        dataset = load_dataset(name, scale=0.08, days=1)
+        assert dataset.num_vertices > 10
+        assert is_connected(dataset.frn.graph)
+        assert dataset.frn.lanes is not None
+
+    def test_relative_sizes_preserved(self):
+        sizes = [
+            load_dataset(name, scale=0.1, days=1).num_vertices
+            for name in DATASET_NAMES
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_records_formula(self):
+        dataset = load_dataset("BRN", scale=0.08, days=2, interval_minutes=60)
+        assert dataset.num_records == dataset.num_vertices * 48
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetFormatError):
+            load_dataset("ATL", scale=0.1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetFormatError):
+            load_dataset("BRN", scale=0.0)
+
+    def test_deterministic(self):
+        a = load_dataset("NYC", scale=0.08, days=1, seed=3)
+        b = load_dataset("NYC", scale=0.08, days=1, seed=3)
+        assert sorted(a.frn.graph.edges()) == sorted(b.frn.graph.edges())
+        assert np.array_equal(a.frn.flow.matrix, b.frn.flow.matrix)
+
+    def test_epochs_control_prediction_error(self, small_grid):
+        sloppy = make_frn(small_grid, days=1, epochs=0, seed=0)
+        sharp = make_frn(small_grid, days=1, epochs=300, seed=0)
+        err_sloppy = np.abs(
+            sloppy.predicted_flow.matrix - sloppy.flow.matrix
+        ).mean()
+        err_sharp = np.abs(sharp.predicted_flow.matrix - sharp.flow.matrix).mean()
+        assert err_sharp < err_sloppy
+
+    def test_statistics_rows(self):
+        datasets = [load_dataset("BRN", scale=0.08, days=1)]
+        rows = dataset_statistics(datasets)
+        assert rows[0]["Dataset"] == "BRN"
+        assert rows[0]["Records"] == datasets[0].num_records
+
+
+class TestQueryGroups:
+    def test_diameter_positive(self, medium_grid):
+        diameter = estimate_diameter(medium_grid, seed=0)
+        assert diameter > 0
+
+    def test_bands_geometric_and_contiguous(self):
+        bands = distance_bands(1600.0, num_groups=4, min_fraction=0.0625,
+                               max_fraction=0.5)
+        assert bands[0][0] == pytest.approx(100.0)
+        assert bands[-1][1] == pytest.approx(800.0)
+        for (lo_a, hi_a), (lo_b, _) in zip(bands, bands[1:]):
+            assert hi_a == pytest.approx(lo_b)
+        ratios = [hi / lo for lo, hi in bands]
+        assert max(ratios) - min(ratios) < 1e-9
+
+    def test_bands_validation(self):
+        with pytest.raises(QueryError):
+            distance_bands(100.0, num_groups=0)
+        with pytest.raises(QueryError):
+            distance_bands(100.0, min_fraction=0.9, max_fraction=0.5)
+
+    def test_queries_fall_in_band(self, small_frn):
+        groups = generate_query_groups(
+            small_frn, num_groups=4, queries_per_group=4, seed=1
+        )
+        diameter = estimate_diameter(small_frn.graph, seed=1)
+        bands = distance_bands(diameter, num_groups=4)
+        for (low, high), queries in zip(bands, groups):
+            for query in queries:
+                dist = dijkstra_distances(small_frn.graph, query.source)[
+                    query.target
+                ]
+                assert low < dist <= high + 1e-9
+
+    def test_timesteps_in_range(self, small_frn):
+        groups = generate_query_groups(
+            small_frn, num_groups=3, queries_per_group=3, seed=2
+        )
+        for query in flatten_groups(groups):
+            assert 0 <= query.timestep < small_frn.num_timesteps
+
+    def test_deterministic(self, small_frn):
+        a = generate_query_groups(small_frn, num_groups=3,
+                                  queries_per_group=3, seed=5)
+        b = generate_query_groups(small_frn, num_groups=3,
+                                  queries_per_group=3, seed=5)
+        assert a == b
+
+    def test_invalid_args(self, small_frn):
+        with pytest.raises(QueryError):
+            generate_query_groups(small_frn, queries_per_group=0)
+
+
+class TestUpdateStreams:
+    def test_weight_updates_reference_real_edges(self, small_grid):
+        updates = generate_weight_updates(small_grid, 10, seed=0)
+        assert len(updates) == 10
+        for u, v, w in updates:
+            assert small_grid.has_edge(u, v)
+            assert w >= 1.0
+
+    def test_weight_updates_deterministic(self, small_grid):
+        assert generate_weight_updates(small_grid, 5, seed=1) == (
+            generate_weight_updates(small_grid, 5, seed=1)
+        )
+
+    def test_weight_updates_validation(self, small_grid):
+        with pytest.raises(QueryError):
+            generate_weight_updates(small_grid, -1)
+        with pytest.raises(QueryError):
+            generate_weight_updates(small_grid, 3, magnitude=(0.0, 1.0))
+
+    def test_flow_updates_distinct_vertices(self, small_frn):
+        updates = generate_flow_updates(small_frn, 8, seed=0)
+        assert len(updates) == 8
+        assert all(flow >= 0 for flow in updates.values())
+
+    def test_flow_updates_validation(self, small_frn):
+        with pytest.raises(QueryError):
+            generate_flow_updates(small_frn, small_frn.num_vertices + 1)
+
+    def test_mixed_updates_ratio(self, small_frn):
+        flows, weights = generate_mixed_updates(
+            small_frn, total=30, update_ratio=2.0, seed=0
+        )
+        assert len(flows) + len(weights) == 30
+        assert len(flows) / max(1, len(weights)) == pytest.approx(2.0, rel=0.2)
+
+    def test_mixed_updates_validation(self, small_frn):
+        with pytest.raises(QueryError):
+            generate_mixed_updates(small_frn, total=10, update_ratio=0.0)
