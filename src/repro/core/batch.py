@@ -1,26 +1,46 @@
-"""Batch FSPQ evaluation with cross-query caching.
+"""Batch FSPQ evaluation: cross-query caching, bulk prefetch, process pool.
 
 Interactive engines answer one query at a time; offline consumers (the
 experiment harness, kNN reranking, fleet re-planning) throw hundreds of
-queries at the same index.  Two cheap levers make batches faster without
+queries at the same index.  Three levers make batches faster without
 touching results:
 
 * :class:`MemoizedOracle` — wraps any distance oracle with a symmetric
   pair cache.  Candidate generation probes ``distance(v, target)`` for
   many ``v`` per query; queries sharing a target (kNN! navigation
-  sessions!) hit the cache across calls.
+  sessions!) hit the cache across calls.  When the underlying oracle
+  supports ``distance_many`` (the label-arena fast path), the cache can
+  be bulk-filled with one vectorised call via :meth:`~MemoizedOracle.prefetch`.
 * :func:`batch_query` — evaluates a list of queries grouped by target so
   the memoisation (and the engine's per-slice flow cache) is maximally
-  effective, then restores the caller's original order.
+  effective, bulk-prefetching each target's distances, then restores the
+  caller's original order.
+* ``batch_query(..., workers=N)`` — fans contiguous chunks of the
+  target-grouped order out to a ``fork`` multiprocessing pool.  The built
+  index is shared with the workers copy-on-write (nothing is pickled on
+  the way in), results come back in input order, and the values are
+  bit-identical to the serial path — memoisation and parallelism are both
+  transparent.  When ``fork`` is unavailable (or the pool cannot start)
+  the call silently degrades to the serial path.
 """
 
 from __future__ import annotations
+
+import math
+import multiprocessing
+from collections import Counter
+
+import numpy as np
 
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.errors import QueryError
 
 __all__ = ["MemoizedOracle", "batch_query"]
+
+#: whole-vertex-set prefetch per distinct batch target is capped here —
+#: beyond it the speculative pairs would outweigh the vectorisation win.
+_PREFETCH_MAX_VERTICES = 100_000
 
 
 class MemoizedOracle:
@@ -49,6 +69,61 @@ class MemoizedOracle:
         self._cache[key] = value
         return value
 
+    def distance_many(self, sources, targets) -> np.ndarray:
+        """Vectorised ``distance`` over aligned arrays, filling the cache.
+
+        Cached pairs are served from the cache; the rest go to the
+        underlying oracle's ``distance_many`` in one call when it has one
+        (a scalar loop otherwise), and land in the cache on the way out.
+        """
+        us = np.asarray(sources, dtype=np.int64)
+        vs = np.asarray(targets, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise QueryError(
+                "distance_many needs 1-D source/target arrays of equal length"
+            )
+        out = np.empty(us.shape, dtype=np.float64)
+        cache = self._cache
+        missing: list[int] = []
+        for i, (u, v) in enumerate(zip(us.tolist(), vs.tolist())):
+            key = (u, v) if u <= v else (v, u)
+            cached = cache.get(key)
+            if cached is None:
+                missing.append(i)
+            else:
+                self.hits += 1
+                out[i] = cached
+        if missing:
+            self.misses += len(missing)
+            idx = np.asarray(missing, dtype=np.int64)
+            inner = getattr(self._oracle, "distance_many", None)
+            if callable(inner):
+                values = np.asarray(inner(us[idx], vs[idx]), dtype=np.float64)
+            else:
+                values = np.asarray(
+                    [
+                        self._oracle.distance(int(us[i]), int(vs[i]))
+                        for i in missing
+                    ],
+                    dtype=np.float64,
+                )
+            out[idx] = values
+            for i, value in zip(missing, values.tolist()):
+                u, v = int(us[i]), int(vs[i])
+                cache[(u, v) if u <= v else (v, u)] = value
+        return out
+
+    def prefetch(self, vertices, target) -> int:
+        """Bulk-fill the cache with ``distance(v, target)`` for each ``v``.
+
+        One vectorised call when the underlying oracle supports
+        ``distance_many``.  Returns the number of newly cached pairs.
+        """
+        verts = np.asarray(vertices, dtype=np.int64)
+        before = len(self._cache)
+        self.distance_many(verts, np.full(verts.shape, int(target), dtype=np.int64))
+        return len(self._cache) - before
+
     def path(self, u: int, v: int) -> list[int]:
         """Paths are delegated uncached (rarely repeated verbatim)."""
         if not callable(getattr(self._oracle, "path", None)):
@@ -63,9 +138,115 @@ class MemoizedOracle:
         return len(self._cache)
 
 
+# ----------------------------------------------------------------------
+# chunk evaluation (shared by the serial path and the pool workers)
+# ----------------------------------------------------------------------
+def _evaluate_chunk(
+    engine: FlowAwareEngine,
+    indexed: list[tuple[int, FSPQuery]],
+) -> list[tuple[int, FSPResult]]:
+    """Evaluate ``(position, query)`` pairs in order, prefetching per target.
+
+    ``indexed`` is expected in target-grouped order; when a target is
+    shared by several queries of the chunk and the memoised oracle can
+    reach a vectorised ``distance_many``, the whole vertex set's distances
+    to that target are prefetched in one call — candidate generation and
+    scoring for the group then run entirely off the cache.  Targets seen
+    once skip the speculative fill (it would cost about what it saves).
+    """
+    oracle = engine.oracle
+    all_vertices: np.ndarray | None = None
+    if isinstance(oracle, MemoizedOracle) and callable(
+        getattr(oracle._oracle, "distance_many", None)
+    ):
+        n = engine.frn.num_vertices
+        if n <= _PREFETCH_MAX_VERTICES:
+            all_vertices = np.arange(n, dtype=np.int64)
+    multiplicity = Counter(query.target for _, query in indexed)
+    out: list[tuple[int, FSPResult]] = []
+    last_target: int | None = None
+    for position, query in indexed:
+        if (
+            all_vertices is not None
+            and query.target != last_target
+            and multiplicity[query.target] > 1
+        ):
+            oracle.prefetch(all_vertices, query.target)
+            last_target = query.target
+        out.append((position, engine.query(query)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# fork pool plumbing
+# ----------------------------------------------------------------------
+_WORKER_ENGINE: FlowAwareEngine | None = None
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` when unsupported.
+
+    ``fork`` is the only start method that shares the parent's built index
+    with the workers copy-on-write; ``spawn`` would re-pickle the whole
+    engine per worker, which defeats the point.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def _init_worker(engine: FlowAwareEngine) -> None:
+    # runs in the forked child: `engine` is the child's copy-on-write copy,
+    # so wrapping its oracle never touches the parent's engine.
+    global _WORKER_ENGINE
+    if engine.oracle is not None and not isinstance(engine.oracle, MemoizedOracle):
+        engine.oracle = MemoizedOracle(engine.oracle)
+    _WORKER_ENGINE = engine
+
+
+def _run_worker_chunk(
+    chunk: list[tuple[int, FSPQuery]],
+) -> list[tuple[int, FSPResult]]:
+    return _evaluate_chunk(_WORKER_ENGINE, chunk)
+
+
+def _run_parallel(
+    engine: FlowAwareEngine,
+    indexed: list[tuple[int, FSPQuery]],
+    workers: int,
+) -> list[tuple[int, FSPResult]] | None:
+    """Evaluate via a fork pool; ``None`` means "use the serial path".
+
+    Chunks are contiguous slices of the target-grouped order (so each
+    worker's cache still sees its targets grouped), a few per worker for
+    load balance.  Query errors raised inside a worker propagate, exactly
+    as they would from the serial loop.
+    """
+    context = _fork_context()
+    if context is None:
+        return None
+    workers = min(workers, len(indexed))
+    num_chunks = min(len(indexed), workers * 4)
+    size = math.ceil(len(indexed) / num_chunks)
+    chunks = [indexed[i:i + size] for i in range(0, len(indexed), size)]
+    try:
+        pool = context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(engine,)
+        )
+    except (OSError, RuntimeError, ValueError):
+        return None
+    try:
+        parts = pool.map(_run_worker_chunk, chunks)
+    finally:
+        pool.close()
+        pool.join()
+    return [pair for part in parts for pair in part]
+
+
 def batch_query(
     engine: FlowAwareEngine,
     queries: list[FSPQuery],
+    workers: int = 1,
 ) -> list[FSPResult]:
     """Evaluate ``queries`` with target-grouped ordering and a shared cache.
 
@@ -73,22 +254,42 @@ def batch_query(
     a :class:`MemoizedOracle` for the duration of the batch (restored
     afterwards); with ``oracle=None`` engines the call degrades to a plain
     loop.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (default) evaluates in-process.  ``> 1`` fans contiguous
+        chunks of the target-grouped order out to a ``fork``
+        multiprocessing pool sharing the built index copy-on-write, and
+        falls back to the serial path when ``fork`` is unavailable or the
+        pool cannot start.  Both paths return bit-identical results.
     """
+    if workers < 1:
+        raise QueryError(f"workers must be >= 1, got {workers}")
     if not queries:
         return []
+    order = sorted(
+        range(len(queries)),
+        key=lambda i: (queries[i].target, queries[i].timestep),
+    )
+    indexed = [(i, queries[i]) for i in order]
+    results: list[FSPResult | None] = [None] * len(queries)
+
+    if workers > 1 and len(queries) > 1:
+        pairs = _run_parallel(engine, indexed, workers)
+        if pairs is not None:
+            for position, result in pairs:
+                results[position] = result
+            return results  # type: ignore[return-value]
+
     original_oracle = engine.oracle
     if original_oracle is not None and not isinstance(
         original_oracle, MemoizedOracle
     ):
         engine.oracle = MemoizedOracle(original_oracle)
     try:
-        order = sorted(
-            range(len(queries)),
-            key=lambda i: (queries[i].target, queries[i].timestep),
-        )
-        results: list[FSPResult | None] = [None] * len(queries)
-        for i in order:
-            results[i] = engine.query(queries[i])
+        for position, result in _evaluate_chunk(engine, indexed):
+            results[position] = result
         return results  # type: ignore[return-value]
     finally:
         engine.oracle = original_oracle

@@ -6,8 +6,9 @@ distance and congestion".  This module answers that query on top of any
 FSPQ engine:
 
 1. **spatial prefilter** — rank the POI set by exact spatial distance
-   using the engine's oracle (cheap label lookups) and keep the closest
-   ``prefilter`` candidates;
+   using the engine's oracle (one vectorised ``distance_many`` call when
+   the oracle supports it, scalar label lookups otherwise) and keep the
+   closest ``prefilter`` candidates;
 2. **flow-aware rerank** — evaluate a full FSPQ for each survivor and
    return the ``k`` with the smallest flow-aware score.
 
@@ -20,6 +21,8 @@ is reported in the result.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
@@ -69,10 +72,20 @@ def flow_aware_knn(
     if prefilter < k:
         raise QueryError(f"prefilter ({prefilter}) must be >= k ({k})")
 
-    ranked = sorted(
-        unique_pois,
-        key=lambda poi: engine.shortest_distance(source, poi),
-    )
+    distance_many = getattr(engine.oracle, "distance_many", None)
+    if callable(distance_many):
+        # one vectorised probe for the whole POI set; the stable argsort
+        # keeps the ascending-POI tie order of the scalar sort below.
+        pois_arr = np.asarray(unique_pois, dtype=np.int64)
+        dists = np.asarray(
+            distance_many(np.full(pois_arr.shape, source, dtype=np.int64), pois_arr)
+        )
+        ranked = [unique_pois[int(i)] for i in np.argsort(dists, kind="stable")]
+    else:
+        ranked = sorted(
+            unique_pois,
+            key=lambda poi: engine.shortest_distance(source, poi),
+        )
     shortlist = ranked[:prefilter]
 
     scored: list[tuple[float, float, int, FSPResult]] = []

@@ -28,7 +28,6 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import QueryError
 from repro.graph.frn import FlowAwareRoadNetwork

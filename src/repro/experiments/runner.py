@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from repro.baselines.astar import AStarOracle
 from repro.baselines.ch import CHIndex
 from repro.baselines.gtree import TDGTree
+from repro.core.batch import batch_query
 from repro.core.fahl import FAHLIndex
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery
@@ -31,6 +32,7 @@ __all__ = [
     "build_method",
     "build_method_suite",
     "format_table",
+    "time_batch_queries",
     "time_queries",
 ]
 
@@ -265,4 +267,23 @@ def time_queries(
     start = time.perf_counter()
     for query in queries:
         method.engine.query(query)
+    return (time.perf_counter() - start) / len(queries)
+
+
+def time_batch_queries(
+    method: BuiltMethod,
+    queries: list[FSPQuery],
+    workers: int = 1,
+) -> float:
+    """Average seconds per query through :func:`repro.core.batch.batch_query`.
+
+    The batch path shares one memoised oracle across the workload
+    (bulk-prefetched via ``distance_many`` when the method's index supports
+    it) and can fan out to a process pool; its results are identical to
+    :func:`time_queries`' per-query evaluation, so figures may use either.
+    """
+    if not queries:
+        return 0.0
+    start = time.perf_counter()
+    batch_query(method.engine, list(queries), workers=workers)
     return (time.perf_counter() - start) / len(queries)

@@ -1,5 +1,6 @@
 """Hierarchical 2-hop labeling: shared machinery and the H2H baseline."""
 
+from repro.labeling.arena import LabelArena
 from repro.labeling.h2h import H2HIndex, build_h2h
 from repro.labeling.hierarchy import HierarchyIndex, build_hierarchy_index
 from repro.labeling.serialize import load_index, save_index
@@ -7,6 +8,7 @@ from repro.labeling.serialize import load_index, save_index
 __all__ = [
     "H2HIndex",
     "HierarchyIndex",
+    "LabelArena",
     "build_h2h",
     "build_hierarchy_index",
     "load_index",

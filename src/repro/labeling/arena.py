@@ -1,0 +1,192 @@
+"""Contiguous label storage for vectorised many-pair distance queries.
+
+:class:`~repro.labeling.hierarchy.HierarchyIndex` keeps its labels as a
+Python list of small per-vertex numpy arrays — the right shape for
+incremental maintenance (ILU/ISU rewrite individual vertices in place) but
+wrong for throughput: every scalar query pays several Python-level
+indirections, and the label slices are scattered across the heap.  Flat
+label storage is what gives practical labeling systems their query speed
+(hierarchical cut labelling and PSL both pack labels contiguously), so
+:class:`LabelArena` snapshots the index's labels, via indices and position
+arrays into flat ``float64``/``int32``/``int64`` arrays with ``int64``
+offset tables; the ancestor paths are shared with the index, which already
+stores them flat.  :meth:`pair_distances` then answers thousands of
+(source, target, hub) triples with a handful of numpy gathers and one
+segmented reduction — no Python loop on the hot path.
+
+The arena is a *snapshot*: it records the index's label version at build
+time, and :meth:`HierarchyIndex.arena` rebuilds it whenever maintenance
+(ILU/ISU/GSU) bumps the version, so a stale arena can never serve a query.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a cycle: hierarchy imports this module
+    from repro.labeling.hierarchy import HierarchyIndex
+
+__all__ = ["LabelArena"]
+
+#: the dense padded position matrix is ``n * max_width`` int64 entries; past
+#: this element budget (256 MB) the arena keeps only the ragged layout and
+#: :meth:`LabelArena.pair_distances` uses the segmented-reduction kernel.
+_DENSE_POS_LIMIT = 32_000_000
+
+
+def _pack(arrays: list[np.ndarray], dtype) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a ragged array list into ``(offsets[n + 1], values)``."""
+    n = len(arrays)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    if not n:
+        return offsets, np.empty(0, dtype=dtype)
+    lengths = np.fromiter((len(a) for a in arrays), dtype=np.int64, count=n)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets, np.concatenate(arrays).astype(dtype, copy=False)
+
+
+class LabelArena:
+    """Flat-packed labels/vias/positions of one :class:`HierarchyIndex`.
+
+    Attributes
+    ----------
+    version:
+        The index's label version when the arena was packed; compared by
+        :meth:`HierarchyIndex.arena` to decide whether a rebuild is due.
+    label_offsets, label_values:
+        ``label_values[label_offsets[v]:label_offsets[v + 1]]`` is the
+        distance label of ``v`` (float64).
+    via_offsets, via_values:
+        Per-vertex via indices (int32), same layout.
+    pos_offsets, pos_values:
+        Def.-8 position arrays (int64), same layout.
+    pos_pad:
+        Dense ``(n, max_width)`` position matrix, each row the hub's
+        position array padded by repeating its last entry (a duplicate
+        candidate never changes a minimum).  Lets the hot kernel run on
+        rectangular gathers with no per-pair expansion; ``None`` when the
+        matrix would exceed the :data:`_DENSE_POS_LIMIT` element budget.
+    anc_offsets, anc_values:
+        Root-to-vertex ancestor paths — *shared* with the index's flat
+        ancestor storage, not copied.
+    """
+
+    __slots__ = (
+        "version",
+        "num_vertices",
+        "label_offsets",
+        "label_values",
+        "via_offsets",
+        "via_values",
+        "pos_offsets",
+        "pos_values",
+        "pos_pad",
+        "anc_offsets",
+        "anc_values",
+    )
+
+    def __init__(self, index: "HierarchyIndex") -> None:
+        self.num_vertices = index.graph.num_vertices
+        self.version = index.label_version
+        self.label_offsets, self.label_values = _pack(index.labels, np.float64)
+        self.via_offsets, self.via_values = _pack(index.vias, np.int32)
+        self.pos_offsets, self.pos_values = _pack(index.positions, np.int64)
+        self.pos_pad = self._pad_positions()
+        self.anc_offsets = index.anc_offsets
+        self.anc_values = index.anc_flat
+
+    def _pad_positions(self) -> np.ndarray | None:
+        n = self.num_vertices
+        counts = self.pos_offsets[1:] - self.pos_offsets[:-1]
+        if n == 0 or int(counts.max()) * n > _DENSE_POS_LIMIT:
+            return None
+        # row v reads pos_values[pos_offsets[v] + min(col, count_v - 1)]:
+        # the window itself, then its last entry repeated out to max width
+        col = np.arange(int(counts.max()), dtype=np.int64)
+        idx = self.pos_offsets[:-1, None] + np.minimum(col, counts[:, None] - 1)
+        return self.pos_values[idx]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes owned by the arena.
+
+        The shared ancestor arrays are excluded — they belong to (and are
+        counted by) the index itself.
+        """
+        return (
+            self.label_offsets.nbytes
+            + self.label_values.nbytes
+            + self.via_offsets.nbytes
+            + self.via_values.nbytes
+            + self.pos_offsets.nbytes
+            + self.pos_values.nbytes
+            + (self.pos_pad.nbytes if self.pos_pad is not None else 0)
+        )
+
+    def label(self, v: int) -> np.ndarray:
+        """The packed distance label of ``v`` (a view, no copy)."""
+        return self.label_values[self.label_offsets[v]:self.label_offsets[v + 1]]
+
+    def pair_distances(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        hubs: np.ndarray,
+    ) -> np.ndarray:
+        """Eq.-5 distances for aligned ``(source, target, hub)`` triples.
+
+        ``hubs[i]`` must be the LCA node of ``sources[i]`` and
+        ``targets[i]`` in the decomposition tree (Alg. 2's hub node).  Each
+        pair's candidate sums ``label[u][p] + label[v][p]`` over the hub's
+        position array are folded with an exact minimum; a float64 minimum
+        is order-independent over finite values, so both kernels below
+        agree bit for bit with the scalar query.
+
+        The hot path gathers padded position rows from :attr:`pos_pad` and
+        reduces along a rectangular axis — no per-pair expansion at all
+        (the pad duplicates each row's last candidate, which cannot change
+        a minimum).  When the dense matrix was over budget at build time,
+        a ragged kernel expands each pair's window with ``repeat`` and
+        folds it with a segmented ``minimum.reduceat`` — segments are
+        never empty because every position array contains the vertex's own
+        depth.
+        """
+        if self.pos_pad is not None:
+            idx = self.pos_pad.take(hubs, axis=0)
+            off_u = self.label_offsets[sources]
+            idx += off_u[:, None]
+            lu = self.label_values.take(idx)
+            idx += (self.label_offsets[targets] - off_u)[:, None]
+            np.add(lu, self.label_values.take(idx), out=lu)
+            return np.min(lu, axis=1)
+        # ragged fallback: hub-sorted so shared hubs reuse cached windows
+        order = np.argsort(hubs, kind="stable")
+        h = hubs[order]
+        pos_offsets = self.pos_offsets
+        label_offsets = self.label_offsets
+        counts = pos_offsets[h + 1] - pos_offsets[h]
+        ends = np.cumsum(counts)
+        starts = ends - counts
+        # flat[i] walks each pair's window [pos_offsets[hub], +count) in turn
+        flat = np.arange(int(ends[-1]), dtype=np.int64)
+        flat += np.repeat(pos_offsets[h] - starts, counts)
+        pos = np.take(self.pos_values, flat)
+        off_u = label_offsets[sources[order]]
+        off_v = label_offsets[targets[order]]
+        idx = np.repeat(off_u, counts)
+        idx += pos
+        lu = np.take(self.label_values, idx)
+        idx += np.repeat(off_v - off_u, counts)
+        lu += np.take(self.label_values, idx)
+        mins = np.minimum.reduceat(lu, starts)
+        out = np.empty_like(mins)
+        out[order] = mins
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelArena(n={self.num_vertices}, "
+            f"entries={len(self.label_values)}, version={self.version})"
+        )

@@ -28,6 +28,7 @@ import numpy as np
 from repro.errors import IndexStateError, QueryError
 from repro.graph.road_network import RoadNetwork
 from repro.graph.validation import require_connected
+from repro.labeling.arena import LabelArena
 from repro.treedec.elimination import EliminationResult, eliminate
 from repro.treedec.lca import EulerTourLCA
 from repro.treedec.ordering import ImportanceFunction
@@ -59,23 +60,33 @@ class HierarchyIndex:
         """(Re)derive tree, LCA, ancestor/position arrays from ``self.elim``.
 
         Called at construction and after ISU/GSU change the elimination.
+        Bumps the label version, invalidating any packed :class:`LabelArena`.
         """
         self.tree = TreeDecomposition(self.elim)
         self.lca = EulerTourLCA(self.tree)
         n = self.graph.num_vertices
         depth = self.tree.depth
-        parent = self.tree.parent
 
-        # ancestor arrays (root-to-v paths), children-first so parents exist
-        anc: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
-        root = self.tree.root
-        anc[root] = np.asarray([root], dtype=np.int64)
-        stack = list(self.tree.children[root])
+        # ancestor arrays (root-to-v paths) packed into one preallocated
+        # flat array + offsets (shared with the arena); the preorder DFS
+        # keeps the current root path in a reusable buffer, so each vertex
+        # costs two slice copies instead of one tiny allocation.
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(depth + 1, out=offsets[1:])
+        flat = np.empty(int(offsets[n]), dtype=np.int64)
+        path_buf = np.empty(int(depth.max()) + 1, dtype=np.int64)
+        stack = [self.tree.root]
         while stack:
             v = stack.pop()
-            anc[v] = np.append(anc[parent[v]], v)
+            d = int(depth[v])
+            path_buf[d] = v
+            flat[offsets[v]:offsets[v] + d + 1] = path_buf[:d + 1]
             stack.extend(self.tree.children[v])
-        self.anc = anc
+        self.anc_offsets = offsets
+        self.anc_flat = flat
+        self.anc: list[np.ndarray] = [
+            flat[offsets[v]:offsets[v + 1]] for v in range(n)
+        ]
 
         self.bag_keys: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
         self.bag_weights: list[np.ndarray] = [np.empty(0)] * n
@@ -85,6 +96,8 @@ class HierarchyIndex:
             self.sync_bag(v)
         self._depth = depth
         self._inv_bags: list[set[int]] | None = None
+        self._arena: LabelArena | None = None
+        self._version = getattr(self, "_version", 0) + 1
 
     def inverse_bags(self) -> list[set[int]]:
         """``inv[x]`` = vertices whose bag contains ``x`` (cached).
@@ -113,6 +126,7 @@ class HierarchyIndex:
         positions = np.append(self.bag_pos[v], depth[v])
         positions.sort()
         self.positions[v] = positions
+        self._version = getattr(self, "_version", 0) + 1
 
     # ------------------------------------------------------------------
     # labels
@@ -201,7 +215,33 @@ class HierarchyIndex:
                 child_flag = propagate or child in force_subtree_roots
                 if full or child_flag or need_below[child]:
                     stack.append((child, child_flag))
+        self._version += 1
         return changed_count
+
+    # ------------------------------------------------------------------
+    # packed arena
+    # ------------------------------------------------------------------
+    @property
+    def label_version(self) -> int:
+        """Monotone counter bumped by every structure/label mutation.
+
+        :meth:`arena` compares it against the packed snapshot's version, so
+        maintenance (ILU/ISU/GSU) transparently invalidates the arena.
+        """
+        return self._version
+
+    def arena(self) -> LabelArena:
+        """The packed :class:`LabelArena` for the current labels.
+
+        Built lazily on first use, cached, and rebuilt automatically after
+        any maintenance operation bumps :attr:`label_version` — a stale
+        arena can never serve a query.
+        """
+        arena = self._arena
+        if arena is None or arena.version != self._version:
+            arena = LabelArena(self)
+            self._arena = arena
+        return arena
 
     # ------------------------------------------------------------------
     # queries
@@ -216,6 +256,31 @@ class HierarchyIndex:
         hub_node = self.lca.query(u, v)
         pos = self.positions[hub_node]
         return float((self.labels[u][pos] + self.labels[v][pos]).min())
+
+    def distance_many(self, sources, targets) -> np.ndarray:
+        """Vectorised :meth:`distance` over aligned vertex arrays.
+
+        Computes every pair with one batched LCA lookup plus the arena's
+        gather/segmented-min kernel — identical arithmetic to the scalar
+        query (same float64 sums, same minimum), so results agree bit for
+        bit with a :meth:`distance` loop.  Pairs with ``source == target``
+        come out as exactly ``0.0`` through the label's own zero entry.
+        """
+        us = np.asarray(sources, dtype=np.int64)
+        vs = np.asarray(targets, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise QueryError(
+                "distance_many needs 1-D source/target arrays of equal length"
+            )
+        if us.size == 0:
+            return np.empty(0, dtype=np.float64)
+        n = self.graph.num_vertices
+        if int(us.min()) < 0 or int(us.max()) >= n or int(vs.min()) < 0 or int(
+            vs.max()
+        ) >= n:
+            raise QueryError("distance_many query on unknown vertices")
+        hubs = self.lca.query_many(us, vs)
+        return self.arena().pair_distances(us, vs, hubs)
 
     def path(self, u: int, v: int) -> list[int]:
         """A concrete shortest path ``u .. v`` (unpacking label shortcuts)."""
@@ -280,10 +345,24 @@ class HierarchyIndex:
         )
 
     def index_size_bytes(self) -> int:
-        """Approximate in-memory footprint of the label arrays."""
-        return sum(lbl.nbytes for lbl in self.labels) + sum(
-            p.nbytes for p in self.positions
-        ) + sum(v.nbytes for v in self.vias)
+        """Approximate in-memory footprint of the resident query structures.
+
+        Counts the label/via/position arrays, the vectorised bag views
+        (``bag_keys``/``bag_weights``/``bag_pos``, which stay resident for
+        maintenance and path unpacking), the flat ancestor storage, and the
+        packed arena when one is currently built.
+        """
+        total = sum(lbl.nbytes for lbl in self.labels)
+        total += sum(p.nbytes for p in self.positions)
+        total += sum(v.nbytes for v in self.vias)
+        total += sum(k.nbytes for k in self.bag_keys)
+        total += sum(w.nbytes for w in self.bag_weights)
+        total += sum(p.nbytes for p in self.bag_pos)
+        total += self.anc_flat.nbytes + self.anc_offsets.nbytes
+        arena = self._arena
+        if arena is not None and arena.version == self._version:
+            total += arena.nbytes
+        return total
 
     def __repr__(self) -> str:
         return (

@@ -24,7 +24,6 @@ to each pair ``(x, y)`` of its bag.
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -11,7 +11,6 @@ queries (Fig. 6's x-axis).
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -1,0 +1,175 @@
+"""Unit tests for the packed label arena: layout, caching, invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.fahl import FAHLIndex
+from repro.core.maintenance import apply_flow_update, apply_weight_update
+from repro.errors import QueryError
+from repro.labeling.h2h import build_h2h
+
+
+def assert_distance_many_exact(index, graph, rng, pairs=60):
+    n = graph.num_vertices
+    us = rng.integers(0, n, pairs)
+    vs = rng.integers(0, n, pairs)
+    got = index.distance_many(us, vs)
+    for u, v, d in zip(us.tolist(), vs.tolist(), got.tolist()):
+        assert d == index.distance(u, v), (u, v)
+
+
+class TestArenaLayout:
+    def test_slices_match_index_lists(self, small_grid):
+        index = build_h2h(small_grid)
+        arena = index.arena()
+        n = small_grid.num_vertices
+        for v in range(n):
+            lo, hi = int(arena.label_offsets[v]), int(arena.label_offsets[v + 1])
+            assert np.array_equal(arena.label_values[lo:hi], index.labels[v])
+            assert np.array_equal(arena.label(v), index.labels[v])
+            lo, hi = int(arena.via_offsets[v]), int(arena.via_offsets[v + 1])
+            assert np.array_equal(arena.via_values[lo:hi], index.vias[v])
+            lo, hi = int(arena.pos_offsets[v]), int(arena.pos_offsets[v + 1])
+            assert np.array_equal(arena.pos_values[lo:hi], index.positions[v])
+
+    def test_ancestor_storage_is_shared(self, small_grid):
+        index = build_h2h(small_grid)
+        arena = index.arena()
+        assert arena.anc_values is index.anc_flat
+        assert arena.anc_offsets is index.anc_offsets
+        # the per-vertex views expose the same flat storage
+        for v in range(small_grid.num_vertices):
+            lo, hi = int(index.anc_offsets[v]), int(index.anc_offsets[v + 1])
+            assert np.array_equal(index.anc[v], index.anc_flat[lo:hi])
+            assert index.anc[v][-1] == v
+
+    def test_padded_positions_rows(self, small_grid):
+        index = build_h2h(small_grid)
+        arena = index.arena()
+        assert arena.pos_pad is not None
+        width = arena.pos_pad.shape[1]
+        for v in range(small_grid.num_vertices):
+            p = index.positions[v]
+            row = arena.pos_pad[v]
+            assert np.array_equal(row[: len(p)], p)
+            assert np.all(row[len(p):] == p[-1])
+            assert len(row) == width
+
+    def test_ragged_fallback_kernel_exact(self, small_grid, rng):
+        """Without the dense matrix the segmented kernel gives the same bits."""
+        index = build_h2h(small_grid)
+        n = small_grid.num_vertices
+        us = rng.integers(0, n, 80)
+        vs = rng.integers(0, n, 80)
+        dense = index.distance_many(us, vs)
+        index.arena().pos_pad = None
+        ragged = index.distance_many(us, vs)
+        assert np.array_equal(dense, ragged)
+
+    def test_cached_until_version_bump(self, small_grid):
+        index = build_h2h(small_grid)
+        first = index.arena()
+        assert index.arena() is first
+        index.refresh_labels()
+        second = index.arena()
+        assert second is not first
+        assert second.version > first.version
+
+
+class TestArenaInvalidation:
+    """Maintenance must transparently invalidate the packed snapshot."""
+
+    def test_ilu_invalidates(self, small_grid, rng):
+        index = build_h2h(small_grid)
+        stale = index.arena()
+        u, v, w = next(iter(small_grid.edges()))
+        apply_weight_update(index, u, v, w * 4)
+        assert index.arena() is not stale
+        assert_distance_many_exact(index, small_grid, rng)
+
+    def test_isu_invalidates(self, small_grid, rng):
+        flows = np.asarray(rng.uniform(0, 100, small_grid.num_vertices))
+        index = FAHLIndex(small_grid, flows)
+        stale = index.arena()
+        stats = apply_flow_update(index, 3, 12345.0, method="isu")
+        assert stats.strategy in ("isu", "gsu")
+        assert index.arena() is not stale
+        assert_distance_many_exact(index, small_grid, rng)
+
+    def test_gsu_invalidates(self, small_grid, rng):
+        flows = np.asarray(rng.uniform(0, 100, small_grid.num_vertices))
+        index = FAHLIndex(small_grid, flows)
+        stale = index.arena()
+        stats = apply_flow_update(index, 5, 9999.0, method="gsu")
+        assert stats.strategy in ("noop", "gsu")
+        fresh = index.arena()
+        if stats.strategy == "gsu":
+            assert fresh is not stale
+        assert_distance_many_exact(index, small_grid, rng)
+
+    def test_distance_many_correct_after_maintenance(self, small_grid, rng):
+        """End to end: vectorised answers equal Dijkstra on the new graph."""
+        index = build_h2h(small_grid)
+        index.distance_many(np.arange(4), np.arange(4) + 4)  # build the arena
+        u, v, w = next(iter(small_grid.edges()))
+        apply_weight_update(index, u, v, w * 10)
+        n = small_grid.num_vertices
+        ref = dijkstra_distances(small_grid, 0)
+        got = index.distance_many(np.zeros(n, dtype=np.int64), np.arange(n))
+        assert got == pytest.approx(ref)
+
+
+class TestDistanceManyValidation:
+    def test_shape_mismatch_rejected(self, small_grid):
+        index = build_h2h(small_grid)
+        with pytest.raises(QueryError):
+            index.distance_many([0, 1], [2])
+        with pytest.raises(QueryError):
+            index.distance_many([[0]], [[1]])
+
+    def test_unknown_vertices_rejected(self, small_grid):
+        index = build_h2h(small_grid)
+        n = small_grid.num_vertices
+        with pytest.raises(QueryError):
+            index.distance_many([0], [n])
+        with pytest.raises(QueryError):
+            index.distance_many([-1], [0])
+
+    def test_empty_input(self, small_grid):
+        index = build_h2h(small_grid)
+        out = index.distance_many([], [])
+        assert out.shape == (0,)
+
+    def test_self_pairs_are_zero(self, small_grid):
+        index = build_h2h(small_grid)
+        vs = np.arange(small_grid.num_vertices)
+        assert np.array_equal(index.distance_many(vs, vs), np.zeros(len(vs)))
+
+
+class TestIndexSizeBytes:
+    def test_includes_bag_views(self, small_grid):
+        index = build_h2h(small_grid)
+        label_bytes = (
+            sum(lbl.nbytes for lbl in index.labels)
+            + sum(p.nbytes for p in index.positions)
+            + sum(v.nbytes for v in index.vias)
+        )
+        bag_bytes = (
+            sum(k.nbytes for k in index.bag_keys)
+            + sum(w.nbytes for w in index.bag_weights)
+            + sum(p.nbytes for p in index.bag_pos)
+        )
+        assert bag_bytes > 0
+        assert index.index_size_bytes() >= label_bytes + bag_bytes
+
+    def test_includes_built_arena(self, small_grid):
+        index = build_h2h(small_grid)
+        before = index.index_size_bytes()
+        arena = index.arena()
+        assert index.index_size_bytes() == before + arena.nbytes
+        # a stale arena must not be counted
+        index.refresh_labels()
+        assert index.index_size_bytes() == before

@@ -1,14 +1,30 @@
-"""Unit tests for the batch query session and memoized oracle."""
+"""Unit tests for the batch query session, memoized oracle and fork pool."""
 
 from __future__ import annotations
 
 import pytest
 
+import repro.core.batch as batch_module
 from repro.core.batch import MemoizedOracle, batch_query
 from repro.core.fahl import build_fahl
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery
 from repro.errors import QueryError
+
+
+def make_queries(frn, rng, count, num_targets=None):
+    """A seeded workload; ``num_targets`` restricts the target pool."""
+    n = frn.num_vertices
+    targets = (
+        rng.choice(n, size=num_targets, replace=False) if num_targets else None
+    )
+    queries = []
+    while len(queries) < count:
+        s = int(rng.integers(0, n))
+        t = int(rng.choice(targets)) if targets is not None else int(rng.integers(0, n))
+        if s != t:
+            queries.append(FSPQuery(s, t, int(rng.integers(frn.num_timesteps))))
+    return queries
 
 
 @pytest.fixture()
@@ -55,6 +71,40 @@ class TestMemoizedOracle:
         with pytest.raises(QueryError):
             MemoizedOracle(object())
 
+    def test_distance_many_matches_scalar(self, small_frn, rng):
+        index = build_fahl(small_frn)
+        oracle = MemoizedOracle(index)
+        n = small_frn.num_vertices
+        us = rng.integers(0, n, 40)
+        vs = rng.integers(0, n, 40)
+        oracle.distance(int(us[0]), int(vs[0]))  # seed the cache
+        got = oracle.distance_many(us, vs)
+        for u, v, d in zip(us.tolist(), vs.tolist(), got.tolist()):
+            assert d == index.distance(u, v)
+        assert oracle.hits >= 1
+
+    def test_prefetch_fills_cache_vectorised(self, small_frn):
+        index = build_fahl(small_frn)
+        oracle = MemoizedOracle(index)
+        n = small_frn.num_vertices
+        added = oracle.prefetch(range(n), n - 1)
+        assert added == n - 1 + 1  # one key per pair incl. the self pair
+        assert index.distance(0, n - 1) == oracle.distance(0, n - 1)
+        assert oracle.prefetch(range(n), n - 1) == 0  # idempotent
+
+    def test_prefetch_without_distance_many(self, small_frn):
+        index = build_fahl(small_frn)
+
+        class ScalarOnly:
+            def distance(self, u, v):
+                return index.distance(u, v)
+
+        oracle = MemoizedOracle(ScalarOnly())
+        added = oracle.prefetch([0, 1, 2], 5)
+        assert added == 3
+        assert oracle.distance(1, 5) == index.distance(1, 5)
+        assert oracle.hits == 1
+
 
 class TestBatchQuery:
     def test_results_match_sequential(self, engine, small_frn, rng):
@@ -93,3 +143,64 @@ class TestBatchQuery:
         finally:
             engine.oracle = wrapped._oracle
         assert wrapped.hits > 0  # cross-query reuse happened
+
+
+class TestParallelBatchQuery:
+    """workers > 1 must be transparent: same results, graceful fallback."""
+
+    def test_workers_bit_identical_to_serial(self, engine, small_frn, rng):
+        queries = make_queries(small_frn, rng, 20, num_targets=6)
+        serial = batch_query(engine, queries)
+        parallel = batch_query(engine, queries, workers=2)
+        assert parallel == serial  # frozen dataclasses: exact field equality
+
+    def test_restores_engine_oracle(self, engine, small_frn, rng):
+        queries = make_queries(small_frn, rng, 6)
+        original = engine.oracle
+        batch_query(engine, queries, workers=2)
+        assert engine.oracle is original
+
+    def test_fallback_when_fork_unavailable(
+        self, engine, small_frn, rng, monkeypatch
+    ):
+        monkeypatch.setattr(batch_module, "_fork_context", lambda: None)
+        queries = make_queries(small_frn, rng, 8)
+        serial = batch_query(engine, queries)
+        fallback = batch_query(engine, queries, workers=4)
+        assert fallback == serial
+
+    def test_fallback_when_pool_cannot_start(
+        self, engine, small_frn, rng, monkeypatch
+    ):
+        class BrokenContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("fork failed")
+
+        monkeypatch.setattr(batch_module, "_fork_context", BrokenContext)
+        queries = make_queries(small_frn, rng, 8)
+        serial = batch_query(engine, queries)
+        fallback = batch_query(engine, queries, workers=4)
+        assert fallback == serial
+
+    def test_invalid_workers_rejected(self, engine):
+        with pytest.raises(QueryError):
+            batch_query(engine, [FSPQuery(0, 5, 0)], workers=0)
+
+    def test_query_errors_propagate(self, small_frn, rng):
+        # alpha guard makes the engine itself valid but the query invalid
+        engine = FlowAwareEngine(small_frn, oracle=build_fahl(small_frn))
+        bad = [FSPQuery(0, small_frn.num_vertices + 7, 0)] * 4
+        with pytest.raises(QueryError):
+            batch_query(engine, bad, workers=2)
+
+    def test_single_query_stays_serial(self, engine):
+        # one query never pays for a pool; result matches the direct call
+        direct = engine.query(FSPQuery(0, 5, 0))
+        assert batch_query(engine, [FSPQuery(0, 5, 0)], workers=4) == [direct]
+
+    def test_oracle_free_engine(self, small_frn, rng):
+        engine = FlowAwareEngine(small_frn, oracle=None, max_candidates=4)
+        queries = make_queries(small_frn, rng, 4, num_targets=2)
+        serial = batch_query(engine, queries)
+        parallel = batch_query(engine, queries, workers=2)
+        assert parallel == serial

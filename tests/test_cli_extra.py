@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.cli import main
 from repro.graph.dimacs import load_dimacs

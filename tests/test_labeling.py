@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.baselines.dijkstra import dijkstra_distances
 from repro.errors import DisconnectedGraphError, IndexStateError, QueryError
 from repro.graph.road_network import RoadNetwork
-from repro.labeling.h2h import H2HIndex, build_h2h
+from repro.labeling.h2h import build_h2h
 from repro.labeling.hierarchy import build_hierarchy_index
 from repro.treedec.ordering import degree_importance
 

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.dijkstra import dijkstra_distances
-from repro.core.fahl import FAHLIndex, build_fahl
+from repro.core.fahl import build_fahl
 from repro.core.maintenance import (
     apply_flow_update,
     apply_flow_updates,

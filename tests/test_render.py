@@ -7,7 +7,6 @@ import pytest
 
 from repro.analysis.render import render_network, render_routes
 from repro.errors import QueryError
-from repro.graph.road_network import RoadNetwork
 
 
 class TestRenderNetwork:

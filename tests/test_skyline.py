@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.fahl import FAHLIndex, build_fahl
+from repro.core.fahl import build_fahl
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery
 from repro.core.skyline import SkylinePath, skyline_paths
