@@ -9,13 +9,16 @@ Public API (re-exported here):
 * :class:`FlowAwareEngine` / :class:`FSPQuery` — FSPQ evaluation with the
   FPSPS algorithm and pruning bounds (Section V);
 * :func:`apply_weight_update` (ILU) and :func:`apply_flow_update`
-  (ISU/GSU) — index maintenance (Section IV);
+  (ISU/GSU) — transactional index maintenance (Section IV) with rollback;
+* :class:`ResilientEngine` — the fault-tolerant serving layer (admission
+  control, dead-letter quarantine, degraded-mode fallback; docs/RESILIENCE.md);
 * generators, predictors and workloads for running the paper's experiments.
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
 from repro.core import (
+    BatchReport,
     FAHLIndex,
     FlowAwareEngine,
     FSPQuery,
@@ -24,9 +27,11 @@ from repro.core import (
     apply_flow_updates,
     apply_weight_update,
     apply_weight_updates,
+    batch_query,
     build_fahl,
 )
-from repro.errors import ReproError
+from repro.errors import MaintenanceError, ReproError
+from repro.serving import FlowUpdate, ResilientEngine, WeightUpdate, verify_index
 from repro.flow import (
     FlowSeries,
     SeasonalNaivePredictor,
@@ -47,23 +52,30 @@ from repro.labeling import H2HIndex, build_h2h
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchReport",
     "FAHLIndex",
     "FSPQuery",
     "FSPResult",
     "FlowAwareEngine",
     "FlowAwareRoadNetwork",
     "FlowSeries",
+    "FlowUpdate",
     "H2HIndex",
+    "MaintenanceError",
     "ReproError",
+    "ResilientEngine",
     "RoadNetwork",
+    "WeightUpdate",
     "SeasonalNaivePredictor",
     "TrainablePredictor",
     "apply_flow_update",
     "apply_flow_updates",
     "apply_weight_update",
     "apply_weight_updates",
+    "batch_query",
     "build_fahl",
     "build_h2h",
+    "verify_index",
     "generate_flow_series",
     "grid_network",
     "load_dimacs",

@@ -1,6 +1,6 @@
 """FAHL core: index, maintenance, pruning bounds, and the FPSPS engine."""
 
-from repro.core.batch import MemoizedOracle, batch_query
+from repro.core.batch import BatchReport, MemoizedOracle, batch_query
 from repro.core.bounds import FlowBounds, adaptive_upper_bound, lemma4_bounds
 from repro.core.constrained import (
     ConstrainedFlowAwareEngine,
@@ -20,6 +20,8 @@ from repro.core.fpsps import PRUNING_MODES, FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.core.stats import IndexStatistics, compare_indexes, index_statistics
 from repro.core.maintenance import (
+    FAULT_POINTS,
+    IndexSnapshot,
     LabelUpdateStats,
     StructureUpdateStats,
     apply_flow_update,
@@ -29,9 +31,12 @@ from repro.core.maintenance import (
 )
 
 __all__ = [
+    "BatchReport",
     "ConstrainedFlowAwareEngine",
     "ConstraintError",
     "FAHLIndex",
+    "FAULT_POINTS",
+    "IndexSnapshot",
     "FSPQuery",
     "FSPResult",
     "FlowAwareEngine",

@@ -20,23 +20,34 @@ touching results:
   index is shared with the workers copy-on-write (nothing is pickled on
   the way in), results come back in input order, and the values are
   bit-identical to the serial path — memoisation and parallelism are both
-  transparent.  When ``fork`` is unavailable (or the pool cannot start)
-  the call silently degrades to the serial path.
+  transparent.
+
+The pool path is *hardened*: every degradation is observable (pass a
+:class:`BatchReport` to collect the structured reason, or watch the
+``repro.batch`` logger), each chunk has a wall-clock timeout, and a chunk
+whose worker dies or hangs is transparently re-executed serially in the
+parent — one crashed child can no longer lose (or hang) the whole batch.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 import multiprocessing
+import time
 from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 
-__all__ = ["MemoizedOracle", "batch_query"]
+__all__ = ["BatchReport", "MemoizedOracle", "batch_query", "set_worker_fault_hook"]
+
+logger = logging.getLogger("repro.batch")
 
 #: whole-vertex-set prefetch per distinct batch target is capped here —
 #: beyond it the speculative pairs would outweigh the vectorisation win.
@@ -178,9 +189,53 @@ def _evaluate_chunk(
 
 
 # ----------------------------------------------------------------------
+# execution report
+# ----------------------------------------------------------------------
+@dataclass
+class BatchReport:
+    """Structured record of how one :func:`batch_query` call executed.
+
+    Pass a fresh instance via ``batch_query(..., report=report)`` to make
+    degraded throughput observable: ``mode`` tells whether the pool
+    actually ran, ``fallback_reason`` carries the machine-readable cause
+    when it did not (``"fork-unavailable"``, ``"pool-start-failed"``,
+    ``"workers<=1"``, ``"single-query"``), and ``recovered_chunks`` counts
+    chunks that lost their worker (death or timeout) and were re-executed
+    serially in the parent.  Every degradation is also logged as a warning
+    on the ``repro.batch`` logger.
+    """
+
+    mode: str = "serial"  # "serial" | "parallel" | "parallel-recovered"
+    workers: int = 0
+    chunks: int = 0
+    fallback_reason: str | None = None
+    recovered_chunks: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+    def _warn(self, message: str) -> None:
+        self.warnings.append(message)
+        logger.warning("batch_query: %s", message)
+
+
+# ----------------------------------------------------------------------
 # fork pool plumbing
 # ----------------------------------------------------------------------
 _WORKER_ENGINE: FlowAwareEngine | None = None
+
+#: Test seam (see :class:`repro.testing.faults.WorkerFault`): a callable
+#: invoked inside each worker with the chunk's query positions before
+#: evaluation.  Installed in the parent pre-fork; inherited copy-on-write.
+_WORKER_FAULT_HOOK: Callable[[list[int]], None] | None = None
+
+#: Default wall-clock budget per chunk before the parent stops waiting on
+#: the pool and re-executes the remaining chunks serially.
+DEFAULT_CHUNK_TIMEOUT = 120.0
+
+
+def set_worker_fault_hook(hook: Callable[[list[int]], None] | None) -> None:
+    """Install (or clear) the worker fault hook — chaos tests only."""
+    global _WORKER_FAULT_HOOK
+    _WORKER_FAULT_HOOK = hook
 
 
 def _fork_context():
@@ -207,46 +262,128 @@ def _init_worker(engine: FlowAwareEngine) -> None:
 def _run_worker_chunk(
     chunk: list[tuple[int, FSPQuery]],
 ) -> list[tuple[int, FSPResult]]:
+    if _WORKER_FAULT_HOOK is not None:
+        _WORKER_FAULT_HOOK([position for position, _ in chunk])
     return _evaluate_chunk(_WORKER_ENGINE, chunk)
+
+
+def _evaluate_serial(
+    engine: FlowAwareEngine,
+    indexed: list[tuple[int, FSPQuery]],
+) -> list[tuple[int, FSPResult]]:
+    """Evaluate a chunk in-process with the oracle memoised for the call."""
+    original_oracle = engine.oracle
+    if original_oracle is not None and not isinstance(
+        original_oracle, MemoizedOracle
+    ):
+        engine.oracle = MemoizedOracle(original_oracle)
+    try:
+        return _evaluate_chunk(engine, indexed)
+    finally:
+        engine.oracle = original_oracle
 
 
 def _run_parallel(
     engine: FlowAwareEngine,
     indexed: list[tuple[int, FSPQuery]],
     workers: int,
+    chunk_timeout: float,
+    report: BatchReport,
 ) -> list[tuple[int, FSPResult]] | None:
     """Evaluate via a fork pool; ``None`` means "use the serial path".
 
     Chunks are contiguous slices of the target-grouped order (so each
     worker's cache still sees its targets grouped), a few per worker for
-    load balance.  Query errors raised inside a worker propagate, exactly
-    as they would from the serial loop.
+    load balance.  The parent waits at most ``chunk_timeout`` seconds per
+    chunk: a chunk whose worker died, hung, or raised anything other than a
+    library error is re-executed serially in the parent, so a crashed child
+    degrades one chunk's latency instead of losing the batch.  Library
+    errors (:class:`~repro.errors.ReproError`, e.g. a genuinely malformed
+    query) propagate exactly as they would from the serial loop.
     """
     context = _fork_context()
     if context is None:
+        report.fallback_reason = "fork-unavailable"
+        report._warn("fork start method unavailable; falling back to serial")
         return None
     workers = min(workers, len(indexed))
     num_chunks = min(len(indexed), workers * 4)
     size = math.ceil(len(indexed) / num_chunks)
     chunks = [indexed[i:i + size] for i in range(0, len(indexed), size)]
+    report.chunks = len(chunks)
+    report.workers = workers
     try:
         pool = context.Pool(
             processes=workers, initializer=_init_worker, initargs=(engine,)
         )
-    except (OSError, RuntimeError, ValueError):
+    except (OSError, RuntimeError, ValueError) as exc:
+        report.fallback_reason = "pool-start-failed"
+        report._warn(f"fork pool failed to start ({exc!r}); falling back to serial")
         return None
+
+    pairs: list[tuple[int, FSPResult]] = []
+    failed: list[int] = []
+    bailed = False
     try:
-        parts = pool.map(_run_worker_chunk, chunks)
+        handles = [
+            pool.apply_async(_run_worker_chunk, (chunk,)) for chunk in chunks
+        ]
+        deadline = time.monotonic() + chunk_timeout
+        for i, handle in enumerate(handles):
+            if bailed:
+                # after the first loss we stop waiting: grab whatever is
+                # already finished, recover the rest serially.
+                if not handle.ready():
+                    failed.append(i)
+                    continue
+                try:
+                    pairs.extend(handle.get(0))
+                except ReproError:
+                    raise
+                except Exception:
+                    failed.append(i)
+                continue
+            try:
+                pairs.extend(handle.get(max(0.0, deadline - time.monotonic())))
+                # chunks run concurrently: give the next handle a fresh
+                # window from the moment we start waiting on it.
+                deadline = time.monotonic() + chunk_timeout
+            except multiprocessing.TimeoutError:
+                failed.append(i)
+                bailed = True
+                report._warn(
+                    f"chunk {i} missed its {chunk_timeout:.1f}s deadline "
+                    "(dead or hung worker?); recovering serially"
+                )
+            except ReproError:
+                # a genuine library error (malformed query, disconnected
+                # pair): identical semantics to the serial loop.
+                raise
+            except Exception as exc:
+                failed.append(i)
+                bailed = True
+                report._warn(
+                    f"chunk {i} failed in the pool ({exc!r}); recovering serially"
+                )
     finally:
-        pool.close()
+        # terminate rather than close+join: join would wait forever on a
+        # hung or dead worker, which is exactly what we are defending against.
+        pool.terminate()
         pool.join()
-    return [pair for part in parts for pair in part]
+
+    for i in failed:
+        pairs.extend(_evaluate_serial(engine, chunks[i]))
+    report.recovered_chunks = len(failed)
+    report.mode = "parallel-recovered" if failed else "parallel"
+    return pairs
 
 
 def batch_query(
     engine: FlowAwareEngine,
     queries: list[FSPQuery],
     workers: int = 1,
+    chunk_timeout: float = DEFAULT_CHUNK_TIMEOUT,
+    report: BatchReport | None = None,
 ) -> list[FSPResult]:
     """Evaluate ``queries`` with target-grouped ordering and a shared cache.
 
@@ -263,9 +400,20 @@ def batch_query(
         multiprocessing pool sharing the built index copy-on-write, and
         falls back to the serial path when ``fork`` is unavailable or the
         pool cannot start.  Both paths return bit-identical results.
+    chunk_timeout:
+        Wall-clock budget per pool chunk; a chunk that misses it (dead or
+        hung worker) is re-executed serially in the parent.
+    report:
+        Optional :class:`BatchReport` instance filled in with the execution
+        mode, any fallback reason, and recovery counts — the structured
+        alternative to watching the ``repro.batch`` logger.
     """
     if workers < 1:
         raise QueryError(f"workers must be >= 1, got {workers}")
+    if chunk_timeout <= 0:
+        raise QueryError(f"chunk_timeout must be positive, got {chunk_timeout}")
+    if report is None:
+        report = BatchReport()
     if not queries:
         return []
     order = sorted(
@@ -276,20 +424,17 @@ def batch_query(
     results: list[FSPResult | None] = [None] * len(queries)
 
     if workers > 1 and len(queries) > 1:
-        pairs = _run_parallel(engine, indexed, workers)
+        pairs = _run_parallel(engine, indexed, workers, chunk_timeout, report)
         if pairs is not None:
             for position, result in pairs:
                 results[position] = result
             return results  # type: ignore[return-value]
+    elif workers > 1:
+        report.fallback_reason = "single-query"
+    else:
+        report.fallback_reason = "workers<=1"
 
-    original_oracle = engine.oracle
-    if original_oracle is not None and not isinstance(
-        original_oracle, MemoizedOracle
-    ):
-        engine.oracle = MemoizedOracle(original_oracle)
-    try:
-        for position, result in _evaluate_chunk(engine, indexed):
-            results[position] = result
-        return results  # type: ignore[return-value]
-    finally:
-        engine.oracle = original_oracle
+    report.mode = "serial"
+    for position, result in _evaluate_serial(engine, indexed):
+        results[position] = result
+    return results  # type: ignore[return-value]

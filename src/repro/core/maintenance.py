@@ -35,11 +35,17 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.core.fahl import FAHLIndex
-from repro.errors import EdgeNotFoundError, GraphError, IndexStateError
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    IndexStateError,
+    MaintenanceError,
+)
 from repro.labeling.hierarchy import HierarchyIndex
 from repro.treedec.elimination import (
     EliminationResult,
@@ -49,13 +55,163 @@ from repro.treedec.elimination import (
 )
 
 __all__ = [
+    "FAULT_POINTS",
+    "IndexSnapshot",
     "LabelUpdateStats",
     "StructureUpdateStats",
     "apply_weight_update",
     "apply_weight_updates",
     "apply_flow_update",
     "apply_flow_updates",
+    "set_fault_hook",
 ]
+
+
+# ----------------------------------------------------------------------
+# fault checkpoints (consumed by repro.testing.faults)
+# ----------------------------------------------------------------------
+#: Every instrumented point inside the maintenance algorithms, in execution
+#: order.  A hook installed via :func:`set_fault_hook` is invoked with the
+#: point name each time execution passes it; raising from the hook exercises
+#: the transactional rollback at exactly that moment.
+FAULT_POINTS: tuple[str, ...] = (
+    "ilu:weight-set",
+    "ilu:shortcut-repaired",
+    "ilu:bags-synced",
+    "ilu:labels-refreshed",
+    "flow:flow-set",
+    "isu:window-eliminated",
+    "isu:frontier-compared",
+    "isu:structure-stitched",
+    "isu:labels-refreshed",
+    "gsu:prefix-replayed",
+    "gsu:suffix-eliminated",
+    "gsu:structure-rebuilt",
+    "gsu:labels-refreshed",
+)
+
+_fault_hook: Callable[[str], None] | None = None
+
+
+def set_fault_hook(hook: Callable[[str], None] | None) -> None:
+    """Install (or clear, with ``None``) the maintenance fault hook.
+
+    Test-only: the hook is called with the checkpoint name at every
+    :data:`FAULT_POINTS` location.  An exception raised by the hook
+    propagates out of the maintenance call exactly like an organic failure,
+    which is how the chaos suite verifies rollback at every phase.
+    """
+    global _fault_hook
+    _fault_hook = hook
+
+
+def _checkpoint(name: str) -> None:
+    if _fault_hook is not None:
+        _fault_hook(name)
+
+
+# ----------------------------------------------------------------------
+# transactional snapshot / rollback
+# ----------------------------------------------------------------------
+#: Index attributes that are *replaced* (never mutated in place) by the
+#: maintenance paths — saving the references and the list containers is
+#: enough to restore them.
+_REPLACED_ATTRS = (
+    "labels",
+    "vias",
+    "bag_keys",
+    "bag_weights",
+    "bag_pos",
+    "positions",
+    "anc",
+)
+_REFERENCE_ATTRS = (
+    "tree",
+    "lca",
+    "anc_offsets",
+    "anc_flat",
+    "_depth",
+    "_inv_bags",
+    "_arena",
+    "_version",
+)
+
+
+class IndexSnapshot:
+    """A restorable snapshot of a :class:`HierarchyIndex`'s mutable state.
+
+    The maintenance algorithms mutate three kinds of state:
+
+    * the elimination's bag/middle dicts and φ array, **in place** (ILU and
+      the Lemma-1 fast path) — deep-copied here and restored into the
+      *original* containers, so aliases held by the tree decomposition see
+      pristine data again after a rollback;
+    * per-vertex arrays (labels, vias, bag views, ancestor arrays) that are
+      always *replaced* wholesale — shallow list copies suffice;
+    * derived objects (tree, LCA, arena, version counter) that are rebuilt
+      as units — saving the references suffices.
+
+    Cost is one O(index-size) copy per snapshot — far below a label DP or a
+    re-elimination, which is what makes per-update transactionality cheap
+    enough to be the default.
+    """
+
+    def __init__(self, index: HierarchyIndex) -> None:
+        self._index = index
+        elim = index.elim
+        self._elim_obj = elim
+        self._order = list(elim.order)
+        self._rank = elim.rank.copy()
+        self._phi = elim.phi_at_elim.copy()
+        self._bags = [dict(b) for b in elim.bags]
+        self._middles = [dict(m) for m in elim.middles]
+        self._replaced = {name: list(getattr(index, name)) for name in _REPLACED_ATTRS}
+        self._references = {name: getattr(index, name) for name in _REFERENCE_ATTRS}
+        flows = getattr(index, "flows", None)
+        self._flows = flows.copy() if flows is not None else None
+
+    def restore(self) -> None:
+        """Roll the index back to the exact state captured at construction."""
+        index = self._index
+        elim = self._elim_obj
+        # restore the original elimination object's contents in place: the
+        # tree decomposition (and anything else) holding a reference to it
+        # observes the rollback too.
+        elim.order[:] = self._order
+        elim.rank[:] = self._rank
+        elim.phi_at_elim[:] = self._phi
+        for bag, saved in zip(elim.bags, self._bags):
+            bag.clear()
+            bag.update(saved)
+        for mid, saved in zip(elim.middles, self._middles):
+            mid.clear()
+            mid.update(saved)
+        index.elim = elim
+        for name, value in self._replaced.items():
+            setattr(index, name, list(value))
+        for name, value in self._references.items():
+            setattr(index, name, value)
+        if self._flows is not None:
+            index.flows = self._flows.copy()
+
+
+def _transactional(
+    operation: str,
+    index: HierarchyIndex,
+    body: Callable[[], "LabelUpdateStats | StructureUpdateStats"],
+):
+    """Run ``body`` with all-or-nothing semantics on ``index``.
+
+    Any exception triggers a full rollback to the pre-call state and is
+    re-raised wrapped in :class:`MaintenanceError` (original chained as
+    ``__cause__``).
+    """
+    snapshot = IndexSnapshot(index)
+    try:
+        return body()
+    except Exception as exc:
+        snapshot.restore()
+        raise MaintenanceError(operation, exc) from exc
 
 
 # ----------------------------------------------------------------------
@@ -74,6 +230,7 @@ def apply_weight_update(
     u: int,
     v: int,
     new_weight: float,
+    transactional: bool = True,
 ) -> LabelUpdateStats:
     """Update edge ``(u, v)`` to ``new_weight`` and repair the index (ILU).
 
@@ -81,14 +238,47 @@ def apply_weight_update(
     and decreases: every touched shortcut is *recomputed from its
     invariant* (base weight vs. all eliminated contributors) rather than
     min-merged, so increases cannot leave stale underestimates behind.
+
+    With ``transactional=True`` (default) any failure mid-repair rolls the
+    index — graph weight included — back to its pre-call state and raises
+    :class:`~repro.errors.MaintenanceError`; ``False`` skips the snapshot
+    (slightly faster, no crash-consistency guarantee).
     """
     graph = index.graph
+    try:
+        new_weight = float(new_weight)
+    except (TypeError, ValueError) as exc:
+        raise GraphError(f"edge weight must be a number, got {new_weight!r}") from exc
+    if not math.isfinite(new_weight):
+        raise GraphError(f"edge weight must be finite, got {new_weight!r}")
     if new_weight <= 0:
         raise GraphError(f"edge weight must be positive, got {new_weight}")
     if not graph.has_edge(u, v):
         raise EdgeNotFoundError(u, v)
+    if not transactional:
+        return _ilu_impl(index, u, v, new_weight)
+    old_weight = graph.weight(u, v)
+
+    def body() -> LabelUpdateStats:
+        try:
+            return _ilu_impl(index, u, v, new_weight)
+        except Exception:
+            graph.set_weight(u, v, old_weight)
+            raise
+
+    return _transactional("apply_weight_update", index, body)
+
+
+def _ilu_impl(
+    index: HierarchyIndex,
+    u: int,
+    v: int,
+    new_weight: float,
+) -> LabelUpdateStats:
+    graph = index.graph
     old_weight = graph.weight(u, v)
     graph.set_weight(u, v, new_weight)
+    _checkpoint("ilu:weight-set")
     if new_weight == old_weight:
         return LabelUpdateStats(shortcuts_changed=0, labels_affected=0)
 
@@ -126,21 +316,29 @@ def apply_weight_update(
             raise IndexStateError(
                 f"pair ({lo}, {hi}) reached the ILU worklist but is not a bag edge"
             )
+        # the recorded middle must stay consistent with the recomputed
+        # minimum even when the *value* is unchanged (the old realiser may
+        # have grown while another contributor now ties it) — path
+        # unpacking expands through the middle, so a stale one yields a
+        # non-shortest concrete path.
+        middles[lo][hi] = best_middle
         if best != old:
             bags[lo][hi] = best
-            middles[lo][hi] = best_middle
             shortcuts_changed += 1
             dirty_vertices.add(lo)
             # eliminating `lo` fed W(lo, hi) into every pair (hi, y) of its bag
             for y in bags[lo]:
                 if y != hi:
                     push(hi, y)
+    _checkpoint("ilu:shortcut-repaired")
 
     for vertex in dirty_vertices:
         index.sync_bag(vertex)
+    _checkpoint("ilu:bags-synced")
     labels_affected = (
         index.refresh_labels(seeds=dirty_vertices) if dirty_vertices else 0
     )
+    _checkpoint("ilu:labels-refreshed")
     return LabelUpdateStats(
         shortcuts_changed=shortcuts_changed,
         labels_affected=labels_affected,
@@ -150,15 +348,45 @@ def apply_weight_update(
 def apply_weight_updates(
     index: HierarchyIndex,
     updates: list[tuple[int, int, float]],
+    atomic: bool = False,
 ) -> LabelUpdateStats:
-    """Apply a batch of weight updates, aggregating the statistics."""
-    shortcuts = 0
-    labels = 0
-    for u, v, weight in updates:
-        stats = apply_weight_update(index, u, v, weight)
-        shortcuts += stats.shortcuts_changed
-        labels += stats.labels_affected
-    return LabelUpdateStats(shortcuts_changed=shortcuts, labels_affected=labels)
+    """Apply a batch of weight updates, aggregating the statistics.
+
+    With ``atomic=False`` (default) each update is individually
+    transactional: a failure mid-batch leaves the successfully applied
+    prefix in place and raises.  ``atomic=True`` gives all-or-nothing batch
+    semantics — any failure (validation included) rolls the *entire batch*
+    back before :class:`~repro.errors.MaintenanceError` is raised.
+    """
+
+    def run() -> LabelUpdateStats:
+        shortcuts = 0
+        labels = 0
+        for u, v, weight in updates:
+            stats = apply_weight_update(
+                index, u, v, weight, transactional=not atomic
+            )
+            shortcuts += stats.shortcuts_changed
+            labels += stats.labels_affected
+        return LabelUpdateStats(shortcuts_changed=shortcuts, labels_affected=labels)
+
+    if not atomic:
+        return run()
+    weights_before = {
+        (u, v): index.graph.weight(u, v)
+        for u, v, _ in updates
+        if index.graph.has_edge(u, v)
+    }
+
+    def body() -> LabelUpdateStats:
+        try:
+            return run()
+        except Exception:
+            for (u, v), w in weights_before.items():
+                index.graph.set_weight(u, v, w)
+            raise
+
+    return _transactional("apply_weight_updates", index, body)
 
 
 # ----------------------------------------------------------------------
@@ -245,12 +473,16 @@ def _gsu_rebuild(
     old = index.elim
     graph = index.graph
     adj, mids = state if state is not None else replay_prefix(graph, old, from_rank)
+    _checkpoint("gsu:prefix-replayed")
     active = set(old.order[from_rank:])
     importance = index.importance_function()
     order, phi, bags, middles = run_elimination_steps(adj, mids, importance, active)
+    _checkpoint("gsu:suffix-eliminated")
     index.elim = _stitch_elimination(old, from_rank, order, phi, bags, middles)
     index.rebuild_structure()
+    _checkpoint("gsu:structure-rebuilt")
     labels_affected = index.refresh_labels()
+    _checkpoint("gsu:labels-refreshed")
     return StructureUpdateStats(
         strategy="gsu",
         window=(from_rank, len(old.order) - 1),
@@ -284,6 +516,7 @@ def apply_flow_update(
     vertex: int,
     new_flow: float,
     method: str = "isu",
+    transactional: bool = True,
 ) -> StructureUpdateStats:
     """Update a vertex's predicted flow and maintain the index structure.
 
@@ -292,6 +525,11 @@ def apply_flow_update(
     method:
         ``"isu"`` (Alg. 3: window re-elimination with suffix splice,
         GSU fallback) or ``"gsu"`` (always rebuild from the affected rank).
+    transactional:
+        ``True`` (default) snapshots the index first and rolls back on any
+        failure, raising :class:`~repro.errors.MaintenanceError`: a crash
+        mid-ISU/GSU can no longer leave a half-re-eliminated index behind.
+        ``False`` skips the snapshot.
 
     Notes
     -----
@@ -302,13 +540,36 @@ def apply_flow_update(
     """
     if method not in ("isu", "gsu"):
         raise IndexStateError(f"method must be 'isu' or 'gsu', got {method!r}")
+    try:
+        new_flow = float(new_flow)
+    except (TypeError, ValueError) as exc:
+        raise GraphError(f"flow must be a number, got {new_flow!r}") from exc
+    if not math.isfinite(new_flow):
+        # NaN slips through a plain `new_flow < 0` check (all comparisons
+        # with NaN are False) and would poison every later φ comparison.
+        raise GraphError(f"flow must be finite, got {new_flow!r}")
     if new_flow < 0:
         raise GraphError(f"flow must be non-negative, got {new_flow}")
     n = index.graph.num_vertices
     if not 0 <= vertex < n:
         raise IndexStateError(f"unknown vertex {vertex}")
+    if not transactional:
+        return _flow_update_impl(index, vertex, new_flow, method)
+    return _transactional(
+        "apply_flow_update",
+        index,
+        lambda: _flow_update_impl(index, vertex, new_flow, method),
+    )
 
+
+def _flow_update_impl(
+    index: FAHLIndex,
+    vertex: int,
+    new_flow: float,
+    method: str,
+) -> StructureUpdateStats:
     index.flows[vertex] = new_flow
+    _checkpoint("flow:flow-set")
     old = index.elim
     r_old = int(old.rank[vertex])
     degree_at_elim = len(old.bags[vertex])
@@ -336,6 +597,7 @@ def apply_flow_update(
     w_order, w_phi, w_bags, w_middles = run_elimination_steps(
         adj_new, mids_new, importance, window
     )
+    _checkpoint("isu:window-eliminated")
     # old frontier after the window: advance a copy of the r_lo state
     # through the window using the *old* bags (fills into window vertices
     # are irrelevant — they get removed — so restrict to the suffix).
@@ -352,7 +614,9 @@ def apply_flow_update(
         adj_old[c] = {}
         mids_old[c] = {}
         relax_from_bag(adj_old, mids_old, old.bags[c], c, suffix)
-    if not _frontier_matches(adj_new, mids_new, adj_old, mids_old, remaining):
+    frontier_ok = _frontier_matches(adj_new, mids_new, adj_old, mids_old, remaining)
+    _checkpoint("isu:frontier-compared")
+    if not frontier_ok:
         # adj_base is still the pristine r_lo frontier — resume GSU from it
         return _gsu_rebuild(index, r_lo, state=(adj_base, mids_base))
 
@@ -362,12 +626,14 @@ def apply_flow_update(
         tail=old, tail_from=r_hi + 1,
     )
     index.rebuild_structure()
+    _checkpoint("isu:structure-stitched")
     parent_changed = {
         int(v) for v in np.nonzero(index.tree.parent != old_parent)[0]
     }
     labels_affected = index.refresh_labels(
         seeds=set(w_order), force_subtree_roots=parent_changed
     )
+    _checkpoint("isu:labels-refreshed")
     return StructureUpdateStats(
         strategy="isu",
         window=(r_lo, r_hi),
@@ -380,9 +646,25 @@ def apply_flow_updates(
     index: FAHLIndex,
     updates: dict[int, float],
     method: str = "isu",
+    atomic: bool = False,
 ) -> list[StructureUpdateStats]:
-    """Apply several flow updates in vertex order; one stats entry each."""
-    return [
-        apply_flow_update(index, vertex, flow, method=method)
-        for vertex, flow in sorted(updates.items())
-    ]
+    """Apply several flow updates in vertex order; one stats entry each.
+
+    With ``atomic=False`` (default) each update is individually
+    transactional: a mid-batch failure keeps the already-applied prefix and
+    raises.  ``atomic=True`` rolls the *whole batch* back on any failure —
+    validation errors included — before raising
+    :class:`~repro.errors.MaintenanceError`.
+    """
+
+    def run() -> list[StructureUpdateStats]:
+        return [
+            apply_flow_update(
+                index, vertex, flow, method=method, transactional=not atomic
+            )
+            for vertex, flow in sorted(updates.items())
+        ]
+
+    if not atomic:
+        return run()
+    return _transactional("apply_flow_updates", index, run)

@@ -53,6 +53,23 @@ class QueryError(ReproError):
     """A query was malformed (unknown vertices, bad time step, bad bounds)."""
 
 
+class MaintenanceError(IndexStateError):
+    """A maintenance operation failed and the index was rolled back.
+
+    Raised by the transactional paths of :mod:`repro.core.maintenance` after
+    the index has been restored to its exact pre-update state: catching this
+    error means the index is still consistent and queryable, the update just
+    did not happen.  The original failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, operation: str, cause: BaseException) -> None:
+        super().__init__(
+            f"{operation} failed ({type(cause).__name__}: {cause}); "
+            "the index was rolled back to its pre-update state"
+        )
+        self.operation = operation
+
+
 class DatasetFormatError(ReproError):
     """A dataset file (e.g. DIMACS ``.gr``) could not be parsed."""
 

@@ -23,6 +23,8 @@ ILU/ISU need; its return value (number of labels actually rewritten) is the
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import IndexStateError, QueryError
@@ -326,6 +328,24 @@ class HierarchyIndex:
         left = self._expand_shortcut(a, middle)
         right = self._expand_shortcut(middle, b)
         return left + right[1:]
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def checksum(self) -> str:
+        """Hex digest of the query-relevant state (labels, order, vias).
+
+        Two indexes answer every query identically iff their checksums
+        match (same elimination order, same label values, same via
+        indices).  Used by the serving layer's audits, the transactional
+        rollback tests, and as a cheap fingerprint in telemetry.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.asarray(self.elim.order, dtype=np.int64).tobytes())
+        for v in range(self.graph.num_vertices):
+            h.update(np.ascontiguousarray(self.labels[v], dtype=np.float64).tobytes())
+            h.update(np.ascontiguousarray(self.vias[v], dtype=np.int32).tobytes())
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # statistics

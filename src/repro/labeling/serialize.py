@@ -17,10 +17,19 @@ Format (npz keys)
 ``label_offsets/values``              flattened distance labels
 ``via_values``                         flattened via indices
 ``flows`` / ``anchors``                FAHL only
+``checksum``                           uint8[16] blake2b over all other arrays
+
+Integrity: :func:`save_index` stores a content digest covering every other
+array in the archive; :func:`load_index` recomputes and compares it before
+touching any data, raising :class:`~repro.errors.DatasetFormatError` on
+mismatch — a bit-flipped or truncated index file fails loudly instead of
+serving silently wrong labels.  Version-1 archives (pre-checksum) still
+load.
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 
 import numpy as np
@@ -33,9 +42,28 @@ from repro.treedec.elimination import EliminationResult
 
 __all__ = ["save_index", "load_index"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 _KIND_H2H = 0
 _KIND_FAHL = 1
+_CHECKSUM_KEY = "checksum"
+
+
+def _payload_digest(arrays: dict[str, np.ndarray]) -> np.ndarray:
+    """Order-independent blake2b digest over every non-checksum array.
+
+    Key name, dtype, shape and raw bytes all feed the hash, so a renamed,
+    retyped, reshaped or bit-flipped array each produce a distinct digest.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for key in sorted(arrays):
+        if key == _CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(arrays[key])
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return np.frombuffer(h.digest(), dtype=np.uint8)
 
 
 def save_index(index: HierarchyIndex, path: str | Path) -> None:
@@ -100,6 +128,7 @@ def save_index(index: HierarchyIndex, path: str | Path) -> None:
     if isinstance(index, FAHLIndex):
         payload["flows"] = index.flows
         payload["anchors"] = np.asarray(index.flow_anchors, dtype=np.float64)
+    payload[_CHECKSUM_KEY] = _payload_digest(payload)
     np.savez_compressed(path, **payload)
 
 
@@ -154,10 +183,24 @@ def load_index(path: str | Path) -> HierarchyIndex:
     with np.load(path) as data:
         meta = data["meta"]
         version, kind, n = int(meta[0]), int(meta[1]), int(meta[2])
-        if version != _FORMAT_VERSION:
+        if not 1 <= version <= _FORMAT_VERSION:
             raise DatasetFormatError(
                 f"unsupported index format version {version}"
             )
+        if version >= 2:
+            # verify content integrity before restoring anything
+            if _CHECKSUM_KEY not in data:
+                raise DatasetFormatError(
+                    f"index file {path} is missing its checksum"
+                )
+            arrays = {key: data[key] for key in data.files}
+            stored = np.asarray(arrays[_CHECKSUM_KEY], dtype=np.uint8)
+            expected = _payload_digest(arrays)
+            if stored.shape != expected.shape or not np.array_equal(stored, expected):
+                raise DatasetFormatError(
+                    f"index file {path} failed its integrity check "
+                    "(checksum mismatch — corrupted or tampered file)"
+                )
         graph = _restore_graph(data)
         elimination = _restore_elimination(data, n)
 

@@ -1,0 +1,25 @@
+"""Resilient serving layer: admission control, guarded maintenance,
+degraded-mode querying and index self-audits (see docs/RESILIENCE.md)."""
+
+from repro.serving.audit import AuditReport, verify_index
+from repro.serving.dead_letter import DeadLetterQueue
+from repro.serving.engine import (
+    ResilientEngine,
+    ServingDistance,
+    ServingResult,
+    UpdateOutcome,
+)
+from repro.serving.updates import DeadLetter, FlowUpdate, WeightUpdate
+
+__all__ = [
+    "AuditReport",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FlowUpdate",
+    "ResilientEngine",
+    "ServingDistance",
+    "ServingResult",
+    "UpdateOutcome",
+    "WeightUpdate",
+    "verify_index",
+]

@@ -1,0 +1,98 @@
+"""Index self-audit: sampled label-vs-Dijkstra checks plus structural sanity.
+
+``verify_index`` is the serving layer's health probe.  It cross-checks a
+deterministic sample of label distances against fresh Dijkstra runs on the
+*current* graph (the ground truth labels must agree with), validates label
+shapes against the tree decomposition, and checks version coherence of the
+packed arena.  A probe is O(samples x Dijkstra) — cheap enough to run after
+every repair and periodically in the background, far cheaper than a full
+all-pairs sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.labeling.hierarchy import HierarchyIndex
+
+__all__ = ["AuditReport", "verify_index"]
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of one :func:`verify_index` probe."""
+
+    ok: bool
+    checked: int
+    mismatches: tuple[tuple[int, int, float, float], ...] = ()
+    structure_errors: tuple[str, ...] = ()
+    checksum: str = ""
+
+
+def verify_index(
+    index: HierarchyIndex,
+    samples: int = 32,
+    seed: int = 0,
+    tolerance: float = 1e-9,
+) -> AuditReport:
+    """Audit ``index`` against the graph it serves.
+
+    Parameters
+    ----------
+    samples:
+        Number of random vertex pairs to cross-check against Dijkstra.
+    seed:
+        RNG seed — audits are deterministic and replayable.
+    tolerance:
+        Maximum absolute distance disagreement tolerated.
+
+    Returns an :class:`AuditReport`; ``report.ok`` is the health verdict.
+    """
+    graph = index.graph
+    n = graph.num_vertices
+    structure_errors: list[str] = []
+
+    # label shapes must match the tree decomposition depth-for-depth
+    depth = index.tree.depth
+    for v in range(n):
+        if len(index.labels[v]) != int(depth[v]) + 1:
+            structure_errors.append(
+                f"label of vertex {v} has {len(index.labels[v])} entries, "
+                f"expected depth+1 = {int(depth[v]) + 1}"
+            )
+            break
+        if index.labels[v][-1] != 0.0:
+            structure_errors.append(f"label of vertex {v} has non-zero self entry")
+            break
+
+    # a cached arena must carry the live label version (stale packs are
+    # rebuilt lazily, but a *future* version would mean state corruption)
+    arena = index._arena
+    if arena is not None and arena.version > index.label_version:
+        structure_errors.append(
+            f"arena version {arena.version} is ahead of index version "
+            f"{index.label_version}"
+        )
+
+    rng = np.random.default_rng(seed)
+    mismatches: list[tuple[int, int, float, float]] = []
+    checked = 0
+    if not structure_errors and n > 0:
+        for _ in range(samples):
+            s = int(rng.integers(n))
+            t = int(rng.integers(n))
+            got = index.distance(s, t)
+            want = dijkstra_distance(graph, s, t)
+            checked += 1
+            if not abs(got - want) <= tolerance:
+                mismatches.append((s, t, got, want))
+    return AuditReport(
+        ok=not structure_errors and not mismatches,
+        checked=checked,
+        mismatches=tuple(mismatches),
+        structure_errors=tuple(structure_errors),
+        checksum=index.checksum(),
+    )

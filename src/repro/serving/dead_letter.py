@@ -1,0 +1,56 @@
+"""Bounded dead-letter queue for quarantined updates.
+
+Rejected updates must not raise (one poisoned message would take down the
+feed consumer) and must not be silently dropped (operators need to see what
+was rejected and why).  The queue is a bounded ring: oldest letters are
+evicted first, the total-seen counter keeps telemetry honest even after
+eviction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.serving.updates import DeadLetter
+
+__all__ = ["DeadLetterQueue"]
+
+
+class DeadLetterQueue:
+    """FIFO ring of :class:`DeadLetter` entries with per-reason counters."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise QueryError(f"dead-letter capacity must be >= 1, got {capacity}")
+        self._letters: deque[DeadLetter] = deque(maxlen=capacity)
+        self._sequence = 0
+        self.total_seen = 0
+        self.by_reason: Counter[str] = Counter()
+
+    def push(self, update: object, reason: str, detail: str) -> DeadLetter:
+        letter = DeadLetter(
+            update=update, reason=reason, detail=detail, sequence=self._sequence
+        )
+        self._sequence += 1
+        self.total_seen += 1
+        self.by_reason[reason] += 1
+        self._letters.append(letter)
+        return letter
+
+    def drain(self) -> list[DeadLetter]:
+        """Remove and return every queued letter (counters are kept)."""
+        letters = list(self._letters)
+        self._letters.clear()
+        return letters
+
+    def __len__(self) -> int:
+        return len(self._letters)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._letters)
+
+    def __repr__(self) -> str:
+        reasons = dict(self.by_reason)
+        return f"DeadLetterQueue(queued={len(self)}, seen={self.total_seen}, {reasons})"

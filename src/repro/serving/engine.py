@@ -1,0 +1,367 @@
+"""A resilient serving wrapper around a FAHL index and its FPSPS engine.
+
+The paper's maintenance algorithms assume well-formed updates and
+fault-free execution; a production serving tier gets neither.
+:class:`ResilientEngine` therefore wraps the index behind three shields:
+
+* **Admission control** — every incoming update is validated (finite
+  values, known vertices/edges, per-key timestamp monotonicity) and
+  rejects are *quarantined* into a bounded dead-letter queue instead of
+  raising into the feed consumer.
+* **Guarded maintenance** — accepted updates run through the transactional
+  maintenance layer under a wall-clock budget with retry and strategy
+  escalation (ISU → GSU for flow updates); an update whose every attempt
+  fails is *deferred*: the engine flips to degraded mode and remembers the
+  update for the next full :meth:`repair` rebuild.  Thanks to rollback the
+  index stays exactly consistent the whole time.
+* **Degraded serving** — while degraded (mid-repair or failed
+  :meth:`audit`), queries are answered by direct Dijkstra/A* on the
+  current graph and flagged as such: correctness degrades to *latency*,
+  never to wrong answers.
+
+The engine is deliberately synchronous and single-threaded — it models the
+per-shard serving loop; sharding/replication live a layer above.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery, FSPResult
+from repro.core.maintenance import apply_flow_update, apply_weight_update
+from repro.errors import IndexStateError, MaintenanceError, QueryError
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.serving.audit import AuditReport, verify_index
+from repro.serving.dead_letter import DeadLetterQueue
+from repro.serving.updates import FlowUpdate, WeightUpdate
+
+__all__ = [
+    "ResilientEngine",
+    "ServingDistance",
+    "ServingResult",
+    "UpdateOutcome",
+]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """What happened to one submitted update.
+
+    ``accepted`` — passed validation (not quarantined).
+    ``applied`` — the index reflects it (via ``strategy``).
+    ``deferred`` — accepted but waiting for the next :meth:`~ResilientEngine.repair`.
+    """
+
+    accepted: bool
+    applied: bool
+    reason: str | None = None
+    strategy: str | None = None
+    attempts: int = 0
+    deferred: bool = False
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """An FSPQ answer plus how it was produced (``"index"`` | ``"fallback"``)."""
+
+    result: FSPResult
+    degraded: bool
+    source: str
+
+
+@dataclass(frozen=True)
+class ServingDistance:
+    """A distance answer plus how it was produced."""
+
+    value: float
+    degraded: bool
+    source: str
+
+
+class ResilientEngine:
+    """Fault-tolerant serving facade over an FRN + FAHL index.
+
+    Parameters
+    ----------
+    frn:
+        The flow-aware road network to serve.
+    index:
+        An existing :class:`FAHLIndex` over ``frn.graph`` (built from the
+        FRN's predicted flow when omitted).  Must share the FRN's graph
+        object — maintenance and degraded Dijkstra must see the same
+        weights.
+    time_budget:
+        Wall-clock seconds one update may spend in maintenance before
+        remaining retries are skipped and the update is deferred.
+    max_retries:
+        Extra attempts per strategy after the first failure.
+    backoff:
+        Seconds slept between attempts (scaled by attempt number).
+    audit_samples, audit_seed:
+        Size and seed of the sampled Dijkstra cross-check in :meth:`audit`.
+    dead_letter_capacity:
+        Bound of the quarantine ring buffer.
+    clock, sleep:
+        Injectable time sources (tests pass fakes; chaos stays fast).
+    """
+
+    def __init__(
+        self,
+        frn: FlowAwareRoadNetwork,
+        index: FAHLIndex | None = None,
+        alpha: float = 0.5,
+        eta_u: float = 3.0,
+        pruning: str = "none",
+        time_budget: float = 5.0,
+        max_retries: int = 1,
+        backoff: float = 0.0,
+        audit_samples: int = 24,
+        audit_seed: int = 0,
+        dead_letter_capacity: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if index is None:
+            index = FAHLIndex.from_frn(frn)
+        if index.graph is not frn.graph:
+            raise IndexStateError(
+                "ResilientEngine needs the index and FRN to share one graph "
+                "object — degraded Dijkstra must see the weights the index saw"
+            )
+        if time_budget <= 0:
+            raise QueryError(f"time_budget must be positive, got {time_budget}")
+        if max_retries < 0:
+            raise QueryError(f"max_retries must be >= 0, got {max_retries}")
+        self.frn = frn
+        self.index = index
+        self._engine = FlowAwareEngine(
+            frn, oracle=index, alpha=alpha, eta_u=eta_u, pruning=pruning
+        )
+        self._fallback = FlowAwareEngine(
+            frn, oracle=None, alpha=alpha, eta_u=eta_u, pruning=pruning
+        )
+        self.time_budget = float(time_budget)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.audit_samples = int(audit_samples)
+        self.audit_seed = int(audit_seed)
+        self._clock = clock
+        self._sleep = sleep
+        self.dead_letters = DeadLetterQueue(dead_letter_capacity)
+        self.state = HEALTHY
+        self.metrics: Counter[str] = Counter()
+        self._last_ts: dict[tuple, float] = {}
+        self._deferred: list[FlowUpdate | WeightUpdate] = []
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _validate(self, update: object) -> tuple[str, str] | None:
+        """Reject reason ``(token, detail)`` or ``None`` when admissible."""
+        n = self.frn.num_vertices
+        if isinstance(update, FlowUpdate):
+            if not isinstance(update.vertex, int) or not 0 <= update.vertex < n:
+                return "unknown-vertex", f"vertex {update.vertex!r} not in [0, {n})"
+            if not _finite(update.value):
+                return "non-finite", f"flow {update.value!r} is not finite"
+            if update.value < 0:
+                return "negative-flow", f"flow {update.value} is negative"
+        elif isinstance(update, WeightUpdate):
+            for vertex in (update.u, update.v):
+                if not isinstance(vertex, int) or not 0 <= vertex < n:
+                    return "unknown-vertex", f"vertex {vertex!r} not in [0, {n})"
+            if not self.frn.graph.has_edge(update.u, update.v):
+                return "unknown-edge", f"edge ({update.u}, {update.v}) not in graph"
+            if not _finite(update.value):
+                return "non-finite", f"weight {update.value!r} is not finite"
+            if update.value <= 0:
+                return "non-positive-weight", f"weight {update.value} is not positive"
+        else:
+            return "unsupported-type", f"cannot apply {type(update).__name__}"
+        if not _finite(update.timestamp):
+            return "non-finite", f"timestamp {update.timestamp!r} is not finite"
+        last = self._last_ts.get(update.key)
+        if last is not None and update.timestamp < last:
+            return (
+                "stale-timestamp",
+                f"timestamp {update.timestamp} predates last accepted {last}",
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # update path
+    # ------------------------------------------------------------------
+    def submit(self, update: FlowUpdate | WeightUpdate) -> UpdateOutcome:
+        """Validate and apply one update; never raises on bad input.
+
+        Invalid updates land in :attr:`dead_letters`; maintenance failures
+        are retried/escalated and, as a last resort, deferred to the next
+        :meth:`repair` (flipping the engine into degraded mode).
+        """
+        rejection = self._validate(update)
+        if rejection is not None:
+            reason, detail = rejection
+            self.dead_letters.push(update, reason, detail)
+            self.metrics["updates_rejected"] += 1
+            return UpdateOutcome(accepted=False, applied=False, reason=reason)
+        self._last_ts[update.key] = update.timestamp
+
+        strategies = (
+            ("isu", "gsu") if isinstance(update, FlowUpdate) else ("ilu",)
+        )
+        start = self._clock()
+        attempts = 0
+        last_error: MaintenanceError | None = None
+        for strategy in strategies:
+            if strategy != strategies[0]:
+                self.metrics["escalations"] += 1
+            for retry in range(self.max_retries + 1):
+                attempts += 1
+                if retry > 0:
+                    self.metrics["retries"] += 1
+                    if self.backoff > 0:
+                        self._sleep(self.backoff * retry)
+                try:
+                    self._apply(update, strategy)
+                except MaintenanceError as exc:
+                    last_error = exc
+                    if self._clock() - start > self.time_budget:
+                        self.metrics["budget_exhausted"] += 1
+                        return self._defer(update, attempts, exc)
+                else:
+                    self.metrics["updates_accepted"] += 1
+                    self._engine.invalidate_flow_cache()
+                    return UpdateOutcome(
+                        accepted=True,
+                        applied=True,
+                        strategy=strategy,
+                        attempts=attempts,
+                    )
+        assert last_error is not None
+        return self._defer(update, attempts, last_error)
+
+    def _apply(self, update: FlowUpdate | WeightUpdate, strategy: str) -> None:
+        if isinstance(update, FlowUpdate):
+            apply_flow_update(self.index, update.vertex, update.value, method=strategy)
+        else:
+            apply_weight_update(self.index, update.u, update.v, update.value)
+
+    def _defer(
+        self,
+        update: FlowUpdate | WeightUpdate,
+        attempts: int,
+        error: MaintenanceError,
+    ) -> UpdateOutcome:
+        """Every attempt failed: park the update and degrade the engine."""
+        self._deferred.append(update)
+        self.state = DEGRADED
+        self.metrics["updates_deferred"] += 1
+        self.dead_letters.push(
+            update,
+            "maintenance-failed",
+            f"deferred to next repair after {attempts} attempts: {error}",
+        )
+        return UpdateOutcome(
+            accepted=True,
+            applied=False,
+            reason="maintenance-failed",
+            attempts=attempts,
+            deferred=True,
+        )
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return self.state != HEALTHY
+
+    def query(self, query: FSPQuery) -> ServingResult:
+        """Answer an FSPQ query, degrading to index-free search if needed."""
+        if self.degraded:
+            self.metrics["queries_degraded"] += 1
+            return ServingResult(
+                result=self._fallback.query(query), degraded=True, source="fallback"
+            )
+        self.metrics["queries_index"] += 1
+        return ServingResult(
+            result=self._engine.query(query), degraded=False, source="index"
+        )
+
+    def distance(self, u: int, v: int) -> ServingDistance:
+        """Shortest spatial distance, degrading to direct Dijkstra if needed."""
+        if self.degraded:
+            self.metrics["queries_degraded"] += 1
+            return ServingDistance(
+                value=dijkstra_distance(self.frn.graph, u, v),
+                degraded=True,
+                source="fallback",
+            )
+        self.metrics["queries_index"] += 1
+        return ServingDistance(
+            value=self.index.distance(u, v), degraded=False, source="index"
+        )
+
+    # ------------------------------------------------------------------
+    # health / repair
+    # ------------------------------------------------------------------
+    def audit(self) -> AuditReport:
+        """Run the sampled self-audit; a failed audit degrades the engine."""
+        report = verify_index(
+            self.index, samples=self.audit_samples, seed=self.audit_seed
+        )
+        if not report.ok:
+            self.state = DEGRADED
+            self.metrics["audits_failed"] += 1
+        elif not self._deferred:
+            self.state = HEALTHY
+        return report
+
+    def repair(self) -> AuditReport:
+        """Rebuild the index from scratch, folding in deferred updates.
+
+        A full rebuild does not depend on the incremental maintenance paths
+        at all, so it recovers even from failures that defeat ISU, GSU and
+        ILU alike.  The engine returns to healthy only if the post-repair
+        audit passes.
+        """
+        graph = self.frn.graph
+        flows = self.index.flows.copy()
+        for update in self._deferred:
+            if isinstance(update, FlowUpdate):
+                flows[update.vertex] = update.value
+            else:
+                graph.set_weight(update.u, update.v, update.value)
+        self.index = FAHLIndex(graph, flows, beta=self.index.beta)
+        self._engine.oracle = self.index
+        self._engine.invalidate_flow_cache()
+        self._deferred.clear()
+        self.metrics["repairs"] += 1
+        return self.audit()
+
+    def status(self) -> dict:
+        """One-line-able snapshot for telemetry/logging."""
+        return {
+            "state": self.state,
+            "deferred_updates": len(self._deferred),
+            "dead_letters_queued": len(self.dead_letters),
+            "dead_letters_seen": self.dead_letters.total_seen,
+            "metrics": dict(self.metrics),
+        }
+
+
+def _finite(value: object) -> bool:
+    try:
+        return math.isfinite(float(value))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return False

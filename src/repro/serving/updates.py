@@ -1,0 +1,58 @@
+"""Typed update messages for the resilient serving layer.
+
+Production update feeds are untrusted: sensors emit NaNs, messages arrive
+out of order, and upstream bugs reference vertices that do not exist.  The
+serving layer therefore works on small, typed envelopes carrying an
+explicit ``timestamp`` (a logical or wall clock supplied by the producer)
+so staleness can be detected per key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowUpdate", "WeightUpdate", "DeadLetter"]
+
+
+@dataclass(frozen=True)
+class FlowUpdate:
+    """A vertex's predicted flow changed (triggers ISU/GSU maintenance)."""
+
+    vertex: int
+    value: float
+    timestamp: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return ("flow", self.vertex)
+
+
+@dataclass(frozen=True)
+class WeightUpdate:
+    """An edge's travel weight changed (triggers ILU maintenance)."""
+
+    u: int
+    v: int
+    value: float
+    timestamp: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        lo, hi = (self.u, self.v) if self.u <= self.v else (self.v, self.u)
+        return ("weight", lo, hi)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A quarantined update: the message, why it was rejected, and when.
+
+    ``reason`` is a stable machine-readable token (``"non-finite"``,
+    ``"negative-flow"``, ``"non-positive-weight"``, ``"unknown-vertex"``,
+    ``"unknown-edge"``, ``"stale-timestamp"``, ``"unsupported-type"``,
+    ``"maintenance-failed"``); ``detail`` is the human-readable expansion.
+    """
+
+    update: object
+    reason: str
+    detail: str
+    sequence: int

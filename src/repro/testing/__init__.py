@@ -1,0 +1,17 @@
+"""Test-support utilities: deterministic fault injection for chaos testing."""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultSpec,
+    WorkerFault,
+    corrupt_updates,
+    list_fault_points,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "WorkerFault",
+    "corrupt_updates",
+    "list_fault_points",
+]

@@ -1,0 +1,204 @@
+"""Deterministic fault injection for chaos-testing the FAHL stack.
+
+Three fault families, all seedable and reproducible:
+
+* **Maintenance faults** — :class:`FaultInjector` raises a chosen exception
+  at a named checkpoint inside ILU/ISU/GSU (see
+  :data:`repro.core.maintenance.FAULT_POINTS`), optionally only on the
+  n-th crossing.  Used as a context manager so the hook can never leak
+  into unrelated tests.
+* **Corrupt update streams** — :func:`corrupt_updates` takes a clean
+  ``{vertex: flow}`` stream and deterministically replaces a fraction of
+  entries with NaN/inf/negative flows or unknown vertices, returning both
+  the dirty stream and the set of corrupted keys (so a test can assert
+  exactly which updates the serving layer quarantined).
+* **Worker faults** — :class:`WorkerFault` kills (``os._exit``) or hangs
+  (sleep) a fork-pool worker when it picks up the chunk containing a chosen
+  query position.  Installed pre-fork, the flag propagates to children via
+  the copy-on-write fork; the parent process is never harmed.
+
+Nothing in this module is imported by production code paths; the hooks it
+installs are module-level test seams that default to ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import batch as _batch
+from repro.core import maintenance as _maintenance
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "WorkerFault",
+    "corrupt_updates",
+    "list_fault_points",
+]
+
+
+def list_fault_points() -> tuple[str, ...]:
+    """All instrumented maintenance checkpoint names, in execution order."""
+    return _maintenance.FAULT_POINTS
+
+
+# ----------------------------------------------------------------------
+# maintenance faults
+# ----------------------------------------------------------------------
+@dataclass
+class FaultSpec:
+    """One planned fault: raise ``exception`` at checkpoint ``point``.
+
+    ``after`` skips that many crossings first (0 = fire on the first one);
+    ``times`` bounds how often the fault fires (-1 = every crossing).
+    """
+
+    point: str
+    exception: type[BaseException] = RuntimeError
+    after: int = 0
+    times: int = 1
+    crossings: int = 0
+    fires: int = 0
+
+    def should_fire(self) -> bool:
+        self.crossings += 1
+        if self.crossings <= self.after:
+            return False
+        if self.times >= 0 and self.fires >= self.times:
+            return False
+        self.fires += 1
+        return True
+
+
+class FaultInjector:
+    """Context manager that arms maintenance checkpoints with faults.
+
+    >>> with FaultInjector() as inj:
+    ...     inj.fail_at("isu:window-eliminated")
+    ...     with pytest.raises(MaintenanceError):
+    ...         apply_flow_update(index, v, flow)
+
+    Unknown point names are rejected eagerly, so a typo can't silently arm
+    nothing.  The injector records every checkpoint crossing in
+    :attr:`trace`, which chaos tests use to assert coverage.
+    """
+
+    def __init__(self) -> None:
+        self.specs: list[FaultSpec] = []
+        self.trace: list[str] = []
+        self._armed = False
+
+    def fail_at(
+        self,
+        point: str,
+        exception: type[BaseException] = RuntimeError,
+        after: int = 0,
+        times: int = 1,
+    ) -> "FaultInjector":
+        if point not in _maintenance.FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; see list_fault_points()"
+            )
+        self.specs.append(
+            FaultSpec(point=point, exception=exception, after=after, times=times)
+        )
+        return self
+
+    # -- hook plumbing --------------------------------------------------
+    def _hook(self, name: str) -> None:
+        self.trace.append(name)
+        for spec in self.specs:
+            if spec.point == name and spec.should_fire():
+                raise spec.exception(f"injected fault at {name}")
+
+    def __enter__(self) -> "FaultInjector":
+        _maintenance.set_fault_hook(self._hook)
+        self._armed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _maintenance.set_fault_hook(None)
+        self._armed = False
+
+
+# ----------------------------------------------------------------------
+# corrupt update streams
+# ----------------------------------------------------------------------
+_CORRUPTION_KINDS = ("nan", "inf", "negative", "unknown-vertex")
+
+
+def corrupt_updates(
+    updates: dict[int, float],
+    num_vertices: int,
+    rate: float = 0.3,
+    seed: int = 0,
+) -> tuple[dict[int, float], dict[int, str]]:
+    """Deterministically corrupt a fraction of a flow-update stream.
+
+    Returns ``(dirty, corrupted)`` where ``dirty`` is a new update dict and
+    ``corrupted`` maps each poisoned key to the corruption kind applied
+    (``"nan"``, ``"inf"``, ``"negative"`` or ``"unknown-vertex"``; the
+    latter re-keys the update to a vertex id ``>= num_vertices``).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    rng = np.random.default_rng(seed)
+    dirty: dict[int, float] = {}
+    corrupted: dict[int, str] = {}
+    for vertex, flow in sorted(updates.items()):
+        if rng.random() >= rate:
+            dirty[vertex] = flow
+            continue
+        kind = _CORRUPTION_KINDS[int(rng.integers(len(_CORRUPTION_KINDS)))]
+        if kind == "nan":
+            dirty[vertex] = math.nan
+        elif kind == "inf":
+            dirty[vertex] = math.inf
+        elif kind == "negative":
+            dirty[vertex] = -abs(flow) - 1.0
+        else:  # unknown-vertex
+            dirty[num_vertices + vertex] = flow
+        corrupted[vertex] = kind
+    return dirty, corrupted
+
+
+# ----------------------------------------------------------------------
+# fork-pool worker faults
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerFault:
+    """Kill or hang the pool worker that picks up a chosen query position.
+
+    ``kind="kill"`` exits the child with ``os._exit`` (no cleanup — the
+    closest pure-Python stand-in for SIGKILL); ``kind="hang"`` sleeps for
+    ``hang_seconds`` so per-chunk timeouts can be exercised.  The fault
+    fires in at most one worker: the one whose chunk contains ``position``.
+    """
+
+    position: int
+    kind: str = "kill"
+    hang_seconds: float = 30.0
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "hang"):
+            raise ValueError(f"kind must be 'kill' or 'hang', got {self.kind!r}")
+
+    def __call__(self, positions: list[int]) -> None:
+        if self.position not in positions:
+            return
+        if self.kind == "kill":
+            os._exit(self.exit_code)
+        time.sleep(self.hang_seconds)
+
+    def __enter__(self) -> "WorkerFault":
+        _batch.set_worker_fault_hook(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _batch.set_worker_fault_hook(None)

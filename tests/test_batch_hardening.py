@@ -1,0 +1,98 @@
+"""Fork-pool hardening: fallback reporting, dead-worker and hang recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.batch as batch_module
+from repro.core.batch import BatchReport, batch_query
+from repro.core.fahl import build_fahl
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery
+from repro.errors import QueryError
+from repro.flow.synthetic import generate_flow_series
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.generators import grid_network
+from repro.testing import WorkerFault
+
+
+@pytest.fixture()
+def engine():
+    graph = grid_network(5, 5, seed=11)
+    frn = FlowAwareRoadNetwork(graph, generate_flow_series(graph, days=1, seed=2))
+    return FlowAwareEngine(frn, oracle=build_fahl(frn), alpha=0.5, eta_u=3.0)
+
+
+def make_queries(engine, count=8):
+    n = engine.frn.num_vertices
+    return [
+        FSPQuery(i % n, (i * 7 + 3) % n, i % engine.frn.num_timesteps)
+        for i in range(count)
+        if i % n != (i * 7 + 3) % n
+    ]
+
+
+class TestFallbackReporting:
+    def test_serial_reason_workers(self, engine):
+        report = BatchReport()
+        batch_query(engine, make_queries(engine), workers=1, report=report)
+        assert report.mode == "serial"
+        assert report.fallback_reason == "workers<=1"
+
+    def test_serial_reason_single_query(self, engine):
+        report = BatchReport()
+        batch_query(engine, make_queries(engine)[:1], workers=4, report=report)
+        assert report.mode == "serial"
+        assert report.fallback_reason == "single-query"
+
+    def test_serial_reason_fork_unavailable(self, engine, monkeypatch):
+        monkeypatch.setattr(batch_module, "_fork_context", lambda: None)
+        report = BatchReport()
+        queries = make_queries(engine)
+        results = batch_query(engine, queries, workers=4, report=report)
+        assert report.mode == "serial"
+        assert report.fallback_reason == "fork-unavailable"
+        assert report.warnings
+        assert results == batch_query(engine, queries, workers=1)
+
+    def test_rejects_bad_chunk_timeout(self, engine):
+        with pytest.raises(QueryError):
+            batch_query(engine, make_queries(engine), chunk_timeout=0.0)
+
+    def test_parallel_mode_reported(self, engine):
+        report = BatchReport()
+        queries = make_queries(engine)
+        results = batch_query(engine, queries, workers=2, report=report)
+        assert report.mode == "parallel"
+        assert report.workers == 2
+        assert report.chunks >= 2
+        assert report.recovered_chunks == 0
+        assert results == batch_query(engine, queries, workers=1)
+
+
+@pytest.mark.chaos
+class TestWorkerRecovery:
+    def test_killed_worker_chunk_is_recovered(self, engine):
+        queries = make_queries(engine)
+        expected = batch_query(engine, queries, workers=1)
+        report = BatchReport()
+        with WorkerFault(position=0, kind="kill"):
+            results = batch_query(
+                engine, queries, workers=2, chunk_timeout=2.0, report=report
+            )
+        assert report.mode == "parallel-recovered"
+        assert report.recovered_chunks >= 1
+        assert report.warnings
+        assert results == expected
+
+    def test_hung_worker_chunk_is_recovered(self, engine):
+        queries = make_queries(engine)
+        expected = batch_query(engine, queries, workers=1)
+        report = BatchReport()
+        with WorkerFault(position=0, kind="hang", hang_seconds=30.0):
+            results = batch_query(
+                engine, queries, workers=2, chunk_timeout=1.5, report=report
+            )
+        assert report.mode == "parallel-recovered"
+        assert report.recovered_chunks >= 1
+        assert results == expected

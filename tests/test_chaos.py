@@ -1,0 +1,154 @@
+"""End-to-end chaos run: the serving layer under corrupted streams + faults.
+
+Acceptance check for the resilience work: feed the :class:`ResilientEngine`
+a deterministic stream mixing clean and corrupted updates while injecting
+maintenance faults (transient, escalating and fatal), and assert that
+
+* every corrupted update is quarantined with the matching reason,
+* every answered query is *correct* (index distances match Dijkstra on the
+  live graph, FSPQ scores match an index-free reference engine),
+* the deferred tail degrades the engine rather than corrupting it, and a
+  final :meth:`repair` folds everything in and returns to healthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery
+from repro.flow.synthetic import generate_flow_series
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.road_network import RoadNetwork
+from repro.serving import FlowUpdate, ResilientEngine, WeightUpdate
+from repro.testing import FaultInjector, corrupt_updates
+
+KIND_TO_REASON = {
+    "nan": "non-finite",
+    "inf": "non-finite",
+    "negative": "negative-flow",
+    "unknown-vertex": "unknown-vertex",
+}
+
+N = 8
+
+
+def fixed_graph() -> RoadNetwork:
+    edges = [
+        (0, 1, 4.0), (0, 2, 7.0), (1, 2, 2.0), (1, 3, 5.0),
+        (2, 4, 3.0), (3, 4, 6.0), (3, 5, 1.0), (4, 6, 8.0),
+        (5, 6, 2.0), (5, 7, 9.0), (6, 7, 3.0), (0, 7, 20.0),
+        (2, 5, 11.0),
+    ]
+    return RoadNetwork(N, edges=edges)
+
+
+def assert_serving_correct(serving: ResilientEngine, frn) -> None:
+    """Index distances match Dijkstra; FSPQ answers match an index-free run."""
+    for s in range(N):
+        ref = dijkstra_distances(frn.graph, s)
+        for t in range(N):
+            assert serving.distance(s, t).value == pytest.approx(ref[t]), (s, t)
+    reference = FlowAwareEngine(frn, oracle=None, alpha=0.5, eta_u=3.0)
+    for s, t in ((0, 7), (2, 6), (5, 1)):
+        query = FSPQuery(s, t, 3)
+        got = serving.query(query).result
+        want = reference.query(query)
+        assert got.score == pytest.approx(want.score), (s, t)
+        assert got.distance == pytest.approx(want.distance), (s, t)
+
+
+@pytest.mark.chaos
+class TestChaosRun:
+    def test_serving_survives_corrupted_stream_and_faults(self):
+        graph = fixed_graph()
+        frn = FlowAwareRoadNetwork(graph, generate_flow_series(graph, days=1, seed=5))
+        serving = ResilientEngine(frn, max_retries=1, backoff=0.0)
+        rng = np.random.default_rng(42)
+        edges = [(u, v) for u, v, _ in graph.edges()]
+
+        timestamp = 0.0
+        expected_rejections: list[str] = []
+        expected_flows = serving.index.flows.copy()
+        deferred_round = 3
+
+        for round_no in range(deferred_round + 1):
+            vertices = rng.choice(N, size=4, replace=False)
+            clean = {int(v): float(rng.uniform(1.0, 300.0)) for v in vertices}
+            dirty, corrupted = corrupt_updates(
+                clean, num_vertices=N, rate=0.4, seed=round_no
+            )
+
+            with FaultInjector() as inj:
+                if round_no == 1:
+                    # fatal ISU faults: every flow update escalates to GSU
+                    for point in ("isu:window-eliminated", "isu:frontier-compared",
+                                  "isu:structure-stitched", "isu:labels-refreshed"):
+                        inj.fail_at(point, times=-1)
+                elif round_no == 2:
+                    # transient: retries within ISU (or escalation) recover
+                    inj.fail_at("flow:flow-set", times=2)
+                elif round_no == deferred_round:
+                    # unrecoverable: every strategy fails, updates defer
+                    inj.fail_at("flow:flow-set", times=-1)
+
+                for vertex, value in sorted(dirty.items()):
+                    timestamp += 1.0
+                    outcome = serving.submit(
+                        FlowUpdate(vertex, value, timestamp=timestamp)
+                    )
+                    if vertex >= N:
+                        expected_rejections.append("unknown-vertex")
+                        assert outcome.reason == "unknown-vertex"
+                    elif vertex in corrupted:
+                        reason = KIND_TO_REASON[corrupted[vertex]]
+                        expected_rejections.append(reason)
+                        assert outcome.reason == reason
+                    elif round_no == deferred_round:
+                        assert outcome.accepted and outcome.deferred
+                        expected_flows[vertex] = value  # folded in at repair
+                    else:
+                        assert outcome.applied
+                        if round_no == 1:
+                            assert outcome.strategy == "gsu"
+                        expected_flows[vertex] = value
+
+                if round_no < deferred_round:
+                    # one weight change per round keeps ILU in the mix
+                    u, v = edges[round_no % len(edges)]
+                    timestamp += 1.0
+                    new_weight = float(rng.uniform(1.0, 15.0))
+                    assert serving.submit(
+                        WeightUpdate(u, v, new_weight, timestamp=timestamp)
+                    ).applied
+                    assert graph.weight(u, v) == new_weight
+
+            # answered queries stay correct through every round (degraded
+            # rounds fall back to direct search — latency, not wrongness)
+            assert_serving_correct(serving, frn)
+            if round_no < deferred_round:
+                assert not serving.degraded
+                np.testing.assert_array_equal(serving.index.flows, expected_flows)
+
+        # deferred tail: degraded but quarantined, not corrupted
+        assert serving.degraded
+        assert serving.status()["deferred_updates"] > 0
+
+        # quarantine ledger matches the corruption we injected exactly
+        by_reason = dict(serving.dead_letters.by_reason)
+        deferred_count = by_reason.pop("maintenance-failed", 0)
+        assert deferred_count == serving.status()["deferred_updates"]
+        expected_counts: dict[str, int] = {}
+        for reason in expected_rejections:
+            expected_counts[reason] = expected_counts.get(reason, 0) + 1
+        assert by_reason == expected_counts
+
+        # full repair folds the deferred updates in and re-healthies
+        report = serving.repair()
+        assert report.ok
+        assert not serving.degraded
+        np.testing.assert_array_equal(serving.index.flows, expected_flows)
+        assert_serving_correct(serving, frn)
+        assert serving.distance(0, 7).source == "index"

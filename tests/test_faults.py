@@ -1,0 +1,125 @@
+"""Unit tests for the deterministic fault-injection harness itself."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import maintenance as maintenance_module
+from repro.core.maintenance import FAULT_POINTS
+from repro.testing import (
+    FaultInjector,
+    FaultSpec,
+    WorkerFault,
+    corrupt_updates,
+    list_fault_points,
+)
+
+
+class TestFaultSpec:
+    def test_fires_on_first_crossing_by_default(self):
+        spec = FaultSpec(point="flow:flow-set")
+        assert spec.should_fire()
+        assert not spec.should_fire()  # times=1 exhausted
+
+    def test_after_skips_crossings(self):
+        spec = FaultSpec(point="flow:flow-set", after=2)
+        assert [spec.should_fire() for _ in range(4)] == [
+            False, False, True, False,
+        ]
+
+    def test_times_minus_one_fires_forever(self):
+        spec = FaultSpec(point="flow:flow-set", times=-1)
+        assert all(spec.should_fire() for _ in range(10))
+
+
+class TestFaultInjector:
+    def test_lists_all_points(self):
+        assert list_fault_points() == FAULT_POINTS
+        assert len(FAULT_POINTS) == 13
+
+    def test_rejects_unknown_point(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultInjector().fail_at("isu:typo")
+
+    def test_hook_uninstalled_on_exit(self):
+        with FaultInjector() as inj:
+            inj.fail_at("flow:flow-set")
+            assert maintenance_module._fault_hook is not None
+        assert maintenance_module._fault_hook is None
+
+    def test_hook_uninstalled_even_after_error(self):
+        with pytest.raises(RuntimeError):
+            with FaultInjector() as inj:
+                inj.fail_at("flow:flow-set")
+                inj._hook("flow:flow-set")
+        assert maintenance_module._fault_hook is None
+
+    def test_trace_records_crossings(self):
+        with FaultInjector() as inj:
+            inj._hook("flow:flow-set")
+            inj._hook("isu:window-eliminated")
+        assert inj.trace == ["flow:flow-set", "isu:window-eliminated"]
+
+
+class TestCorruptUpdates:
+    def test_deterministic_for_a_seed(self):
+        clean = {v: float(v * 10 + 1) for v in range(20)}
+        first = corrupt_updates(clean, num_vertices=20, rate=0.5, seed=7)
+        second = corrupt_updates(clean, num_vertices=20, rate=0.5, seed=7)
+        assert first[1] == second[1]
+        assert list(first[0]) == list(second[0])
+        assert all(
+            a == b or (math.isnan(a) and math.isnan(b))
+            for a, b in zip(first[0].values(), second[0].values())
+        )
+
+    def test_rate_zero_is_identity(self):
+        clean = {v: float(v) for v in range(10)}
+        dirty, corrupted = corrupt_updates(clean, num_vertices=10, rate=0.0)
+        assert dirty == clean
+        assert corrupted == {}
+
+    def test_rate_one_corrupts_everything(self):
+        clean = {v: float(v + 1) for v in range(30)}
+        dirty, corrupted = corrupt_updates(clean, num_vertices=30, rate=1.0)
+        assert set(corrupted) == set(clean)
+        # every corruption kind is exercised at this size
+        assert set(corrupted.values()) == {
+            "nan", "inf", "negative", "unknown-vertex",
+        }
+
+    def test_corruptions_are_invalid(self):
+        clean = {v: float(v + 1) for v in range(30)}
+        dirty, corrupted = corrupt_updates(clean, num_vertices=30, rate=1.0)
+        for vertex, kind in corrupted.items():
+            if kind == "unknown-vertex":
+                assert 30 + vertex in dirty
+            elif kind == "nan":
+                assert math.isnan(dirty[vertex])
+            elif kind == "inf":
+                assert math.isinf(dirty[vertex])
+            else:
+                assert dirty[vertex] < 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            corrupt_updates({0: 1.0}, num_vertices=1, rate=1.5)
+
+
+class TestWorkerFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            WorkerFault(position=0, kind="explode")
+
+    def test_noop_when_position_not_in_chunk(self):
+        fault = WorkerFault(position=3, kind="kill")
+        fault([0, 1, 2])  # must not exit this process
+
+    def test_hang_sleeps(self, monkeypatch):
+        naps: list[float] = []
+        monkeypatch.setattr("repro.testing.faults.time.sleep", naps.append)
+        fault = WorkerFault(position=1, kind="hang", hang_seconds=12.0)
+        fault([0, 1])
+        assert naps == [12.0]

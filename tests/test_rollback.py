@@ -1,0 +1,223 @@
+"""Transactional maintenance: rollback exactness under injected faults.
+
+Every instrumented checkpoint in ILU/ISU/GSU (``FAULT_POINTS``) gets a
+fault injected mid-update; the index must come back bit-identical
+(checksum, flows, graph weights, all-pairs distances) and must remain
+fully maintainable afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.fahl import FAHLIndex
+from repro.core.maintenance import (
+    FAULT_POINTS,
+    apply_flow_update,
+    apply_flow_updates,
+    apply_weight_update,
+    apply_weight_updates,
+)
+from repro.errors import GraphError, MaintenanceError
+from repro.graph.road_network import RoadNetwork
+from repro.testing import FaultInjector
+
+
+def fixed_graph() -> RoadNetwork:
+    """The 8-vertex graph used by the stateful maintenance suite."""
+    edges = [
+        (0, 1, 4.0), (0, 2, 7.0), (1, 2, 2.0), (1, 3, 5.0),
+        (2, 4, 3.0), (3, 4, 6.0), (3, 5, 1.0), (4, 6, 8.0),
+        (5, 6, 2.0), (5, 7, 9.0), (6, 7, 3.0), (0, 7, 20.0),
+        (2, 5, 11.0),
+    ]
+    return RoadNetwork(8, edges=edges)
+
+
+@pytest.fixture()
+def fahl() -> FAHLIndex:
+    graph = fixed_graph()
+    flows = np.random.default_rng(0).uniform(1.0, 100.0, graph.num_vertices)
+    return FAHLIndex(graph, flows, beta=0.5)
+
+
+def all_pairs(index: FAHLIndex) -> dict[tuple[int, int], float]:
+    n = index.graph.num_vertices
+    return {(s, t): index.distance(s, t) for s in range(n) for t in range(n)}
+
+
+def assert_exact(index: FAHLIndex) -> None:
+    graph = index.graph
+    for s in range(graph.num_vertices):
+        ref = dijkstra_distances(graph, s)
+        for t in range(graph.num_vertices):
+            assert index.distance(s, t) == pytest.approx(ref[t]), (s, t)
+
+
+def op_for(point: str):
+    """An update operation guaranteed to cross checkpoint ``point``."""
+    if point.startswith("ilu:"):
+        return lambda index: apply_weight_update(index, 0, 1, 40.0)
+    if point.startswith("gsu:"):
+        return lambda index: apply_flow_update(index, 3, 500.0, method="gsu")
+    return lambda index: apply_flow_update(index, 3, 500.0, method="isu")
+
+
+class TestRollbackExactness:
+    @pytest.mark.parametrize("point", FAULT_POINTS)
+    def test_fault_leaves_index_bit_identical(self, fahl, point):
+        before_sum = fahl.checksum()
+        before_flows = fahl.flows.copy()
+        before_weights = {(u, v): w for u, v, w in fahl.graph.edges()}
+        before_dist = all_pairs(fahl)
+
+        with FaultInjector() as inj:
+            inj.fail_at(point)
+            with pytest.raises(MaintenanceError) as err:
+                op_for(point)(fahl)
+        assert point in inj.trace
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+        assert fahl.checksum() == before_sum
+        np.testing.assert_array_equal(fahl.flows, before_flows)
+        assert {(u, v): w for u, v, w in fahl.graph.edges()} == before_weights
+        assert all_pairs(fahl) == before_dist
+
+    @pytest.mark.parametrize("point", FAULT_POINTS)
+    def test_index_still_maintainable_after_rollback(self, fahl, point):
+        with FaultInjector() as inj:
+            inj.fail_at(point)
+            with pytest.raises(MaintenanceError):
+                op_for(point)(fahl)
+        # real updates after the rollback must behave as if nothing happened
+        apply_weight_update(fahl, 2, 4, 12.0)
+        apply_flow_update(fahl, 5, 250.0, method="isu")
+        assert_exact(fahl)
+
+    def test_error_carries_operation_and_cause(self, fahl):
+        with FaultInjector() as inj:
+            inj.fail_at("flow:flow-set", exception=KeyError)
+            with pytest.raises(MaintenanceError) as err:
+                apply_flow_update(fahl, 3, 500.0)
+        assert err.value.operation == "apply_flow_update"
+        assert "rolled back" in str(err.value)
+        assert isinstance(err.value.__cause__, KeyError)
+
+    def test_non_transactional_raises_raw_error(self, fahl):
+        with FaultInjector() as inj:
+            inj.fail_at("flow:flow-set")
+            with pytest.raises(RuntimeError, match="injected fault"):
+                apply_flow_update(fahl, 3, 500.0, transactional=False)
+
+    def test_weight_rollback_restores_graph_weight(self, fahl):
+        before = fahl.graph.weight(0, 1)
+        with FaultInjector() as inj:
+            inj.fail_at("ilu:labels-refreshed")
+            with pytest.raises(MaintenanceError):
+                apply_weight_update(fahl, 0, 1, before * 10)
+        assert fahl.graph.weight(0, 1) == before
+
+
+class TestAtomicBatches:
+    def test_atomic_flow_batch_rolls_back_entirely(self, fahl):
+        before_sum = fahl.checksum()
+        before_flows = fahl.flows.copy()
+        # vertex 1 is valid and applies first (sorted order); vertex 3 fails
+        with pytest.raises(MaintenanceError):
+            apply_flow_updates(fahl, {1: 50.0, 3: -5.0}, atomic=True)
+        assert fahl.checksum() == before_sum
+        np.testing.assert_array_equal(fahl.flows, before_flows)
+
+    def test_non_atomic_flow_batch_keeps_prefix(self, fahl):
+        with pytest.raises(GraphError):
+            apply_flow_updates(fahl, {1: 50.0, 3: -5.0}, atomic=False)
+        assert fahl.flows[1] == 50.0
+        assert_exact(fahl)
+
+    def test_atomic_weight_batch_rolls_back_entirely(self, fahl):
+        before_sum = fahl.checksum()
+        w01 = fahl.graph.weight(0, 1)
+        with pytest.raises(MaintenanceError):
+            apply_weight_updates(fahl, [(0, 1, 2.0), (1, 2, -1.0)], atomic=True)
+        assert fahl.graph.weight(0, 1) == w01
+        assert fahl.checksum() == before_sum
+
+    def test_non_atomic_weight_batch_keeps_prefix(self, fahl):
+        with pytest.raises(GraphError):
+            apply_weight_updates(fahl, [(0, 1, 2.0), (1, 2, -1.0)], atomic=False)
+        assert fahl.graph.weight(0, 1) == 2.0
+        assert_exact(fahl)
+
+    def test_atomic_batch_mid_maintenance_fault(self, fahl):
+        before_sum = fahl.checksum()
+        before_flows = fahl.flows.copy()
+        with FaultInjector() as inj:
+            # fire on the second update's flow-set: first already applied
+            inj.fail_at("flow:flow-set", after=1)
+            with pytest.raises(MaintenanceError):
+                apply_flow_updates(fahl, {1: 50.0, 3: 500.0}, atomic=True)
+        assert fahl.checksum() == before_sum
+        np.testing.assert_array_equal(fahl.flows, before_flows)
+        assert_exact(fahl)
+
+
+class TestRollbackProperty:
+    @given(
+        seed=st.integers(0, 2**16),
+        point=st.sampled_from(FAULT_POINTS),
+        vertex=st.integers(0, 7),
+        magnitude=st.floats(0.0, 1000.0),
+        edge_idx=st.integers(0, 12),
+    )
+    def test_random_faults_roll_back_exactly(
+        self, seed, point, vertex, magnitude, edge_idx
+    ):
+        graph = fixed_graph()
+        flows = np.random.default_rng(seed).uniform(1.0, 100.0, 8)
+        index = FAHLIndex(graph, flows, beta=0.5)
+        before = index.checksum()
+        before_flows = index.flows.copy()
+        fired = False
+        with FaultInjector() as inj:
+            inj.fail_at(point)
+            try:
+                if point.startswith("ilu:"):
+                    edges = list(graph.edges())
+                    u, v, w = edges[edge_idx % len(edges)]
+                    apply_weight_update(index, u, v, max(1.0, magnitude))
+                else:
+                    method = "gsu" if point.startswith("gsu:") else "isu"
+                    apply_flow_update(index, vertex, magnitude, method=method)
+            except MaintenanceError:
+                fired = True
+        if fired:
+            assert index.checksum() == before
+            np.testing.assert_array_equal(index.flows, before_flows)
+        # faulted-and-rolled-back or applied cleanly: exact either way
+        assert_exact(index)
+
+
+class TestILUStaleMiddleRegression:
+    def test_tied_shortcut_value_still_updates_middle(self, fahl):
+        """Regression: a recomputed shortcut whose *value* ties the old one
+        but whose realising middle vertex moved must still update the
+        middle, or path unpacking walks a non-shortest route."""
+        graph = fahl.graph
+        apply_flow_update(fahl, 3, 82.0, method="isu")
+        apply_weight_update(fahl, 3, 5, 4.0)
+        apply_weight_update(fahl, 3, 4, 12.0)
+        # pre-fix this returned [4, 3, 5] with weight 16 vs distance 10
+        path = fahl.path(4, 5)
+        weight = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
+        assert weight == pytest.approx(fahl.distance(4, 5))
+        # every reconstructed path must realise its reported distance
+        for s in range(graph.num_vertices):
+            ref = dijkstra_distances(graph, s)
+            for t in range(graph.num_vertices):
+                p = fahl.path(s, t)
+                w = sum(graph.weight(a, b) for a, b in zip(p, p[1:]))
+                assert w == pytest.approx(ref[t]), (s, t)

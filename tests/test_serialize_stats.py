@@ -82,6 +82,66 @@ class TestSerialization:
             assert loaded.elim.middles[v] == index.elim.middles[v]
 
 
+class TestIntegrity:
+    def test_bit_flip_detected(self, small_grid, tmp_path):
+        index = build_h2h(small_grid)
+        path = tmp_path / "g.npz"
+        save_index(index, path)
+        data = dict(np.load(path))
+        data["label_values"][3] += 1.0  # single corrupted label entry
+        np.savez_compressed(path, **data)
+        with pytest.raises(DatasetFormatError, match="integrity check"):
+            load_index(path)
+
+    def test_renamed_array_detected(self, small_grid, tmp_path):
+        index = build_h2h(small_grid)
+        path = tmp_path / "g.npz"
+        save_index(index, path)
+        data = dict(np.load(path))
+        data["via_values_x"] = data.pop("via_values")
+        np.savez_compressed(path, **data)
+        with pytest.raises(DatasetFormatError, match="integrity check"):
+            load_index(path)
+
+    def test_missing_checksum_detected(self, small_grid, tmp_path):
+        index = build_h2h(small_grid)
+        path = tmp_path / "g.npz"
+        save_index(index, path)
+        data = dict(np.load(path))
+        del data["checksum"]
+        np.savez_compressed(path, **data)
+        with pytest.raises(DatasetFormatError, match="missing its checksum"):
+            load_index(path)
+
+    def test_legacy_v1_archive_still_loads(self, small_grid, tmp_path, rng):
+        index = build_h2h(small_grid)
+        path = tmp_path / "g.npz"
+        save_index(index, path)
+        # strip the checksum and downgrade: pre-integrity archives load as-is
+        data = dict(np.load(path))
+        del data["checksum"]
+        data["meta"][0] = 1
+        np.savez_compressed(path, **data)
+        loaded = load_index(path)
+        n = small_grid.num_vertices
+        for _ in range(20):
+            s, t = map(int, rng.integers(0, n, 2))
+            assert loaded.distance(s, t) == index.distance(s, t)
+
+    def test_index_checksum_tracks_content(self, small_frn):
+        index = build_fahl(small_frn)
+        first = index.checksum()
+        assert first == index.checksum()  # deterministic
+        u, v, w = next(iter(index.graph.edges()))
+        apply_weight_update(index, u, v, w * 2)
+        assert index.checksum() != first
+
+    def test_round_trip_preserves_checksum(self, small_frn, tmp_path):
+        index = build_fahl(small_frn)
+        save_index(index, tmp_path / "g.npz")
+        assert load_index(tmp_path / "g.npz").checksum() == index.checksum()
+
+
 class TestStatistics:
     def test_basic_fields(self, small_grid):
         index = build_h2h(small_grid)

@@ -24,8 +24,14 @@ from hypothesis.stateful import (
 
 from repro.baselines.dijkstra import dijkstra_distance
 from repro.core.fahl import FAHLIndex
-from repro.core.maintenance import apply_flow_update, apply_weight_update
+from repro.core.maintenance import (
+    FAULT_POINTS,
+    apply_flow_update,
+    apply_weight_update,
+)
+from repro.errors import MaintenanceError
 from repro.graph.road_network import RoadNetwork
+from repro.testing import FaultInjector
 
 
 def _fixed_graph() -> RoadNetwork:
@@ -64,6 +70,35 @@ class MaintenanceMachine(RuleBasedStateMachine):
     def flow_update(self, vertex: int, flow: float, method: str) -> None:
         apply_flow_update(self.index, vertex, flow, method=method)
         self.ops += 1
+
+    @rule(point=st.sampled_from(FAULT_POINTS), vertex=st.integers(0, 7),
+          flow=st.floats(0.0, 500.0), edge_idx=st.integers(0, 12))
+    def faulted_update(self, point: str, vertex: int, flow: float,
+                       edge_idx: int) -> None:
+        """A fault mid-update must leave the index bit-identical — or, when
+        the chosen operation never crosses the armed checkpoint, apply
+        cleanly like any other rule."""
+        before = self.index.checksum()
+        before_weights = {(u, v): w for u, v, w in self.graph.edges()}
+        fired = False
+        with FaultInjector() as inj:
+            inj.fail_at(point)
+            try:
+                if point.startswith("ilu:"):
+                    u, v, _ = self.edges[edge_idx % len(self.edges)]
+                    apply_weight_update(
+                        self.index, u, v, self.graph.weight(u, v) + 1.0
+                    )
+                else:
+                    method = "gsu" if point.startswith("gsu:") else "isu"
+                    apply_flow_update(self.index, vertex, flow, method=method)
+            except MaintenanceError:
+                fired = True
+        if fired:
+            assert self.index.checksum() == before
+            assert {(u, v): w for u, v, w in self.graph.edges()} == before_weights
+        else:
+            self.ops += 1
 
     @rule(s=st.integers(0, 7), t=st.integers(0, 7))
     def spot_check_query(self, s: int, t: int) -> None:
