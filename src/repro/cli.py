@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from repro import obs
 from repro.experiments import EXPERIMENTS, ExperimentConfig
 
 __all__ = ["main", "build_parser"]
@@ -90,6 +90,32 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--candidates", type=int, default=12)
     report.add_argument("--datasets", default="BRN,NYC,BAY,COL")
     report.add_argument("--seed", type=int, default=0)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="telemetry: run the instrumented demo or lint an export"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="run a small instrumented workload and print the metrics report",
+    )
+    obs_report.add_argument("--side", type=int, default=6,
+                            help="demo grid side length (default 6)")
+    obs_report.add_argument("--queries", type=int, default=12,
+                            help="demo query count (default 12)")
+    obs_report.add_argument("--updates", type=int, default=6,
+                            help="demo update count (default 6)")
+    obs_report.add_argument("--workers", type=int, default=1,
+                            help="batch_query worker count (default 1)")
+    obs_report.add_argument("--seed", type=int, default=0)
+    obs_report.add_argument("--prom", metavar="FILE",
+                            help="also write the Prometheus text export here")
+    obs_report.add_argument("--trace", metavar="FILE",
+                            help="also write JSONL span events here")
+    obs_lint = obs_sub.add_parser(
+        "lint", help="lint a Prometheus text export (names, types, buckets)"
+    )
+    obs_lint.add_argument("file", help="Prometheus text file to lint")
     return parser
 
 
@@ -191,21 +217,75 @@ def _run_report(args: argparse.Namespace) -> int:
         "",
     ]
     for name, module in EXPERIMENTS.items():
-        start = time.perf_counter()
-        table = module.run(config)
-        elapsed = time.perf_counter() - start
-        print(f"[{name}] done in {elapsed:.1f}s")
+        with obs.stopwatch(span="cli.experiment", experiment=name) as sw:
+            table = module.run(config)
+        print(f"[{name}] done in {sw.seconds:.1f}s")
         sections.append(table.render_markdown())
         sections.append("")
-        sections.append(f"*(`fahl-repro run {name}` — {elapsed:.1f}s)*")
+        sections.append(f"*(`fahl-repro run {name}` — {sw.seconds:.1f}s)*")
         sections.append("")
     Path(args.output).write_text("\n".join(sections), encoding="utf-8")
     print(f"wrote {args.output}")
     return 0
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    from repro.obs.demo import run_demo
+    from repro.obs.export import (
+        lint_prometheus,
+        render_prometheus,
+    )
+    from repro.obs.report import render_report
+
+    if args.obs_command == "lint":
+        with open(args.file, encoding="utf-8") as handle:
+            problems = lint_prometheus(handle.read())
+        for problem in problems:
+            print(f"lint: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"{args.file}: ok")
+        return 0
+
+    registry = obs.MetricsRegistry(enabled=True)
+    previous_registry = obs.set_registry(registry)
+    trace_handle = open(args.trace, "w", encoding="utf-8") if args.trace else None
+    previous_tracer = obs.set_tracer(obs.Tracer(trace_handle) if args.trace else None)
+    try:
+        summary = run_demo(
+            side=args.side,
+            queries=args.queries,
+            updates=args.updates,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        print(render_report(registry))
+        print(
+            f"# demo: {summary['vertices']} vertices, "
+            f"{summary['queries']} queries (batch mode: {summary['batch_mode']}), "
+            f"{summary['accepted_updates']} updates applied, "
+            f"{summary['dead_letters']} quarantined, "
+            f"final state: {summary['state']}"
+        )
+        if args.prom:
+            text = render_prometheus(registry)
+            with open(args.prom, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"# wrote Prometheus export to {args.prom}")
+        if args.trace:
+            print(f"# wrote span trace to {args.trace}")
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)
+        if trace_handle is not None:
+            trace_handle.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "list":
         for key, module in EXPERIMENTS.items():
             summary = (module.__doc__ or "").strip().splitlines()[0]
@@ -229,11 +309,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
     for name in names:
-        start = time.perf_counter()
-        table = EXPERIMENTS[name].run(config)
-        elapsed = time.perf_counter() - start
+        with obs.stopwatch(span="cli.experiment", experiment=name) as sw:
+            table = EXPERIMENTS[name].run(config)
         print(table.render())
-        print(f"# completed in {elapsed:.1f}s\n")
+        print(f"# completed in {sw.seconds:.1f}s\n")
     return 0
 
 

@@ -41,6 +41,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.errors import QueryError, ReproError
@@ -217,6 +218,52 @@ class BatchReport:
         logger.warning("batch_query: %s", message)
 
 
+def _record_batch(report: BatchReport, num_queries: int) -> None:
+    """Fold one finished batch into the telemetry registry (parent side).
+
+    Pool workers are forked children: their registry writes are
+    copy-on-write copies that die with the process, so every batch metric
+    is recorded here, in the parent, from the structured report.
+    """
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_batch_runs_total", "batch_query invocations by execution mode"
+    ).inc(mode=report.mode)
+    registry.counter(
+        "repro_batch_queries_total", "queries evaluated through batch_query"
+    ).inc(num_queries)
+    if report.fallback_reason:
+        registry.counter(
+            "repro_batch_fallbacks_total",
+            "batches degraded to the serial path, by reason",
+        ).inc(reason=report.fallback_reason)
+    if report.recovered_chunks:
+        registry.counter(
+            "repro_batch_worker_recoveries_total",
+            "pool chunks re-executed serially after a worker death or hang",
+        ).inc(report.recovered_chunks)
+
+
+def _observe_chunk(mode: str, seconds: float) -> None:
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.histogram(
+            "repro_batch_chunk_seconds",
+            "per-chunk wall time by execution mode",
+        ).observe(seconds, mode=mode)
+
+
+def _count_chunk_failure(kind: str) -> None:
+    registry = obs.get_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_batch_chunk_failures_total",
+            "pool chunks lost to a timeout or worker error",
+        ).inc(kind=kind)
+
+
 # ----------------------------------------------------------------------
 # fork pool plumbing
 # ----------------------------------------------------------------------
@@ -343,14 +390,17 @@ def _run_parallel(
                 except Exception:
                     failed.append(i)
                 continue
+            wait_start = time.perf_counter()
             try:
                 pairs.extend(handle.get(max(0.0, deadline - time.monotonic())))
+                _observe_chunk("parallel", time.perf_counter() - wait_start)
                 # chunks run concurrently: give the next handle a fresh
                 # window from the moment we start waiting on it.
                 deadline = time.monotonic() + chunk_timeout
             except multiprocessing.TimeoutError:
                 failed.append(i)
                 bailed = True
+                _count_chunk_failure("timeout")
                 report._warn(
                     f"chunk {i} missed its {chunk_timeout:.1f}s deadline "
                     "(dead or hung worker?); recovering serially"
@@ -362,6 +412,7 @@ def _run_parallel(
             except Exception as exc:
                 failed.append(i)
                 bailed = True
+                _count_chunk_failure("error")
                 report._warn(
                     f"chunk {i} failed in the pool ({exc!r}); recovering serially"
                 )
@@ -372,7 +423,9 @@ def _run_parallel(
         pool.join()
 
     for i in failed:
+        recover_start = time.perf_counter()
         pairs.extend(_evaluate_serial(engine, chunks[i]))
+        _observe_chunk("recovered", time.perf_counter() - recover_start)
     report.recovered_chunks = len(failed)
     report.mode = "parallel-recovered" if failed else "parallel"
     return pairs
@@ -428,6 +481,7 @@ def batch_query(
         if pairs is not None:
             for position, result in pairs:
                 results[position] = result
+            _record_batch(report, len(queries))
             return results  # type: ignore[return-value]
     elif workers > 1:
         report.fallback_reason = "single-query"
@@ -435,6 +489,9 @@ def batch_query(
         report.fallback_reason = "workers<=1"
 
     report.mode = "serial"
+    serial_start = time.perf_counter()
     for position, result in _evaluate_serial(engine, indexed):
         results[position] = result
+    _observe_chunk("serial", time.perf_counter() - serial_start)
+    _record_batch(report, len(queries))
     return results  # type: ignore[return-value]

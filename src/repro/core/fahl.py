@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import IndexBuildError, IndexStateError
 from repro.graph.frn import FlowAwareRoadNetwork
 from repro.graph.road_network import RoadNetwork
@@ -63,7 +64,13 @@ class FAHLIndex(HierarchyIndex):
         importance = degree_flow_importance(
             graph, self.flows, beta=self.beta, anchors=self.flow_anchors
         )
-        super().__init__(graph, eliminate(graph, importance))
+        with obs.stopwatch(
+            metric="repro_build_phase_seconds",
+            span="build.elimination",
+            phase="elimination",
+        ):
+            elimination = eliminate(graph, importance)
+        super().__init__(graph, elimination)
 
     def importance_function(self):
         """The Def.-7 importance under the index's *current* flow vector."""

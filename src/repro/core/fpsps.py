@@ -29,9 +29,11 @@ in EXPERIMENTS.md).
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
+from repro import obs
 from repro.core.bounds import adaptive_upper_bound, lemma4_bounds
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.errors import QueryError
@@ -224,7 +226,61 @@ class FlowAwareEngine:
 
     # ------------------------------------------------------------------
     def query(self, query: FSPQuery) -> FSPResult:
-        """Answer one FSPQ query (Alg. 5)."""
+        """Answer one FSPQ query (Alg. 5), recording telemetry when on.
+
+        With the metrics registry disabled and no tracer installed this is
+        a single branch on top of :meth:`_query_impl` — the overhead
+        budget is enforced by ``tests/test_obs_overhead.py``.
+        """
+        registry = obs.get_registry()
+        if not registry.enabled and obs.get_tracer() is None:
+            return self._query_impl(query)
+        start = time.perf_counter()
+        with obs.trace(
+            "fpsps.query",
+            src=query.source,
+            dst=query.target,
+            t=query.timestep,
+            pruning=self.pruning,
+        ):
+            result = self._query_impl(query)
+        elapsed = time.perf_counter() - start
+        if registry.enabled:
+            registry.histogram(
+                "repro_query_seconds", "FSPQ query latency"
+            ).observe(elapsed, pruning=self.pruning)
+            registry.counter(
+                "repro_queries_total", "FSPQ queries evaluated"
+            ).inc(pruning=self.pruning)
+            registry.counter(
+                "repro_query_candidates_total", "candidate paths enumerated"
+            ).inc(result.num_candidates)
+            if self.pruning != "none":
+                # every enumerated candidate is evaluated against the flow
+                # bound exactly once in the scoring loop, so the bound-eval
+                # counter is the pruning-rate denominator of the report.
+                registry.counter(
+                    "repro_query_bound_evals_total",
+                    "candidates evaluated against the flow pruning bounds",
+                ).inc(result.num_candidates, pruning=self.pruning)
+                registry.counter(
+                    "repro_query_pruned_total",
+                    "candidates skipped by the flow pruning bounds",
+                ).inc(result.num_pruned, pruning=self.pruning)
+            if result.early_stopped:
+                registry.counter(
+                    "repro_query_early_stops_total",
+                    "lazy enumerations ended by the score-dominance stop",
+                ).inc()
+            if result.truncated:
+                registry.counter(
+                    "repro_query_truncated_total",
+                    "enumerations that hit the candidate cap",
+                ).inc()
+        return result
+
+    def _query_impl(self, query: FSPQuery) -> FSPResult:
+        """The uninstrumented Alg. 5 evaluation."""
         frn = self.frn
         query.validated(frn.num_vertices, frn.num_timesteps)
         source, target, t = query.source, query.target, query.timestep

@@ -34,11 +34,13 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.fahl import FAHLIndex
 from repro.errors import (
     EdgeNotFoundError,
@@ -211,7 +213,45 @@ def _transactional(
         return body()
     except Exception as exc:
         snapshot.restore()
+        obs.counter(
+            "repro_maintenance_rollbacks_total",
+            "maintenance operations rolled back after a mid-flight failure",
+        ).inc(op=operation)
         raise MaintenanceError(operation, exc) from exc
+
+
+def _record_maintenance(
+    op: str,
+    seconds: float,
+    labels_affected: int = 0,
+    bags_rebuilt: int = 0,
+    shortcuts_changed: int = 0,
+) -> None:
+    """Record one successful maintenance operation on the active registry."""
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return
+    registry.histogram(
+        "repro_maintenance_seconds", "wall time per maintenance operation"
+    ).observe(seconds, op=op)
+    registry.counter(
+        "repro_maintenance_ops_total", "maintenance operations completed"
+    ).inc(op=op)
+    if labels_affected:
+        registry.counter(
+            "repro_maintenance_affected_labels_total",
+            "labels rewritten by maintenance (the paper's affected-label metric)",
+        ).inc(labels_affected, op=op)
+    if bags_rebuilt:
+        registry.counter(
+            "repro_maintenance_bags_rebuilt_total",
+            "vertices re-eliminated by structure maintenance",
+        ).inc(bags_rebuilt, op=op)
+    if shortcuts_changed:
+        registry.counter(
+            "repro_maintenance_shortcuts_changed_total",
+            "shortcut weights repaired by ILU",
+        ).inc(shortcuts_changed, op=op)
 
 
 # ----------------------------------------------------------------------
@@ -255,18 +295,28 @@ def apply_weight_update(
         raise GraphError(f"edge weight must be positive, got {new_weight}")
     if not graph.has_edge(u, v):
         raise EdgeNotFoundError(u, v)
-    if not transactional:
-        return _ilu_impl(index, u, v, new_weight)
-    old_weight = graph.weight(u, v)
+    start = time.perf_counter()
+    with obs.trace("maintenance.weight_update", u=u, v=v):
+        if not transactional:
+            stats = _ilu_impl(index, u, v, new_weight)
+        else:
+            old_weight = graph.weight(u, v)
 
-    def body() -> LabelUpdateStats:
-        try:
-            return _ilu_impl(index, u, v, new_weight)
-        except Exception:
-            graph.set_weight(u, v, old_weight)
-            raise
+            def body() -> LabelUpdateStats:
+                try:
+                    return _ilu_impl(index, u, v, new_weight)
+                except Exception:
+                    graph.set_weight(u, v, old_weight)
+                    raise
 
-    return _transactional("apply_weight_update", index, body)
+            stats = _transactional("apply_weight_update", index, body)
+    _record_maintenance(
+        "ilu",
+        time.perf_counter() - start,
+        labels_affected=stats.labels_affected,
+        shortcuts_changed=stats.shortcuts_changed,
+    )
+    return stats
 
 
 def _ilu_impl(
@@ -553,13 +603,28 @@ def apply_flow_update(
     n = index.graph.num_vertices
     if not 0 <= vertex < n:
         raise IndexStateError(f"unknown vertex {vertex}")
-    if not transactional:
-        return _flow_update_impl(index, vertex, new_flow, method)
-    return _transactional(
-        "apply_flow_update",
-        index,
-        lambda: _flow_update_impl(index, vertex, new_flow, method),
+    start = time.perf_counter()
+    with obs.trace("maintenance.flow_update", vertex=vertex, method=method):
+        if not transactional:
+            stats = _flow_update_impl(index, vertex, new_flow, method)
+        else:
+            stats = _transactional(
+                "apply_flow_update",
+                index,
+                lambda: _flow_update_impl(index, vertex, new_flow, method),
+            )
+    _record_maintenance(
+        stats.strategy,
+        time.perf_counter() - start,
+        labels_affected=stats.labels_affected,
+        bags_rebuilt=stats.bags_rebuilt,
     )
+    if method == "isu" and stats.strategy == "gsu":
+        obs.counter(
+            "repro_maintenance_isu_fallbacks_total",
+            "ISU windows whose frontier mismatched, falling back to GSU",
+        ).inc()
+    return stats
 
 
 def _flow_update_impl(

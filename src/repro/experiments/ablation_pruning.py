@@ -8,8 +8,7 @@ This quantifies exactly what the Fig. 6 FAHL-W speedup costs.
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.analysis.quality import pruning_quality
 from repro.core.fahl import FAHLIndex
 from repro.core.fpsps import PRUNING_MODES, FlowAwareEngine
@@ -64,11 +63,16 @@ def run(
                 frn, oracle=index, alpha=config.alpha, eta_u=config.eta_u,
                 pruning=mode, max_candidates=cap,
             )
-            start = time.perf_counter()
             candidates = 0
-            for query in queries:
-                candidates += engine.query(query).num_candidates
-            per_query_ms = (time.perf_counter() - start) / len(queries) * 1000
+            with obs.stopwatch(
+                metric="repro_experiment_phase_seconds",
+                span="experiment.ablation.queries",
+                phase="ablation-queries",
+                mode=mode,
+            ) as sw:
+                for query in queries:
+                    candidates += engine.query(query).num_candidates
+            per_query_ms = sw.seconds / len(queries) * 1000
             quality = pruning_quality(reference, engine, queries)
             table.add_row(
                 mode,

@@ -10,8 +10,7 @@ flow changes (FAHL only, via ISU).
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.core.maintenance import apply_flow_updates, apply_weight_update
 from repro.experiments.runner import (
     ExperimentConfig,
@@ -74,15 +73,22 @@ def run(
                 )
                 for method in _METHODS:
                     built = suite[method]
-                    start = time.perf_counter()
-                    for u, v, new in weight_updates:
-                        if method == "TD-G-tree":
-                            built.index.update_edge_weight(u, v, new)
-                        else:
-                            apply_weight_update(built.index, u, v, new)
-                    if method == "FAHL-W":
-                        apply_flow_updates(built.index, flow_updates, method="isu")
-                    update_ms[method] += (time.perf_counter() - start) * 1000.0
+                    with obs.stopwatch(
+                        metric="repro_experiment_phase_seconds",
+                        span="experiment.fig12.update_event",
+                        phase="fig12-update-event",
+                        method=method,
+                    ) as sw:
+                        for u, v, new in weight_updates:
+                            if method == "TD-G-tree":
+                                built.index.update_edge_weight(u, v, new)
+                            else:
+                                apply_weight_update(built.index, u, v, new)
+                        if method == "FAHL-W":
+                            apply_flow_updates(
+                                built.index, flow_updates, method="isu"
+                            )
+                    update_ms[method] += sw.ms
             groups = generate_query_groups(
                 dataset.frn,
                 num_groups=config.num_groups,

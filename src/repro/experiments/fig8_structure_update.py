@@ -7,8 +7,7 @@ fresh FAHL indexes, with batch sizes {4, 8, 12, 16}.
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.core.fahl import FAHLIndex
 from repro.core.maintenance import apply_flow_updates
 from repro.experiments.runner import ExperimentConfig, ExperimentTable
@@ -53,9 +52,14 @@ def run(
                     lanes=dataset.frn.lanes,
                 )
                 index = FAHLIndex.from_frn(frn, beta=config.beta)
-                start = time.perf_counter()
-                stats = apply_flow_updates(index, updates, method=method)
-                timings[method] = (time.perf_counter() - start) * 1000.0
+                with obs.stopwatch(
+                    metric="repro_experiment_phase_seconds",
+                    span="experiment.fig8.flow_updates",
+                    phase="fig8-flow-updates",
+                    method=method,
+                ) as sw:
+                    stats = apply_flow_updates(index, updates, method=method)
+                timings[method] = sw.ms
                 if method == "isu":
                     counts: dict[str, int] = {}
                     for stat in stats:

@@ -8,10 +8,9 @@ whose shortcuts reach more labels — the paper's rising curves.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import obs
 from repro.baselines.dijkstra import dijkstra_path
 from repro.core.maintenance import apply_weight_update
 from repro.experiments.runner import (
@@ -72,14 +71,19 @@ def run(config: ExperimentConfig) -> ExperimentTable:
                     built = suite[method]
                     old = built.frn.graph.weight(u, v)
                     new = float(max(1.0, round(old * factor)))
-                    start = time.perf_counter()
-                    if method == "TD-G-tree":
-                        records = built.index.update_edge_weight(u, v, new)
-                        affected[method] += records
-                    else:
-                        stats = apply_weight_update(built.index, u, v, new)
-                        affected[method] += stats.labels_affected
-                    times[method] += time.perf_counter() - start
+                    with obs.stopwatch(
+                        metric="repro_experiment_phase_seconds",
+                        span="experiment.fig9.weight_update",
+                        phase="fig9-weight-update",
+                        method=method,
+                    ) as sw:
+                        if method == "TD-G-tree":
+                            records = built.index.update_edge_weight(u, v, new)
+                            affected[method] += records
+                        else:
+                            stats = apply_weight_update(built.index, u, v, new)
+                            affected[method] += stats.labels_affected
+                    times[method] += sw.seconds
             scale = 1000.0 / len(edges)
             table.add_row(
                 name,

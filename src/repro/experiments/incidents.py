@@ -10,8 +10,7 @@ spatially-structured ones.
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.core.fahl import FAHLIndex
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.maintenance import apply_flow_updates
@@ -87,13 +86,17 @@ def run(config: ExperimentConfig) -> ExperimentTable:
         stream = incident_update_stream(frn.graph, frn.predicted_flow, incidents)
         strategies = {"noop": 0, "isu": 0, "gsu": 0}
         total_updates = 0
-        start = time.perf_counter()
-        for t in sorted(stream):
-            stats = apply_flow_updates(index, stream[t], method="isu")
-            total_updates += len(stats)
-            for stat in stats:
-                strategies[stat.strategy] += 1
-        maintenance_ms = (time.perf_counter() - start) * 1000.0
+        with obs.stopwatch(
+            metric="repro_experiment_phase_seconds",
+            span="experiment.incidents.maintenance",
+            phase="incidents-maintenance",
+        ) as sw:
+            for t in sorted(stream):
+                stats = apply_flow_updates(index, stream[t], method="isu")
+                total_updates += len(stats)
+                for stat in stats:
+                    strategies[stat.strategy] += 1
+        maintenance_ms = sw.ms
         engine.invalidate_flow_cache()
         after_ms = time_queries(_EngineProbe(engine), queries) * 1000.0
 

@@ -9,9 +9,9 @@ CLI prints in the paper's row/series layout.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.baselines.astar import AStarOracle
 from repro.baselines.ch import CHIndex
 from repro.baselines.gtree import TDGTree
@@ -168,32 +168,37 @@ def build_method(
     score with it (their indexes cannot perceive it, as the paper notes).
     """
     frn = _private_frn(dataset)
-    start = time.perf_counter()
     index: object | None = None
     oracle = None
     pruning = "none"
-    if name == "A*":
-        oracle = AStarOracle(frn.graph)
-    elif name == "Dijkstra":
-        oracle = None
-    elif name == "CH":
-        index = CHIndex(frn.graph)
-        oracle = index
-    elif name == "TD-G-tree":
-        index = TDGTree(frn.graph)
-        oracle = index
-    elif name == "H2H":
-        index = H2HIndex(frn.graph)
-        oracle = index
-    elif name in ("FAHL-O", "FAHL-W"):
-        index = FAHLIndex.from_frn(
-            frn, beta=config.beta, use_capacity=use_capacity, w_c=w_c
-        )
-        oracle = index
-        pruning = "lemma4" if name == "FAHL-W" else "none"
-    else:
-        raise QueryError(f"unknown method {name!r}")
-    build_seconds = time.perf_counter() - start
+    with obs.stopwatch(
+        metric="repro_experiment_phase_seconds",
+        span="experiment.build",
+        phase="build",
+        method=name,
+    ) as sw:
+        if name == "A*":
+            oracle = AStarOracle(frn.graph)
+        elif name == "Dijkstra":
+            oracle = None
+        elif name == "CH":
+            index = CHIndex(frn.graph)
+            oracle = index
+        elif name == "TD-G-tree":
+            index = TDGTree(frn.graph)
+            oracle = index
+        elif name == "H2H":
+            index = H2HIndex(frn.graph)
+            oracle = index
+        elif name in ("FAHL-O", "FAHL-W"):
+            index = FAHLIndex.from_frn(
+                frn, beta=config.beta, use_capacity=use_capacity, w_c=w_c
+            )
+            oracle = index
+            pruning = "lemma4" if name == "FAHL-W" else "none"
+        else:
+            raise QueryError(f"unknown method {name!r}")
+    build_seconds = sw.seconds
 
     engine = FlowAwareEngine(
         frn,
@@ -264,10 +269,15 @@ def time_queries(
     """Average wall-clock seconds per FSPQ query (0 if no queries)."""
     if not queries:
         return 0.0
-    start = time.perf_counter()
-    for query in queries:
-        method.engine.query(query)
-    return (time.perf_counter() - start) / len(queries)
+    with obs.stopwatch(
+        metric="repro_experiment_phase_seconds",
+        span="experiment.queries",
+        phase="queries",
+        method=getattr(method, "name", "?"),  # probes may be anonymous
+    ) as sw:
+        for query in queries:
+            method.engine.query(query)
+    return sw.seconds / len(queries)
 
 
 def time_batch_queries(
@@ -284,6 +294,11 @@ def time_batch_queries(
     """
     if not queries:
         return 0.0
-    start = time.perf_counter()
-    batch_query(method.engine, list(queries), workers=workers)
-    return (time.perf_counter() - start) / len(queries)
+    with obs.stopwatch(
+        metric="repro_experiment_phase_seconds",
+        span="experiment.batch_queries",
+        phase="batch-queries",
+        method=getattr(method, "name", "?"),
+    ) as sw:
+        batch_query(method.engine, list(queries), workers=workers)
+    return sw.seconds / len(queries)

@@ -27,6 +27,7 @@ import hashlib
 
 import numpy as np
 
+from repro import obs
 from repro.errors import IndexStateError, QueryError
 from repro.graph.road_network import RoadNetwork
 from repro.graph.validation import require_connected
@@ -52,8 +53,18 @@ class HierarchyIndex:
         n = graph.num_vertices
         self.labels: list[np.ndarray] = [np.empty(0)] * n
         self.vias: list[np.ndarray] = [np.empty(0, dtype=np.int32)] * n
-        self.rebuild_structure()
-        self.refresh_labels()
+        with obs.stopwatch(
+            metric="repro_build_phase_seconds",
+            span="build.structure",
+            phase="tree-structure",
+        ):
+            self.rebuild_structure()
+        with obs.stopwatch(
+            metric="repro_build_phase_seconds",
+            span="build.labeling",
+            phase="labeling",
+        ):
+            self.refresh_labels()
 
     # ------------------------------------------------------------------
     # structure
@@ -257,6 +268,13 @@ class HierarchyIndex:
             return 0.0
         hub_node = self.lca.query(u, v)
         pos = self.positions[hub_node]
+        registry = obs.get_registry()
+        if registry.enabled:
+            # both endpoint labels are probed at every hub position
+            registry.counter(
+                "repro_label_entries_scanned_total",
+                "label entries read by scalar distance queries",
+            ).inc(2 * len(pos))
         return float((self.labels[u][pos] + self.labels[v][pos]).min())
 
     def distance_many(self, sources, targets) -> np.ndarray:
@@ -282,6 +300,12 @@ class HierarchyIndex:
         ) >= n:
             raise QueryError("distance_many query on unknown vertices")
         hubs = self.lca.query_many(us, vs)
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_label_pairs_batched_total",
+                "vertex pairs answered by the vectorised arena kernel",
+            ).inc(int(us.size))
         return self.arena().pair_distances(us, vs, hubs)
 
     def path(self, u: int, v: int) -> list[int]:
@@ -403,4 +427,10 @@ def build_hierarchy_index(
     if graph.num_vertices == 0:
         raise IndexStateError("cannot index an empty graph")
     require_connected(graph, context="hierarchical labeling")
-    return HierarchyIndex(graph, eliminate(graph, importance))
+    with obs.stopwatch(
+        metric="repro_build_phase_seconds",
+        span="build.elimination",
+        phase="elimination",
+    ):
+        elimination = eliminate(graph, importance)
+    return HierarchyIndex(graph, elimination)

@@ -1,0 +1,138 @@
+"""Unified telemetry for the FAHL stack: metrics, spans, exporters.
+
+One process-local :class:`~repro.obs.registry.MetricsRegistry` (disabled by
+default — library users pay ~nothing) receives counters, gauges and
+log-bucket latency histograms from every instrumented layer:
+
+======================  =====================================================
+layer                   metric families (see docs/OBSERVABILITY.md)
+======================  =====================================================
+FPSPS / FSPQ query      ``repro_query_seconds``, ``repro_queries_total``,
+                        ``repro_query_bound_evals_total`` /
+                        ``repro_query_pruned_total`` (Lemma 4),
+                        ``repro_label_entries_scanned_total``
+maintenance             ``repro_maintenance_seconds{op=ilu|isu|gsu|noop}``,
+                        ``repro_maintenance_rollbacks_total``,
+                        affected-label / bags-rebuilt counters
+serving                 ``repro_serving_updates_total{outcome}``, retry /
+                        escalation / audit counters,
+                        ``repro_serving_dead_letter_depth`` gauge
+batch pool              ``repro_batch_chunk_seconds``,
+                        ``repro_batch_worker_recoveries_total``, fallbacks
+index build             ``repro_build_phase_seconds{phase}``
+======================  =====================================================
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()                       # or obs.set_registry(MetricsRegistry())
+    ... run queries / maintenance ...
+    print(obs.render_prometheus(obs.get_registry()))
+
+    with obs.trace("fpsps.query", src=0, dst=9):   # spans, when a tracer is on
+        engine.query(q)
+
+The CLI front door is ``fahl-repro obs report`` (human table + optional
+Prometheus/JSONL exports) and ``fahl-repro obs lint`` (the CI gate).
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    METRIC_NAME_RE,
+    lint_prometheus,
+    parse_prometheus,
+    render_prometheus,
+    write_snapshot_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+from repro.obs.trace import (
+    Span,
+    Stopwatch,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    stopwatch,
+    timed,
+    trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRIC_NAME_RE",
+    "MetricsRegistry",
+    "Span",
+    "Stopwatch",
+    "Tracer",
+    "counter",
+    "default_latency_buckets",
+    "disable",
+    "enable",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "lint_prometheus",
+    "parse_prometheus",
+    "render_prometheus",
+    "set_registry",
+    "set_tracer",
+    "stopwatch",
+    "timed",
+    "trace",
+    "write_snapshot_jsonl",
+]
+
+#: The process-default registry.  Starts *disabled*: every instrumented
+#: path checks ``get_registry().enabled`` (or receives a null instrument)
+#: and skips all bookkeeping, so plain library use stays uninstrumented.
+_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active process registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the active registry (tests, CLI runs); returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def enable() -> MetricsRegistry:
+    """Enable metric collection on the active registry."""
+    return _REGISTRY.enable()
+
+
+def disable() -> MetricsRegistry:
+    """Disable metric collection on the active registry."""
+    return _REGISTRY.disable()
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Fetch/create a counter on the active registry (null when disabled)."""
+    return _REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Fetch/create a gauge on the active registry (null when disabled)."""
+    return _REGISTRY.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: tuple[float, ...] | None = None
+) -> Histogram:
+    """Fetch/create a histogram on the active registry (null when disabled)."""
+    return _REGISTRY.histogram(name, help, buckets=buckets)

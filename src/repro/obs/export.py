@@ -1,0 +1,258 @@
+"""Exporters: Prometheus text format, a round-trip parser, and a linter.
+
+The renderer emits the classic Prometheus exposition format (text/plain
+version 0.0.4): one ``# HELP``/``# TYPE`` pair per family followed by its
+samples; histograms expand into cumulative ``_bucket{le=...}`` series plus
+``_sum``/``_count``.  :func:`parse_prometheus` reads that text back into a
+comparable structure — the unit tests assert render→parse is lossless —
+and :func:`lint_prometheus` is the CI gate: every family must match
+``^repro_[a-z0-9_]+$``, be declared exactly once, and carry only samples
+that belong to it.
+
+A registry snapshot can also be dumped as JSON lines via
+:func:`write_snapshot_jsonl` (one line per metric family), the machine
+companion to the human ``fahl-repro obs report`` table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import IO
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "METRIC_NAME_RE",
+    "lint_prometheus",
+    "parse_prometheus",
+    "render_prometheus",
+    "write_snapshot_jsonl",
+]
+
+METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9_]+$")
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    for raw, escaped in _LABEL_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current contents in Prometheus text format."""
+    lines: list[str] = []
+    for name, family in sorted(registry.families().items()):
+        help_text = family.help or name.replace("_", " ")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        if isinstance(family, (Counter, Gauge)):
+            samples = family.samples() or {(): 0.0}
+            for labels, value in sorted(samples.items()):
+                lines.append(
+                    f"{name}{_format_labels(labels)} {_format_value(value)}"
+                )
+        elif isinstance(family, Histogram):
+            for labels, series in sorted(family.samples().items()):
+                cumulative = 0
+                for bound, count in zip(
+                    family.buckets, series.bucket_counts
+                ):
+                    cumulative += count
+                    le = 'le="' + _format_value(bound) + '"'
+                    rendered = _format_labels(labels, le)
+                    lines.append(f"{name}_bucket{rendered} {cumulative}")
+                cumulative += series.bucket_counts[-1]
+                rendered = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{rendered} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(series.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} {series.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# parsing (round-trip tests + lint)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{family: {type, help, samples}}``.
+
+    ``samples`` maps ``(sample_name, sorted_label_items)`` to the float
+    value.  Raises :class:`ValueError` on syntactically invalid lines —
+    the linter converts that into a finding instead.
+    """
+    families: dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(None, 1)
+            name = parts[0]
+            families.setdefault(
+                name, {"type": None, "help": "", "samples": {}}
+            )["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise ValueError(f"line {lineno}: malformed TYPE line: {line!r}")
+            name, kind = parts
+            entry = families.setdefault(
+                name, {"type": None, "help": "", "samples": {}}
+            )
+            if entry["type"] is not None:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+            entry["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        sample_name = match.group("name")
+        labels_raw = match.group("labels") or ""
+        labels = tuple(
+            sorted(
+                (key, _unescape_label(value))
+                for key, value in _LABEL_RE.findall(labels_raw)
+            )
+        )
+        value = _parse_value(match.group("value"))
+        family = _family_of(sample_name, families)
+        families.setdefault(
+            family, {"type": None, "help": "", "samples": {}}
+        )["samples"][(sample_name, labels)] = value
+    return families
+
+
+def _family_of(sample_name: str, families: dict) -> str:
+    """Map a sample name to its family (histogram suffix aware)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base].get("type") == "histogram":
+                return base
+    return sample_name
+
+
+def lint_prometheus(text: str, name_re: re.Pattern = METRIC_NAME_RE) -> list[str]:
+    """Validate exposition text; returns a list of problems (empty = clean).
+
+    Checks: parseability, family names matching ``name_re`` (the repo
+    convention ``^repro_[a-z0-9_]+$``), no duplicate family declarations,
+    every sample attached to a declared family, counters finite and
+    non-negative, and histogram bucket series cumulative.
+    """
+    problems: list[str] = []
+    seen_types: dict[str, int] = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("# TYPE "):
+            parts = stripped[len("# TYPE "):].split()
+            if len(parts) == 2:
+                seen_types[parts[0]] = seen_types.get(parts[0], 0) + 1
+    for name, count in sorted(seen_types.items()):
+        if count > 1:
+            problems.append(f"duplicate family declaration: {name} ({count}x)")
+
+    try:
+        families = parse_prometheus(text)
+    except ValueError as exc:
+        problems.append(str(exc))
+        return problems
+
+    for name, entry in sorted(families.items()):
+        if not name_re.match(name):
+            problems.append(
+                f"family name {name!r} does not match {name_re.pattern!r}"
+            )
+        if entry["type"] is None:
+            problems.append(f"family {name} has samples but no TYPE line")
+        if entry["type"] == "counter":
+            for (sample, labels), value in entry["samples"].items():
+                if not math.isfinite(value) or value < 0:
+                    problems.append(
+                        f"counter {sample}{dict(labels)} has invalid value {value}"
+                    )
+        if entry["type"] == "histogram":
+            by_labels: dict[tuple, list[tuple[float, float]]] = {}
+            for (sample, labels), value in entry["samples"].items():
+                if sample.endswith("_bucket"):
+                    le = dict(labels).get("le")
+                    rest = tuple(
+                        (k, v) for k, v in labels if k != "le"
+                    )
+                    by_labels.setdefault(rest, []).append(
+                        (_parse_value(le) if le else math.inf, value)
+                    )
+            for rest, buckets in by_labels.items():
+                ordered = sorted(buckets)
+                counts = [c for _, c in ordered]
+                if counts != sorted(counts):
+                    problems.append(
+                        f"histogram {name}{dict(rest)} bucket counts "
+                        "are not cumulative"
+                    )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# JSONL snapshot
+# ----------------------------------------------------------------------
+def write_snapshot_jsonl(registry: MetricsRegistry, sink: IO[str]) -> int:
+    """Write one JSON line per metric family; returns the line count."""
+    snapshot = registry.snapshot()
+    written = 0
+    for name, entry in snapshot.items():
+        sink.write(json.dumps({"metric": name, **entry}, sort_keys=True) + "\n")
+        written += 1
+    return written

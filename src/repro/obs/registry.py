@@ -1,0 +1,369 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Zero-dependency and deliberately boring: a :class:`MetricsRegistry` is a
+named collection of instrument *families*; each family holds one value per
+label set.  Three properties make it safe to wire into hot paths:
+
+* **No-op when disabled.**  A disabled registry hands out shared null
+  instruments whose ``inc``/``set``/``observe`` are empty methods, and
+  registers nothing — an uninstrumented run pays one attribute check per
+  call site and allocates no state.  The process-default registry starts
+  disabled, so importing :mod:`repro` never taxes library users.
+* **Idempotent family creation.**  ``registry.counter(name)`` returns the
+  existing family when there is one (re-registering with a different kind
+  raises), so call sites can fetch instruments inline without module-level
+  caching — which in turn means swapping the active registry (tests, the
+  CLI) retargets every instrumented path at once.
+* **Log-scale histogram buckets.**  Latencies span six orders of
+  magnitude; the default buckets double from 1µs to ~2min so one fixed
+  layout serves micro-benchmarks and full maintenance runs alike.
+
+Metric names follow the Prometheus convention enforced by
+:func:`repro.obs.export.lint_prometheus`: ``^repro_[a-z0-9_]+$``, counters
+suffixed ``_total``, durations suffixed ``_seconds``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "default_latency_buckets",
+]
+
+#: Label values keyed by the sorted ``(key, value)`` tuple — hashable and
+#: deterministic in exports.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def default_latency_buckets() -> tuple[float, ...]:
+    """Fixed log-scale (powers of two) latency buckets, 1µs .. ~134s."""
+    return tuple(1e-6 * 2.0 ** i for i in range(28))
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared plumbing: name, help text and per-label-set storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set of the family."""
+        return sum(self._values.values())
+
+    def samples(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (depths, sizes, states)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class _HistogramSeries:
+    """Bucket counts + sum + count for one label set."""
+
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * num_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Observations bucketed against fixed, sorted upper bounds.
+
+    The bucket layout is frozen at family creation (Prometheus semantics:
+    ``le`` upper bounds are cumulative in the export; stored here as
+    per-bucket counts with an implicit ``+Inf`` overflow bucket).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(buckets) if buckets is not None else default_latency_buckets()
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name} needs sorted, non-empty buckets")
+        self.buckets = bounds
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        # bisect_left keeps Prometheus `le` semantics: a value exactly on a
+        # bucket's upper bound belongs in that bucket, not the next one.
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
+            series.bucket_counts[idx] += 1
+            series.total += value
+            series.count += 1
+
+    # -- read side -----------------------------------------------------
+    def count(self, **labels: object) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+    def mean(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        if not series or not series.count:
+            return 0.0
+        return series.total / series.count
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket).
+
+        Good enough for reports; exactness is bounded by the log-scale
+        bucket width, like any Prometheus-style histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        series = self._series.get(_label_key(labels))
+        if not series or not series.count:
+            return 0.0
+        rank = q * series.count
+        cumulative = 0
+        for i, n in enumerate(series.bucket_counts):
+            cumulative += n
+            if cumulative >= rank and n:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return float("inf")
+        return float("inf")
+
+    def samples(self) -> dict[LabelKey, _HistogramSeries]:
+        return dict(self._series)
+
+    def label_sets(self) -> list[LabelKey]:
+        return list(self._series)
+
+
+class _NullInstrument:
+    """Accepts every instrument operation and does nothing.
+
+    One shared instance per kind is handed out by disabled registries;
+    every mutator and reader is a cheap no-op so call sites need no
+    ``if enabled`` guards of their own (though hot paths may still add one
+    to skip building label kwargs).
+    """
+
+    kind = "null"
+    name = "null"
+    buckets: tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+    def total(self) -> float:
+        return 0.0
+
+    def count(self, **labels: object) -> int:
+        return 0
+
+    def sum(self, **labels: object) -> float:
+        return 0.0
+
+    def mean(self, **labels: object) -> float:
+        return 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
+        return 0.0
+
+    def samples(self) -> dict:
+        return {}
+
+    def label_sets(self) -> list:
+        return []
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A named collection of metric families with an enable switch.
+
+    ``enabled`` is read on every instrument fetch: a disabled registry
+    returns the shared null instruments and records nothing, which is what
+    keeps the uninstrumented FSPQ hot path within its overhead budget
+    (``tests/test_obs_overhead.py`` enforces <5%).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._families: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+    def enable(self) -> "MetricsRegistry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "MetricsRegistry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop every family (names included) — test isolation helper."""
+        with self._lock:
+            self._families.clear()
+
+    # -- family creation ----------------------------------------------
+    def _family(self, cls, name: str, help: str, **kwargs) -> _Instrument:
+        existing = self._families.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"cannot re-register as {cls.kind}"
+                )
+            return existing
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is None:
+                existing = self._families[name] = cls(name, help, **kwargs)
+        return existing
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        return self._family(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        return self._family(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        return self._family(Histogram, name, help, buckets=buckets)  # type: ignore[return-value]
+
+    # -- read side -----------------------------------------------------
+    def families(self) -> dict[str, _Instrument]:
+        return dict(self._families)
+
+    def get(self, name: str) -> _Instrument | None:
+        return self._families.get(name)
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every family (used by the JSONL exporter)."""
+        out: dict[str, dict] = {}
+        for name, family in sorted(self._families.items()):
+            entry: dict = {"kind": family.kind, "help": family.help}
+            if isinstance(family, Histogram):
+                entry["buckets"] = list(family.buckets)
+                entry["series"] = [
+                    {
+                        "labels": dict(key),
+                        "bucket_counts": list(series.bucket_counts),
+                        "sum": series.total,
+                        "count": series.count,
+                    }
+                    for key, series in sorted(family.samples().items())
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(family.samples().items())
+                ]
+            out[name] = entry
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({state}, families={len(self._families)})"

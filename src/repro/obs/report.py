@@ -1,0 +1,218 @@
+"""Human-readable report over a captured telemetry run.
+
+``render_report(registry)`` turns the raw metric families into the
+per-phase tables an operator (or the paper's Section VI reader) actually
+wants: query latency quantiles and the Lemma-4 pruning rate computed from
+the real bound-evaluation counters, per-strategy maintenance cost, serving
+admission/quarantine/degradation counts, batch-pool health, and index
+build phase timings.  This is the single source the ``fahl-repro obs
+report`` CLI prints — the experiment figures and the serving status read
+the very same registry.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_report"]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if isinstance(value, float) and not value.is_integer():
+        if abs(value) < 0.01 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def _table(title: str, headers: list[str], rows: list[list[object]]) -> str:
+    cells = [[_fmt(v) if isinstance(v, (int, float)) else str(v) for v in row]
+             for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [f"-- {title} --"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _counter_rows(family: Counter | None, label: str) -> list[list[object]]:
+    if family is None:
+        return []
+    return [
+        [dict(key).get(label, "(all)") if key else "(all)", value]
+        for key, value in sorted(family.samples().items())
+    ]
+
+
+def _hist_rows(family: Histogram | None, label: str) -> list[list[object]]:
+    """count / total / mean / p95 per label value of a histogram family."""
+    if family is None:
+        return []
+    rows = []
+    for key in sorted(family.label_sets()):
+        labels = dict(key)
+        name = labels.get(label, "(all)") if labels else "(all)"
+        kwargs = {k: v for k, v in labels.items()}
+        rows.append([
+            name,
+            family.count(**kwargs),
+            family.sum(**kwargs) * 1000.0,
+            family.mean(**kwargs) * 1000.0,
+            family.quantile(0.95, **kwargs) * 1000.0,
+        ])
+    return rows
+
+
+def render_report(registry: MetricsRegistry) -> str:
+    """Render every populated telemetry section as aligned plain text."""
+    get = registry.get
+    sections: list[str] = ["== repro obs report =="]
+
+    # ------------------------------------------------------------- build
+    build = get("repro_build_phase_seconds")
+    if isinstance(build, Histogram) and build.label_sets():
+        sections.append(_table(
+            "index build (per phase)",
+            ["phase", "runs", "total ms", "mean ms", "p95 ms"],
+            _hist_rows(build, "phase"),
+        ))
+
+    # ------------------------------------------------------------- query
+    query_seconds = get("repro_query_seconds")
+    if isinstance(query_seconds, Histogram) and query_seconds.label_sets():
+        sections.append(_table(
+            "FSPQ queries (per pruning mode)",
+            ["pruning", "queries", "total ms", "mean ms", "p95 ms"],
+            _hist_rows(query_seconds, "pruning"),
+        ))
+        evals = get("repro_query_bound_evals_total")
+        pruned = get("repro_query_pruned_total")
+        candidates = get("repro_query_candidates_total")
+        scanned = get("repro_label_entries_scanned_total")
+        early = get("repro_query_early_stops_total")
+        truncated = get("repro_query_truncated_total")
+        n_evals = evals.total() if isinstance(evals, Counter) else 0.0
+        n_pruned = pruned.total() if isinstance(pruned, Counter) else 0.0
+        rows: list[list[object]] = [
+            ["candidates enumerated",
+             candidates.total() if isinstance(candidates, Counter) else 0.0],
+            ["Lemma-4 bound evaluations", n_evals],
+            ["Lemma-4 prunes", n_pruned],
+            ["Lemma-4 pruning rate",
+             (n_pruned / n_evals) if n_evals else 0.0],
+            ["label entries scanned",
+             scanned.total() if isinstance(scanned, Counter) else 0.0],
+            ["early stops",
+             early.total() if isinstance(early, Counter) else 0.0],
+            ["truncated enumerations",
+             truncated.total() if isinstance(truncated, Counter) else 0.0],
+        ]
+        sections.append(_table("FSPQ pruning effectiveness", ["counter", "value"], rows))
+
+    # ------------------------------------------------------- maintenance
+    maint = get("repro_maintenance_seconds")
+    if isinstance(maint, Histogram) and maint.label_sets():
+        sections.append(_table(
+            "maintenance (per strategy)",
+            ["op", "runs", "total ms", "mean ms", "p95 ms"],
+            _hist_rows(maint, "op"),
+        ))
+        rows = []
+        for counter_name, title in (
+            ("repro_maintenance_affected_labels_total", "affected labels"),
+            ("repro_maintenance_bags_rebuilt_total", "bags rebuilt"),
+            ("repro_maintenance_shortcuts_changed_total", "shortcuts changed"),
+            ("repro_maintenance_rollbacks_total", "rollbacks"),
+            ("repro_maintenance_isu_fallbacks_total", "ISU->GSU fallbacks"),
+        ):
+            family = get(counter_name)
+            if isinstance(family, Counter) and family.samples():
+                for key, value in sorted(family.samples().items()):
+                    op = dict(key).get("op", "")
+                    rows.append([f"{title} [{op}]" if op else title, value])
+        if rows:
+            sections.append(_table("maintenance work", ["counter", "value"], rows))
+
+    # ------------------------------------------------------------ serving
+    serving_rows: list[list[object]] = []
+    updates = get("repro_serving_updates_total")
+    if isinstance(updates, Counter):
+        for key, value in sorted(updates.samples().items()):
+            serving_rows.append(
+                [f"updates {dict(key).get('outcome', '(all)')}", value]
+            )
+    quarantined = get("repro_serving_quarantined_total")
+    if isinstance(quarantined, Counter):
+        for key, value in sorted(quarantined.samples().items()):
+            serving_rows.append(
+                [f"quarantined [{dict(key).get('reason', '')}]", value]
+            )
+    for name, title in (
+        ("repro_serving_retries_total", "retries"),
+        ("repro_serving_escalations_total", "ISU->GSU escalations"),
+        ("repro_serving_budget_exhausted_total", "budget exhausted"),
+        ("repro_serving_repairs_total", "repairs"),
+        ("repro_serving_degraded_transitions_total", "degraded transitions"),
+    ):
+        family = get(name)
+        if isinstance(family, Counter) and family.samples():
+            serving_rows.append([title, family.total()])
+    queries = get("repro_serving_queries_total")
+    if isinstance(queries, Counter):
+        for key, value in sorted(queries.samples().items()):
+            serving_rows.append(
+                [f"queries via {dict(key).get('source', '(all)')}", value]
+            )
+    audits = get("repro_serving_audits_total")
+    if isinstance(audits, Counter):
+        for key, value in sorted(audits.samples().items()):
+            serving_rows.append([f"audits ok={dict(key).get('ok', '?')}", value])
+    dlq = get("repro_serving_dead_letter_depth")
+    if isinstance(dlq, Gauge) and dlq.samples():
+        serving_rows.append(["dead-letter depth (gauge)", dlq.value()])
+    deferred = get("repro_serving_deferred_depth")
+    if isinstance(deferred, Gauge) and deferred.samples():
+        serving_rows.append(["deferred updates (gauge)", deferred.value()])
+    if serving_rows:
+        sections.append(_table("serving engine", ["counter", "value"], serving_rows))
+
+    # -------------------------------------------------------------- batch
+    batch_rows: list[list[object]] = []
+    for name, title in (
+        ("repro_batch_runs_total", "batch runs"),
+        ("repro_batch_queries_total", "batch queries"),
+        ("repro_batch_worker_recoveries_total", "worker recoveries"),
+    ):
+        family = get(name)
+        if isinstance(family, Counter) and family.samples():
+            batch_rows.append([title, family.total()])
+    fallbacks = get("repro_batch_fallbacks_total")
+    if isinstance(fallbacks, Counter):
+        for key, value in sorted(fallbacks.samples().items()):
+            batch_rows.append(
+                [f"fallback [{dict(key).get('reason', '')}]", value]
+            )
+    chunk = get("repro_batch_chunk_seconds")
+    if isinstance(chunk, Histogram) and chunk.label_sets():
+        if batch_rows:
+            sections.append(_table("batch pool", ["counter", "value"], batch_rows))
+            batch_rows = []
+        sections.append(_table(
+            "batch chunks (per mode)",
+            ["mode", "chunks", "total ms", "mean ms", "p95 ms"],
+            _hist_rows(chunk, "mode"),
+        ))
+    if batch_rows:
+        sections.append(_table("batch pool", ["counter", "value"], batch_rows))
+
+    if len(sections) == 1:
+        sections.append("(no telemetry captured — is the registry enabled?)")
+    return "\n\n".join(sections)

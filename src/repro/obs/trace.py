@@ -1,0 +1,254 @@
+"""Span tracing and timing helpers.
+
+A :class:`Tracer` turns ``with trace("fpsps.query", src=u, dst=v):`` blocks
+into JSON-lines span events with nested span ids (parentage tracked through
+a :mod:`contextvars` stack, so nesting survives threads and generators).
+When no tracer is installed ``trace()`` returns a shared no-op span — the
+disabled cost is one global read and a ``None`` check.
+
+Two derived helpers cover the common shapes:
+
+* :func:`timed` — decorator recording a function's wall time into a
+  ``*_seconds`` histogram of the active registry and emitting a span.
+* :func:`stopwatch` — context manager that **always** measures (the
+  experiment harness needs the number for its tables regardless of
+  telemetry state) and additionally records a histogram observation and/or
+  a span when telemetry is on.  This is the single timing implementation
+  behind every ``time.perf_counter()`` pair that used to be inlined in
+  ``repro.experiments``.
+
+Span names are dotted lowercase (``layer.operation``); the taxonomy is
+catalogued in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import itertools
+import json
+import threading
+import time
+from typing import Callable, IO
+
+__all__ = ["Span", "Tracer", "stopwatch", "timed", "trace"]
+
+_SPAN_STACK: contextvars.ContextVar[tuple[str, ...]] = contextvars.ContextVar(
+    "repro_obs_span_stack", default=()
+)
+
+
+class Span:
+    """One live span; records duration and emits an event on exit."""
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "attrs",
+        "_start_wall", "_start_perf", "_token", "duration",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = tracer._next_id()
+        self.parent_id: str | None = None
+        self.duration = 0.0
+        self._token = None
+
+    def annotate(self, **attrs: object) -> "Span":
+        """Attach attributes after entry (e.g. result counters)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = _SPAN_STACK.get()
+        self.parent_id = stack[-1] if stack else None
+        self._token = _SPAN_STACK.set(stack + (self.span_id,))
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start_perf
+        _SPAN_STACK.reset(self._token)
+        event = {
+            "event": "span",
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "start": self._start_wall,
+            "dur_s": self.duration,
+        }
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        if self.attrs:
+            event["attrs"] = self.attrs
+        self.tracer.emit(event)
+
+
+class _NullSpan:
+    """Shared no-op span for the tracer-less fast path (reentrant)."""
+
+    __slots__ = ()
+    duration = 0.0
+    span_id = None
+    parent_id = None
+
+    def annotate(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Serialises span events as JSON lines into a sink.
+
+    ``sink`` may be a file-like object (``.write`` gets one line per
+    event), a callable (receives the event dict), or ``None`` to buffer
+    in-memory (read via :attr:`events` — handy in tests).
+    """
+
+    def __init__(self, sink: IO[str] | Callable[[dict], None] | None = None) -> None:
+        self._sink = sink
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self.events: list[dict] = []
+
+    def _next_id(self) -> str:
+        return f"{next(self._counter):08x}"
+
+    def emit(self, event: dict) -> None:
+        sink = self._sink
+        if sink is None:
+            with self._lock:
+                self.events.append(event)
+        elif callable(sink):
+            sink(event)
+        else:
+            line = json.dumps(event, sort_keys=True, default=str)
+            with self._lock:
+                sink.write(line + "\n")
+
+    def span(self, name: str, **attrs: object) -> Span:
+        return Span(self, name, attrs)
+
+
+# ----------------------------------------------------------------------
+# module-global tracer (mirrors the registry pattern in repro.obs)
+# ----------------------------------------------------------------------
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install the process tracer; returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def trace(name: str, **attrs: object):
+    """Open a span on the active tracer (no-op without one)."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# timing helpers
+# ----------------------------------------------------------------------
+class Stopwatch:
+    """Measure a block; optionally record a histogram sample and a span.
+
+    Always measures — ``.seconds``/``.ms`` are valid after exit (and read
+    the running clock before it), independent of telemetry state.
+    """
+
+    __slots__ = ("metric", "span_name", "labels", "_start", "_elapsed", "_span")
+
+    def __init__(
+        self,
+        metric: str | None = None,
+        span: str | None = None,
+        **labels: object,
+    ) -> None:
+        self.metric = metric
+        self.span_name = span
+        self.labels = labels
+        self._start = 0.0
+        self._elapsed: float | None = None
+        self._span = _NULL_SPAN
+
+    @property
+    def seconds(self) -> float:
+        if self._elapsed is None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    @property
+    def ms(self) -> float:
+        return self.seconds * 1000.0
+
+    def __enter__(self) -> "Stopwatch":
+        if self.span_name is not None:
+            self._span = trace(self.span_name, **self.labels)
+            self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._elapsed = time.perf_counter() - self._start
+        self._span.__exit__(exc_type, exc, tb)
+        if self.metric is not None:
+            from repro import obs
+
+            registry = obs.get_registry()
+            if registry.enabled:
+                registry.histogram(self.metric).observe(self._elapsed, **self.labels)
+
+
+def stopwatch(
+    metric: str | None = None, span: str | None = None, **labels: object
+) -> Stopwatch:
+    """``with stopwatch(...) as sw: ...; sw.seconds`` — see :class:`Stopwatch`."""
+    return Stopwatch(metric=metric, span=span, **labels)
+
+
+def timed(
+    metric: str, span: str | None = None, **labels: object
+) -> Callable[[Callable], Callable]:
+    """Decorator: record the function's wall time into ``metric``.
+
+    The metric is a histogram family (created on first use with the
+    default latency buckets); a span named ``span`` (default: the metric
+    name) is emitted when a tracer is active.  With telemetry fully off
+    the wrapper short-circuits to the bare call.
+    """
+    span_name = span or metric
+
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            from repro import obs
+
+            registry = obs.get_registry()
+            if not registry.enabled and _TRACER is None:
+                return func(*args, **kwargs)
+            with stopwatch(metric=metric, span=span_name, **labels):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -4,6 +4,7 @@ degraded-mode querying and index self-audits (see docs/RESILIENCE.md)."""
 from repro.serving.audit import AuditReport, verify_index
 from repro.serving.dead_letter import DeadLetterQueue
 from repro.serving.engine import (
+    EngineStatus,
     ResilientEngine,
     ServingDistance,
     ServingResult,
@@ -15,6 +16,7 @@ __all__ = [
     "AuditReport",
     "DeadLetter",
     "DeadLetterQueue",
+    "EngineStatus",
     "FlowUpdate",
     "ResilientEngine",
     "ServingDistance",

@@ -28,9 +28,10 @@ from __future__ import annotations
 import math
 import time
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.baselines.dijkstra import dijkstra_distance
 from repro.core.fahl import FAHLIndex
 from repro.core.fpsps import FlowAwareEngine
@@ -43,6 +44,7 @@ from repro.serving.dead_letter import DeadLetterQueue
 from repro.serving.updates import FlowUpdate, WeightUpdate
 
 __all__ = [
+    "EngineStatus",
     "ResilientEngine",
     "ServingDistance",
     "ServingResult",
@@ -51,6 +53,45 @@ __all__ = [
 
 HEALTHY = "healthy"
 DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class EngineStatus:
+    """Typed snapshot of a :class:`ResilientEngine` for telemetry/logging.
+
+    ``metrics`` is the engine's per-instance counter view (the
+    process-global picture lives on the :mod:`repro.obs` registry as the
+    ``repro_serving_*`` families).  ``last_audit_at`` is a wall-clock
+    ``time.time()`` timestamp, ``None`` until the first :meth:`~ResilientEngine.audit`.
+
+    Dict-style access (``status["state"]``) is kept for callers written
+    against the pre-typed API.
+    """
+
+    state: str
+    deferred_updates: int
+    dead_letters_queued: int
+    dead_letters_seen: int
+    last_audit_at: float | None = None
+    last_audit_ok: bool | None = None
+    metrics: dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "deferred_updates": self.deferred_updates,
+            "dead_letters_queued": self.dead_letters_queued,
+            "dead_letters_seen": self.dead_letters_seen,
+            "last_audit_at": self.last_audit_at,
+            "last_audit_ok": self.last_audit_ok,
+            "metrics": dict(self.metrics),
+        }
 
 
 @dataclass(frozen=True)
@@ -162,6 +203,35 @@ class ResilientEngine:
         self.metrics: Counter[str] = Counter()
         self._last_ts: dict[tuple, float] = {}
         self._deferred: list[FlowUpdate | WeightUpdate] = []
+        self._last_audit_at: float | None = None
+        self._last_audit_ok: bool | None = None
+
+    # ------------------------------------------------------------------
+    # telemetry plumbing (dual-write: self.metrics + the obs registry)
+    # ------------------------------------------------------------------
+    def _count(self, name: str, help_: str, amount: int = 1, **labels) -> None:
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(name, help_).inc(amount, **labels)
+
+    def _sync_depth_gauges(self) -> None:
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        registry.gauge(
+            "repro_serving_dead_letter_depth", "updates currently quarantined"
+        ).set(len(self.dead_letters))
+        registry.gauge(
+            "repro_serving_deferred_depth", "updates parked for the next repair"
+        ).set(len(self._deferred))
+
+    def _set_state(self, new_state: str) -> None:
+        if self.state == HEALTHY and new_state == DEGRADED:
+            self._count(
+                "repro_serving_degraded_transitions_total",
+                "healthy-to-degraded state flips",
+            )
+        self.state = new_state
 
     # ------------------------------------------------------------------
     # admission control
@@ -213,6 +283,17 @@ class ResilientEngine:
             reason, detail = rejection
             self.dead_letters.push(update, reason, detail)
             self.metrics["updates_rejected"] += 1
+            self._count(
+                "repro_serving_updates_total",
+                "submitted updates by admission outcome",
+                outcome="rejected",
+            )
+            self._count(
+                "repro_serving_quarantined_total",
+                "updates quarantined at admission, by rejection reason",
+                reason=reason,
+            )
+            self._sync_depth_gauges()
             return UpdateOutcome(accepted=False, applied=False, reason=reason)
         self._last_ts[update.key] = update.timestamp
 
@@ -225,10 +306,18 @@ class ResilientEngine:
         for strategy in strategies:
             if strategy != strategies[0]:
                 self.metrics["escalations"] += 1
+                self._count(
+                    "repro_serving_escalations_total",
+                    "maintenance strategy escalations (ISU exhausted, trying GSU)",
+                )
             for retry in range(self.max_retries + 1):
                 attempts += 1
                 if retry > 0:
                     self.metrics["retries"] += 1
+                    self._count(
+                        "repro_serving_retries_total",
+                        "maintenance retries after a failed attempt",
+                    )
                     if self.backoff > 0:
                         self._sleep(self.backoff * retry)
                 try:
@@ -237,9 +326,18 @@ class ResilientEngine:
                     last_error = exc
                     if self._clock() - start > self.time_budget:
                         self.metrics["budget_exhausted"] += 1
+                        self._count(
+                            "repro_serving_budget_exhausted_total",
+                            "updates deferred because the time budget ran out",
+                        )
                         return self._defer(update, attempts, exc)
                 else:
                     self.metrics["updates_accepted"] += 1
+                    self._count(
+                        "repro_serving_updates_total",
+                        "submitted updates by admission outcome",
+                        outcome="accepted",
+                    )
                     self._engine.invalidate_flow_cache()
                     return UpdateOutcome(
                         accepted=True,
@@ -264,13 +362,19 @@ class ResilientEngine:
     ) -> UpdateOutcome:
         """Every attempt failed: park the update and degrade the engine."""
         self._deferred.append(update)
-        self.state = DEGRADED
+        self._set_state(DEGRADED)
         self.metrics["updates_deferred"] += 1
+        self._count(
+            "repro_serving_updates_total",
+            "submitted updates by admission outcome",
+            outcome="deferred",
+        )
         self.dead_letters.push(
             update,
             "maintenance-failed",
             f"deferred to next repair after {attempts} attempts: {error}",
         )
+        self._sync_depth_gauges()
         return UpdateOutcome(
             accepted=True,
             applied=False,
@@ -290,10 +394,20 @@ class ResilientEngine:
         """Answer an FSPQ query, degrading to index-free search if needed."""
         if self.degraded:
             self.metrics["queries_degraded"] += 1
+            self._count(
+                "repro_serving_queries_total",
+                "served queries by answer source",
+                source="fallback",
+            )
             return ServingResult(
                 result=self._fallback.query(query), degraded=True, source="fallback"
             )
         self.metrics["queries_index"] += 1
+        self._count(
+            "repro_serving_queries_total",
+            "served queries by answer source",
+            source="index",
+        )
         return ServingResult(
             result=self._engine.query(query), degraded=False, source="index"
         )
@@ -302,12 +416,22 @@ class ResilientEngine:
         """Shortest spatial distance, degrading to direct Dijkstra if needed."""
         if self.degraded:
             self.metrics["queries_degraded"] += 1
+            self._count(
+                "repro_serving_queries_total",
+                "served queries by answer source",
+                source="fallback",
+            )
             return ServingDistance(
                 value=dijkstra_distance(self.frn.graph, u, v),
                 degraded=True,
                 source="fallback",
             )
         self.metrics["queries_index"] += 1
+        self._count(
+            "repro_serving_queries_total",
+            "served queries by answer source",
+            source="index",
+        )
         return ServingDistance(
             value=self.index.distance(u, v), degraded=False, source="index"
         )
@@ -320,8 +444,15 @@ class ResilientEngine:
         report = verify_index(
             self.index, samples=self.audit_samples, seed=self.audit_seed
         )
+        self._last_audit_at = time.time()
+        self._last_audit_ok = report.ok
+        self._count(
+            "repro_serving_audits_total",
+            "sampled self-audits by result",
+            ok=str(report.ok).lower(),
+        )
         if not report.ok:
-            self.state = DEGRADED
+            self._set_state(DEGRADED)
             self.metrics["audits_failed"] += 1
         elif not self._deferred:
             self.state = HEALTHY
@@ -347,17 +478,21 @@ class ResilientEngine:
         self._engine.invalidate_flow_cache()
         self._deferred.clear()
         self.metrics["repairs"] += 1
+        self._count("repro_serving_repairs_total", "full index rebuilds")
+        self._sync_depth_gauges()
         return self.audit()
 
-    def status(self) -> dict:
-        """One-line-able snapshot for telemetry/logging."""
-        return {
-            "state": self.state,
-            "deferred_updates": len(self._deferred),
-            "dead_letters_queued": len(self.dead_letters),
-            "dead_letters_seen": self.dead_letters.total_seen,
-            "metrics": dict(self.metrics),
-        }
+    def status(self) -> EngineStatus:
+        """Typed snapshot for telemetry/logging (dict-style access kept)."""
+        return EngineStatus(
+            state=self.state,
+            deferred_updates=len(self._deferred),
+            dead_letters_queued=len(self.dead_letters),
+            dead_letters_seen=self.dead_letters.total_seen,
+            last_audit_at=self._last_audit_at,
+            last_audit_ok=self._last_audit_ok,
+            metrics=dict(self.metrics),
+        )
 
 
 def _finite(value: object) -> bool:

@@ -134,12 +134,12 @@ class TestChaosRun:
 
         # deferred tail: degraded but quarantined, not corrupted
         assert serving.degraded
-        assert serving.status()["deferred_updates"] > 0
+        assert serving.status().deferred_updates > 0
 
         # quarantine ledger matches the corruption we injected exactly
         by_reason = dict(serving.dead_letters.by_reason)
         deferred_count = by_reason.pop("maintenance-failed", 0)
-        assert deferred_count == serving.status()["deferred_updates"]
+        assert deferred_count == serving.status().deferred_updates
         expected_counts: dict[str, int] = {}
         for reason in expected_rejections:
             expected_counts[reason] = expected_counts.get(reason, 0) + 1

@@ -1,0 +1,79 @@
+"""Overhead budget: disabled telemetry must stay within 5% of baseline.
+
+The FSPQ hot path guards its instrumentation behind one
+``registry.enabled`` / tracer check and falls through to ``_query_impl``
+— the uninstrumented Alg. 5 body.  This test times the public ``query``
+entry point with telemetry disabled against ``_query_impl`` directly
+(the registry-free baseline) and enforces the <5% latency budget from
+the telemetry design.  Best-of-repeats on both sides keeps scheduler
+noise from failing the build.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery
+
+ROUNDS = 7
+OVERHEAD_BUDGET = 0.05
+
+
+@pytest.fixture()
+def engine(small_frn):
+    index = FAHLIndex.from_frn(small_frn)
+    return FlowAwareEngine(small_frn, oracle=index, pruning="lemma4")
+
+
+def _workload(frn, count=40):
+    n = frn.num_vertices
+    t_max = frn.num_timesteps
+    return [
+        FSPQuery((3 * i) % n, (7 * i + 11) % n, i % t_max)
+        for i in range(count)
+        if (3 * i) % n != (7 * i + 11) % n
+    ]
+
+
+def _best_of(rounds, func, queries):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for query in queries:
+            func(query)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_telemetry_overhead_under_budget(engine, small_frn):
+    assert not obs.get_registry().enabled
+    assert obs.get_tracer() is None
+    queries = _workload(small_frn)
+
+    # interleave a warmup so caches/JIT-free CPython state are identical
+    _best_of(1, engine._query_impl, queries)
+    _best_of(1, engine.query, queries)
+
+    baseline = _best_of(ROUNDS, engine._query_impl, queries)
+    instrumented = _best_of(ROUNDS, engine.query, queries)
+
+    overhead = (instrumented - baseline) / baseline
+    assert overhead < OVERHEAD_BUDGET, (
+        f"disabled-telemetry query path is {overhead:.1%} slower than the "
+        f"registry-free baseline (budget {OVERHEAD_BUDGET:.0%}): "
+        f"{instrumented * 1e3:.2f}ms vs {baseline * 1e3:.2f}ms"
+    )
+
+
+def test_disabled_path_registers_no_families(engine, small_frn):
+    registry = obs.get_registry()
+    assert not registry.enabled
+    before = set(registry.families())
+    for query in _workload(small_frn, count=10):
+        engine.query(query)
+    assert set(registry.families()) == before

@@ -146,7 +146,7 @@ class TestGuardedMaintenance:
         assert report.ok
         assert not serving.degraded
         assert serving.index.flows[3] == 500.0
-        assert serving.status()["deferred_updates"] == 0
+        assert serving.status().deferred_updates == 0
         assert serving.distance(2, 7).source == "index"
 
     def test_time_budget_short_circuits_retries(self, frn):
@@ -202,9 +202,21 @@ class TestQueriesAndAudit:
     def test_status_snapshot(self, serving):
         serving.submit(FlowUpdate(3, math.nan))
         status = serving.status()
-        assert status["state"] == "healthy"
-        assert status["dead_letters_queued"] == 1
-        assert status["metrics"]["updates_rejected"] == 1
+        assert status.state == "healthy"
+        assert status.dead_letters_queued == 1
+        assert status.metrics["updates_rejected"] == 1
+        assert status.last_audit_at is None  # no audit has run yet
+        # dict-style access is kept for pre-typed callers
+        assert status["state"] == status.state
+        assert status.as_dict()["dead_letters_queued"] == 1
+        with pytest.raises(KeyError):
+            status["nonsense"]
+
+    def test_status_records_audit_timestamp(self, serving):
+        serving.audit()
+        status = serving.status()
+        assert status.last_audit_at is not None
+        assert status.last_audit_ok is True
 
 
 class TestConstruction:
