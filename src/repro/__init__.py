@@ -12,11 +12,19 @@ Public API (re-exported here):
   (ISU/GSU) — transactional index maintenance (Section IV) with rollback;
 * :class:`ResilientEngine` — the fault-tolerant serving layer (admission
   control, dead-letter quarantine, degraded-mode fallback; docs/RESILIENCE.md);
+* :class:`ShardedGateway` — the horizontally sharded serving gateway with
+  boundary-table cross-shard combines and the flow-interval-aware result
+  cache (docs/API.md);
+* :class:`repro.api.Engine` — the protocol the three serving classes share,
+  with :func:`knn`, :func:`constrained` and :func:`skyline` as harmonised,
+  :class:`FSPQuery`-accepting extension-query front doors;
 * generators, predictors and workloads for running the paper's experiments.
 
-See README.md for a quickstart and DESIGN.md for the system inventory.
+See README.md for a quickstart, DESIGN.md for the system inventory and
+docs/API.md for the stable public surface + deprecation policy.
 """
 
+from repro.api import Engine, as_distance, as_result, constrained, knn, skyline
 from repro.core import (
     BatchReport,
     FAHLIndex,
@@ -30,7 +38,9 @@ from repro.core import (
     batch_query,
     build_fahl,
 )
+from repro.core.constrained import QueryConstraints
 from repro.errors import MaintenanceError, ReproError
+from repro.scale import GatewayStatus, ShardedGateway
 from repro.serving import FlowUpdate, ResilientEngine, WeightUpdate, verify_index
 from repro.flow import (
     FlowSeries,
@@ -53,6 +63,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchReport",
+    "Engine",
     "FAHLIndex",
     "FSPQuery",
     "FSPResult",
@@ -60,11 +71,14 @@ __all__ = [
     "FlowAwareRoadNetwork",
     "FlowSeries",
     "FlowUpdate",
+    "GatewayStatus",
     "H2HIndex",
     "MaintenanceError",
+    "QueryConstraints",
     "ReproError",
     "ResilientEngine",
     "RoadNetwork",
+    "ShardedGateway",
     "WeightUpdate",
     "SeasonalNaivePredictor",
     "TrainablePredictor",
@@ -72,9 +86,14 @@ __all__ = [
     "apply_flow_updates",
     "apply_weight_update",
     "apply_weight_updates",
+    "as_distance",
+    "as_result",
     "batch_query",
     "build_fahl",
     "build_h2h",
+    "constrained",
+    "knn",
+    "skyline",
     "verify_index",
     "generate_flow_series",
     "grid_network",

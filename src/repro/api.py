@@ -1,0 +1,214 @@
+"""The stable public query surface of the FAHL stack (docs/API.md).
+
+Three serving classes answer queries — :class:`~repro.core.fpsps.FlowAwareEngine`
+(the bare Alg.-5 evaluator), :class:`~repro.serving.engine.ResilientEngine`
+(fault-tolerant single process) and :class:`~repro.scale.gateway.ShardedGateway`
+(horizontally sharded, cache-fronted).  This module pins down what makes
+them drop-in interchangeable:
+
+* the :class:`Engine` protocol — ``query(FSPQuery)``, ``distance(u, v)``
+  and ``batch(queries, workers=...)``, plus the ``invalidate()`` hook and
+  the ``flow_engine`` accessor;
+* :func:`as_result` / :func:`as_distance` — normalisers that unwrap the
+  serving layers' envelopes (:class:`ServingResult` /
+  :class:`ServingDistance`) to the plain :class:`FSPResult` / ``float``
+  the bare engine returns, so callers can stay engine-agnostic;
+* harmonised, :class:`FSPQuery`-accepting front doors for the extension
+  queries: :func:`knn`, :func:`constrained` and :func:`skyline` (the
+  legacy positional ``source``/``timestep`` spellings still work but emit
+  :class:`DeprecationWarning` and disappear one release after 1.0 — see
+  docs/API.md, "Deprecation policy").
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.constrained import (
+    ConstrainedFlowAwareEngine,
+    QueryConstraints,
+)
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery, FSPResult
+from repro.core.knn import KNNMatch, flow_aware_knn
+from repro.core.skyline import SkylineResult, skyline_paths
+from repro.errors import QueryError
+from repro.graph.frn import FlowAwareRoadNetwork
+
+__all__ = [
+    "Engine",
+    "as_distance",
+    "as_result",
+    "constrained",
+    "knn",
+    "skyline",
+]
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What every serving class guarantees (the stable engine protocol).
+
+    ``query`` returns either a bare :class:`FSPResult` or an envelope with
+    a ``.result`` attribute; ``distance`` a ``float`` or an envelope with
+    ``.value`` — normalise with :func:`as_result` / :func:`as_distance`
+    when you need engine-agnostic values.
+    """
+
+    def query(self, query: FSPQuery): ...
+
+    def distance(self, u: int, v: int): ...
+
+    def batch(self, queries: Sequence[FSPQuery], workers: int = 1): ...
+
+    def invalidate(self) -> None: ...
+
+    @property
+    def flow_engine(self) -> FlowAwareEngine: ...
+
+
+def as_result(outcome) -> FSPResult:
+    """Unwrap any engine's query answer to the plain :class:`FSPResult`."""
+    if isinstance(outcome, FSPResult):
+        return outcome
+    inner = getattr(outcome, "result", None)
+    if isinstance(inner, FSPResult):
+        return inner
+    raise QueryError(
+        f"cannot extract an FSPResult from {type(outcome).__name__}"
+    )
+
+
+def as_distance(outcome) -> float:
+    """Unwrap any engine's distance answer to a plain ``float``."""
+    if isinstance(outcome, (int, float)):
+        return float(outcome)
+    value = getattr(outcome, "value", None)
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise QueryError(
+        f"cannot extract a distance from {type(outcome).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# harmonised extension-query front doors
+# ----------------------------------------------------------------------
+def _flow_engine(engine) -> FlowAwareEngine:
+    if isinstance(engine, FlowAwareEngine):
+        return engine
+    inner = getattr(engine, "flow_engine", None)
+    if isinstance(inner, FlowAwareEngine):
+        return inner
+    raise QueryError(
+        f"{type(engine).__name__} does not expose a flow engine; pass a "
+        "FlowAwareEngine, ResilientEngine or ShardedGateway"
+    )
+
+
+def _source_and_timestep(query, timestep, caller: str) -> tuple[int, int]:
+    if isinstance(query, FSPQuery):
+        return query.source, query.timestep
+    warnings.warn(
+        f"passing a positional source/timestep to repro.{caller}() is "
+        "deprecated; pass an FSPQuery (removed one release after 1.0)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if timestep is None:
+        raise QueryError(
+            f"legacy repro.{caller}(source, ...) calls need timestep="
+        )
+    return int(query), int(timestep)
+
+
+def knn(
+    engine,
+    query: FSPQuery | int,
+    pois: Sequence[int],
+    k: int,
+    *,
+    prefilter: int | None = None,
+    timestep: int | None = None,
+) -> list[KNNMatch]:
+    """Flow-aware k-nearest POIs from ``query.source`` at ``query.timestep``.
+
+    ``query.target`` is ignored (kNN ranks the POI set instead).  Works
+    with any :class:`Engine`; serving layers contribute their flow engine,
+    so e.g. a :class:`ShardedGateway` ranks with exact sharded distances.
+    """
+    source, t = _source_and_timestep(query, timestep, "knn")
+    return flow_aware_knn(
+        _flow_engine(engine), source, list(pois), k, t, prefilter=prefilter
+    )
+
+
+def constrained(
+    engine,
+    query: FSPQuery,
+    constraints: QueryConstraints,
+) -> FSPResult:
+    """One FSPQ query under :class:`QueryConstraints`, on any engine."""
+    inner = _flow_engine(engine)
+    if isinstance(inner, ConstrainedFlowAwareEngine):
+        return inner.query_constrained(query, constraints)
+    shim = ConstrainedFlowAwareEngine(
+        inner.frn,
+        oracle=inner.oracle,
+        alpha=inner.alpha,
+        eta_u=inner.eta_u,
+        pruning=inner.pruning,
+        max_candidates=inner.max_candidates,
+        use_capacity=inner.use_capacity,
+        w_c=inner.w_c,
+        exhaustive=inner.exhaustive,
+        min_candidates=inner.min_candidates,
+    )
+    return shim.query_constrained(query, constraints)
+
+
+def skyline(
+    source_of_frn,
+    query: FSPQuery | int,
+    *,
+    target: int | None = None,
+    timestep: int | None = None,
+    max_distance: float = math.inf,
+    max_labels_per_vertex: int = 64,
+) -> SkylineResult:
+    """The (distance, flow) Pareto frontier for one FSPQ triple.
+
+    ``source_of_frn`` is an FRN or any :class:`Engine` (its FRN is used).
+    """
+    frn = source_of_frn
+    if not isinstance(frn, FlowAwareRoadNetwork):
+        frn = getattr(source_of_frn, "frn", None)
+        if not isinstance(frn, FlowAwareRoadNetwork):
+            raise QueryError(
+                f"{type(source_of_frn).__name__} carries no FlowAwareRoadNetwork"
+            )
+    if isinstance(query, FSPQuery):
+        src, dst, t = query.source, query.target, query.timestep
+    else:
+        warnings.warn(
+            "passing positional source/target/timestep to repro.skyline() "
+            "is deprecated; pass an FSPQuery (removed one release after 1.0)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if target is None or timestep is None:
+            raise QueryError(
+                "legacy repro.skyline(source, ...) calls need "
+                "target= and timestep="
+            )
+        src, dst, t = int(query), int(target), int(timestep)
+    return skyline_paths(
+        frn,
+        src,
+        dst,
+        t,
+        max_distance=max_distance,
+        max_labels_per_vertex=max_labels_per_vertex,
+    )

@@ -116,6 +116,26 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="lint a Prometheus text export (names, types, buckets)"
     )
     obs_lint.add_argument("file", help="Prometheus text file to lint")
+
+    sharded = sub.add_parser(
+        "serve-sharded",
+        help="run the instrumented sharded-gateway demo workload (docs/API.md)",
+    )
+    sharded.add_argument("--side", type=int, default=8,
+                         help="demo grid side length (default 8)")
+    sharded.add_argument("--shards", type=int, default=4,
+                         help="number of shards (default 4)")
+    sharded.add_argument("--queries", type=int, default=60,
+                         help="unique queries in the workload (default 60)")
+    sharded.add_argument("--repeat", type=int, default=3,
+                         help="times each query repeats (default 3)")
+    sharded.add_argument("--updates", type=int, default=6,
+                         help="maintenance updates to stream (default 6)")
+    sharded.add_argument("--workers", type=int, default=1,
+                         help="batch worker count (default 1)")
+    sharded.add_argument("--seed", type=int, default=0)
+    sharded.add_argument("--prom", metavar="FILE",
+                         help="also write the Prometheus text export here")
     return parser
 
 
@@ -282,10 +302,49 @@ def _run_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_sharded(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_prometheus
+    from repro.obs.report import render_report
+    from repro.scale.demo import run_sharded_demo
+
+    registry = obs.MetricsRegistry(enabled=True)
+    previous_registry = obs.set_registry(registry)
+    try:
+        summary = run_sharded_demo(
+            side=args.side,
+            shards=args.shards,
+            queries=args.queries,
+            repeat=args.repeat,
+            updates=args.updates,
+            workers=args.workers,
+            seed=args.seed,
+        )
+        print(render_report(registry))
+        print(
+            f"# sharded demo: {summary['vertices']} vertices over "
+            f"{summary['shards']} shards ({summary['boundary_vertices']} "
+            f"boundary), {summary['queries']} queries, "
+            f"cache hit rate {summary['cache_hit_rate']:.1%} "
+            f"({summary['cache_stale_drops']} stale drops), "
+            f"{summary['accepted_updates']} updates applied, "
+            f"{summary['dead_letters']} quarantined, "
+            f"degraded shards: {summary['degraded_shards'] or 'none'}"
+        )
+        if args.prom:
+            with open(args.prom, "w", encoding="utf-8") as handle:
+                handle.write(render_prometheus(registry))
+            print(f"# wrote Prometheus export to {args.prom}")
+    finally:
+        obs.set_registry(previous_registry)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "serve-sharded":
+        return _run_serve_sharded(args)
     if args.command == "list":
         for key, module in EXPERIMENTS.items():
             summary = (module.__doc__ or "").strip().splitlines()[0]

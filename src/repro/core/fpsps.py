@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 
 import numpy as np
 
@@ -133,9 +134,24 @@ class FlowAwareEngine:
             self._flow_cache[t] = vector
         return vector
 
-    def invalidate_flow_cache(self) -> None:
-        """Drop cached flow vectors (call after flow updates)."""
+    def invalidate(self) -> None:
+        """Drop every derived cache (call after any maintenance).
+
+        This is the canonical invalidation hook of the engine protocol
+        (docs/API.md): serving layers chain their own epoch bumps off it
+        so maintenance can never refresh one cache and miss another.
+        """
         self._flow_cache.clear()
+
+    def invalidate_flow_cache(self) -> None:
+        """Deprecated alias of :meth:`invalidate` (removed next release)."""
+        warnings.warn(
+            "FlowAwareEngine.invalidate_flow_cache() is deprecated; use "
+            "invalidate() — the unified hook every cache layer listens on",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.invalidate()
 
     def shortest_distance(self, source: int, target: int) -> float:
         """``SPDis`` via the oracle, or A*/Dijkstra when index-free."""
@@ -144,6 +160,21 @@ class FlowAwareEngine:
         heuristic = heuristic_for(self.frn.graph, None, target)
         _, dist = astar_path(self.frn.graph, source, target, heuristic)
         return dist
+
+    def distance(self, u: int, v: int) -> float:
+        """Shortest spatial distance — the engine-protocol spelling."""
+        return self.shortest_distance(u, v)
+
+    def batch(self, queries: list[FSPQuery], workers: int = 1, report=None):
+        """Evaluate many queries via :func:`repro.core.batch.batch_query`."""
+        from repro.core.batch import batch_query
+
+        return batch_query(self, queries, workers=workers, report=report)
+
+    @property
+    def flow_engine(self) -> "FlowAwareEngine":
+        """The underlying flow-aware engine (itself; protocol accessor)."""
+        return self
 
     # ------------------------------------------------------------------
     # candidate collection

@@ -97,7 +97,7 @@ def run(config: ExperimentConfig) -> ExperimentTable:
                 for stat in stats:
                     strategies[stat.strategy] += 1
         maintenance_ms = sw.ms
-        engine.invalidate_flow_cache()
+        engine.invalidate()
         after_ms = time_queries(_EngineProbe(engine), queries) * 1000.0
 
         table.add_row(

@@ -1,0 +1,23 @@
+"""Horizontal scaling: network sharding, boundary labels, serving gateway.
+
+The :class:`ShardedGateway` partitions the road network into K connected
+shards (:func:`partition_network`), runs one resilient engine per shard,
+recovers exact full-graph distances through :class:`BoundaryIndex`'s
+boundary-vertex tables, and fronts everything with the epoch-invalidated
+:class:`ResultCache`.  See docs/API.md for the deployment topology.
+"""
+
+from repro.scale.boundary import BoundaryIndex
+from repro.scale.cache import CacheStats, ResultCache
+from repro.scale.gateway import GatewayStatus, ShardedGateway
+from repro.scale.partitioner import ShardPlan, partition_network
+
+__all__ = [
+    "BoundaryIndex",
+    "CacheStats",
+    "GatewayStatus",
+    "ResultCache",
+    "ShardPlan",
+    "ShardedGateway",
+    "partition_network",
+]

@@ -1,0 +1,169 @@
+"""Boundary-vertex distance tables for exact cross-shard distances.
+
+Every path that leaves a shard crosses one of its boundary vertices, so
+shard-local labels plus a global boundary-to-boundary table recover exact
+full-graph distances (the standard partition-hierarchy argument, cf.
+TD-G-tree and Hierarchical Cut Labelling):
+
+* ``u`` and ``v`` in *different* shards ``i`` / ``j``::
+
+      d(u, v) = min over b in B_i, b' in B_j of
+                d_i(u, b) + D(b, b') + d_j(b', v)
+
+  where ``d_k`` is the distance *inside* shard ``k``'s subgraph and ``D``
+  is the full-graph distance between boundary vertices.
+
+* ``u`` and ``v`` in the *same* shard ``k``: the shortest path may detour
+  through other shards, so::
+
+      d(u, v) = min(d_k(u, v),
+                    min over b, b' in B_k of d_k(u, b) + D(b, b') + d_k(b', v))
+
+Both formulas are exact: decompose any optimal path at the first boundary
+vertex from which it leaves the shard and the last one through which it
+re-enters — the prefix and suffix stay inside their shards, the middle is
+a full-graph path between boundary vertices.
+
+The tables are plain numpy arrays, so the min-plus combines above are
+single vectorised expressions.  ``rebuild_shard`` / ``rebuild_global``
+re-derive them after weight maintenance (a weight change anywhere can
+reroute boundary-to-boundary paths, so the global table is rebuilt on any
+accepted weight update; flow updates never touch distances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.graph.road_network import RoadNetwork
+from repro.scale.partitioner import ShardPlan
+
+__all__ = ["BoundaryIndex"]
+
+
+class BoundaryIndex:
+    """Shard-local boundary labels plus the global boundary table.
+
+    Parameters
+    ----------
+    graph:
+        The full road network (shared with the gateway; reread on
+        :meth:`rebuild_global`).
+    plan:
+        The shard plan the tables are derived from.
+    subgraphs:
+        Per shard, the induced subgraph in *local* vertex ids (the same
+        objects the shard engines serve).
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        plan: ShardPlan,
+        subgraphs: list[RoadNetwork],
+    ) -> None:
+        self._graph = graph
+        self._plan = plan
+        self._subgraphs = subgraphs
+        # global ids of every boundary vertex, concatenated shard by shard
+        self._boundary_ids: list[int] = [
+            v for shard_boundary in plan.boundary for v in shard_boundary
+        ]
+        self._rows: list[np.ndarray] = []  # per shard: row indices into the table
+        offset = 0
+        for shard_boundary in plan.boundary:
+            size = len(shard_boundary)
+            self._rows.append(np.arange(offset, offset + size, dtype=np.int64))
+            offset += size
+        # local boundary ids per shard (position of each boundary vertex in
+        # the shard's local numbering — members are sorted, so searchsorted)
+        self._local_boundary: list[np.ndarray] = []
+        for k, shard_boundary in enumerate(plan.boundary):
+            members = np.asarray(plan.members[k], dtype=np.int64)
+            self._local_boundary.append(
+                np.searchsorted(members, np.asarray(shard_boundary, dtype=np.int64))
+            )
+        self._local: list[np.ndarray] = [
+            self._compute_local(k) for k in range(plan.num_shards)
+        ]
+        self._table = self._compute_global()
+
+    # ------------------------------------------------------------------
+    # table construction / maintenance
+    # ------------------------------------------------------------------
+    def _compute_local(self, k: int) -> np.ndarray:
+        """``(|B_k|, n_k)`` distances from each boundary vertex, in-shard."""
+        subgraph = self._subgraphs[k]
+        local_ids = self._local_boundary[k]
+        if len(local_ids) == 0:
+            return np.empty((0, subgraph.num_vertices), dtype=np.float64)
+        return np.vstack(
+            [dijkstra_distances(subgraph, int(b)) for b in local_ids]
+        )
+
+    def _compute_global(self) -> np.ndarray:
+        """``(|B|, |B|)`` full-graph distances between boundary vertices."""
+        ids = self._boundary_ids
+        if not ids:
+            return np.empty((0, 0), dtype=np.float64)
+        targets = set(ids)
+        columns = np.asarray(ids, dtype=np.int64)
+        return np.vstack(
+            [dijkstra_distances(self._graph, b, targets=targets)[columns] for b in ids]
+        )
+
+    def _count_rebuild(self, scope: str) -> None:
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_gateway_boundary_rebuilds_total",
+                "boundary distance-table rebuilds after weight maintenance",
+            ).inc(scope=scope)
+
+    def rebuild_shard(self, k: int) -> None:
+        """Recompute shard ``k``'s local boundary labels (weights changed)."""
+        self._local[k] = self._compute_local(k)
+        self._count_rebuild("shard")
+
+    def rebuild_global(self) -> None:
+        """Recompute the boundary-to-boundary table from the full graph."""
+        self._table = self._compute_global()
+        self._count_rebuild("global")
+
+    # ------------------------------------------------------------------
+    # distance combines
+    # ------------------------------------------------------------------
+    def to_boundary(self, k: int, local_vertex: int) -> np.ndarray:
+        """In-shard distances from a local vertex to shard ``k``'s boundary."""
+        return self._local[k][:, local_vertex]
+
+    def combine_intra(self, k: int, u_local: int, v_local: int, d_local: float) -> float:
+        """Exact same-shard distance given the in-shard distance."""
+        rows = self._rows[k]
+        if len(rows) == 0:
+            return d_local
+        du = self._local[k][:, u_local]
+        dv = self._local[k][:, v_local]
+        block = self._table[np.ix_(rows, rows)]
+        via = float((du[:, None] + block + dv[None, :]).min())
+        return min(d_local, via)
+
+    def combine_cross(self, i: int, u_local: int, j: int, v_local: int) -> float:
+        """Exact cross-shard distance via the boundary tables."""
+        rows_i, rows_j = self._rows[i], self._rows[j]
+        if len(rows_i) == 0 or len(rows_j) == 0:
+            return float("inf")
+        du = self._local[i][:, u_local]
+        dv = self._local[j][:, v_local]
+        block = self._table[np.ix_(rows_i, rows_j)]
+        return float((du[:, None] + block + dv[None, :]).min())
+
+    @property
+    def num_boundary_vertices(self) -> int:
+        return len(self._boundary_ids)
+
+    def table_bytes(self) -> int:
+        """Memory footprint of all tables (the sharding overhead)."""
+        return self._table.nbytes + sum(local.nbytes for local in self._local)

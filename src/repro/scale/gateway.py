@@ -1,0 +1,720 @@
+"""The sharded serving gateway: K shard engines behind one query front.
+
+:class:`ShardedGateway` is the horizontal-scaling layer of the stack
+(docs/API.md, "Sharded deployment topology").  It partitions the road
+network into K connected shards (:mod:`repro.scale.partitioner`), gives
+each shard its own :class:`~repro.serving.engine.ResilientEngine` over the
+induced subgraph, and recovers *exact* full-graph distances with the
+boundary distance tables of :mod:`repro.scale.boundary`:
+
+* **routing** — a query whose endpoints share a shard and whose shortest
+  path provably stays inside it is dispatched to that shard's engine
+  (``route="shard"``); everything else is answered through the
+  boundary-table combine (``route="boundary"``), which is exact for any
+  endpoint pair.
+* **degraded isolation** — a shard whose maintenance is poisoned degrades
+  *alone*: queries touching it fall back to direct Dijkstra/A* on the full
+  graph (``route="fallback"``) while the remaining shards keep serving
+  from their indexes.
+* **result cache** — answers are cached under ``(source, target,
+  flow-interval)`` keys stamped with the epoch counters of the shards they
+  touched; maintenance bumps epochs through the engines' unified
+  invalidation hook, so stale entries die lazily without a scan
+  (:mod:`repro.scale.cache`).
+* **batch fan-out** — :meth:`batch` groups a workload by route, fans each
+  shard's group through the existing fork-pool ``batch_query`` machinery,
+  and weights worker allocation by each shard's admitted share of the
+  workload.
+
+Everything is instrumented through :mod:`repro.obs` under the
+``repro_gateway_*`` metric families.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro import obs
+from repro.baselines.dijkstra import dijkstra_distance
+from repro.core.batch import BatchReport, batch_query
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.fspq import FSPQuery, FSPResult
+from repro.errors import QueryError
+from repro.flow.series import FlowSeries
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.scale.boundary import BoundaryIndex
+from repro.scale.cache import CacheStats, ResultCache
+from repro.scale.partitioner import ShardPlan, partition_network
+from repro.serving.dead_letter import DeadLetterQueue
+from repro.serving.engine import (
+    ResilientEngine,
+    ServingDistance,
+    ServingResult,
+    UpdateOutcome,
+)
+from repro.serving.updates import FlowUpdate, WeightUpdate
+
+__all__ = ["GatewayStatus", "ShardedGateway"]
+
+
+@dataclass(frozen=True)
+class GatewayStatus:
+    """Typed snapshot of a :class:`ShardedGateway` for telemetry/logging."""
+
+    num_shards: int
+    shard_sizes: tuple[int, ...]
+    boundary_vertices: int
+    degraded_shards: tuple[int, ...]
+    weight_epoch: int
+    shard_epochs: tuple[int, ...]
+    cache: CacheStats
+    metrics: dict[str, int]
+
+
+class _ShardedOracle:
+    """A distance oracle backed by the gateway's boundary-table combine.
+
+    Plugged into the cross-shard :class:`FlowAwareEngine`, so its SPDis
+    and candidate-generation heuristics see exact full-graph distances
+    while the monolithic index stays out of the serving path.
+    """
+
+    def __init__(self, gateway: "ShardedGateway") -> None:
+        self._gateway = gateway
+
+    def distance(self, u: int, v: int) -> float:
+        return self._gateway._distance_raw(u, v)
+
+
+class ShardedGateway:
+    """A horizontally sharded, cache-fronted FSPQ serving gateway.
+
+    Parameters
+    ----------
+    frn:
+        The full flow-aware road network to serve.
+    num_shards:
+        Requested shard count (the plan may produce fewer on tiny graphs).
+    alpha, eta_u, pruning, beta:
+        Query/index parameters, identical in meaning to
+        :class:`~repro.core.fpsps.FlowAwareEngine` /
+        :class:`~repro.core.fahl.FAHLIndex`.
+    cache_capacity:
+        LRU capacity of the result cache.
+    balance:
+        Bisection balance cap forwarded to the partitioner.
+    intra_shard_local:
+        When true (default), same-shard queries whose shortest path
+        provably stays inside the shard are answered by the shard engine
+        over its subgraph — candidate enumeration is then local to the
+        shard (the usual partition-serving locality trade; distances stay
+        exact either way).  Set false to force the boundary-combine route
+        for every query.
+    engine_kwargs:
+        Extra keyword arguments forwarded to every per-shard
+        :class:`~repro.serving.engine.ResilientEngine` (``time_budget``,
+        ``max_retries``, ``audit_samples``, ...).
+    """
+
+    def __init__(
+        self,
+        frn: FlowAwareRoadNetwork,
+        num_shards: int = 4,
+        alpha: float = 0.5,
+        eta_u: float = 3.0,
+        pruning: str = "none",
+        beta: float = 0.5,
+        cache_capacity: int = 4096,
+        balance: float = 0.6,
+        intra_shard_local: bool = True,
+        dead_letter_capacity: int = 1024,
+        **engine_kwargs,
+    ) -> None:
+        self.frn = frn
+        self.plan: ShardPlan = partition_network(
+            frn.graph, num_shards, balance=balance
+        )
+        self.intra_shard_local = bool(intra_shard_local)
+
+        # -- per-shard subgraphs, FRNs and engines ----------------------
+        self._to_local: list[dict[int, int]] = []
+        self._to_global: list[tuple[int, ...]] = []
+        self._subgraphs = []
+        self.shards: list[ResilientEngine] = []
+        for k in range(self.plan.num_shards):
+            members = list(self.plan.members[k])
+            subgraph, relabel = frn.graph.subgraph(members)
+            self._subgraphs.append(subgraph)
+            self._to_local.append(relabel)
+            self._to_global.append(tuple(members))
+            cols = np.asarray(members, dtype=np.int64)
+            flow = FlowSeries(
+                frn.flow.matrix[:, cols], frn.flow.interval_minutes
+            )
+            predicted = (
+                flow
+                if frn.predicted_flow is frn.flow
+                else FlowSeries(
+                    frn.predicted_flow.matrix[:, cols],
+                    frn.predicted_flow.interval_minutes,
+                )
+            )
+            lanes = frn.lanes[cols] if frn.lanes is not None else None
+            shard_frn = FlowAwareRoadNetwork(subgraph, flow, predicted, lanes)
+            index = None
+            if subgraph.num_vertices > 0:
+                from repro.core.fahl import FAHLIndex
+
+                index = FAHLIndex(
+                    subgraph, shard_frn.total_predicted_flow(), beta=beta
+                )
+            engine = ResilientEngine(
+                shard_frn,
+                index=index,
+                alpha=alpha,
+                eta_u=eta_u,
+                pruning=pruning,
+                dead_letter_capacity=dead_letter_capacity,
+                **engine_kwargs,
+            )
+            self.shards.append(engine)
+
+        self.boundary = BoundaryIndex(frn.graph, self.plan, self._subgraphs)
+
+        # -- cross-shard and degraded-fallback engines ------------------
+        self._cross = FlowAwareEngine(
+            frn, oracle=_ShardedOracle(self), alpha=alpha, eta_u=eta_u,
+            pruning=pruning,
+        )
+        self._fallback = FlowAwareEngine(
+            frn, oracle=None, alpha=alpha, eta_u=eta_u, pruning=pruning
+        )
+
+        # -- cache + epochs (wired through the unified invalidation hook)
+        self.cache = ResultCache(cache_capacity)
+        self._weight_epoch = 0
+        self._shard_epochs = [0] * self.plan.num_shards
+        for k, engine in enumerate(self.shards):
+            engine.add_invalidation_hook(
+                lambda shard=k: self._on_shard_invalidated(shard)
+            )
+
+        # -- gateway-level admission state (cut edges live in no shard) -
+        self.dead_letters = DeadLetterQueue(dead_letter_capacity)
+        self._last_ts: dict[tuple, float] = {}
+        self._deferred_weights: list[list[tuple[int, int, float]]] = [
+            [] for _ in range(self.plan.num_shards)
+        ]
+        self.metrics: Counter[str] = Counter()
+        self._cut_edge_set = {
+            (u, v) for u, v, _ in self.plan.cut_edges
+        }
+        self._sync_gauges()
+
+    # ------------------------------------------------------------------
+    # telemetry plumbing
+    # ------------------------------------------------------------------
+    def _count(self, name: str, help_: str, amount: int = 1, **labels) -> None:
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(name, help_).inc(amount, **labels)
+
+    def _count_route(self, route: str, amount: int = 1) -> None:
+        self.metrics[f"queries_{route}"] += amount
+        self._count(
+            "repro_gateway_queries_total",
+            "gateway queries by routing decision",
+            amount,
+            route=route,
+        )
+
+    def _count_cache(self, event: str, amount: int = 1) -> None:
+        if amount <= 0:
+            return
+        self.metrics[f"cache_{event}"] += amount
+        self._count(
+            "repro_gateway_cache_total",
+            "result-cache lookups by outcome",
+            amount,
+            event=event,
+        )
+
+    def _sync_gauges(self) -> None:
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        degraded = registry.gauge(
+            "repro_gateway_shard_degraded", "1 when the shard serves degraded"
+        )
+        vertices = registry.gauge(
+            "repro_gateway_shard_vertices", "vertices owned by the shard"
+        )
+        for k, engine in enumerate(self.shards):
+            degraded.set(1.0 if engine.degraded else 0.0, shard=k)
+            vertices.set(len(self.plan.members[k]), shard=k)
+        registry.gauge(
+            "repro_gateway_cache_entries", "live result-cache entries"
+        ).set(len(self.cache))
+
+    # ------------------------------------------------------------------
+    # invalidation (the unified hook surface)
+    # ------------------------------------------------------------------
+    def _on_shard_invalidated(self, shard: int) -> None:
+        """Shard maintenance happened: bump its epoch, drop derived caches."""
+        self._shard_epochs[shard] += 1
+        self._cross.invalidate()
+        self._fallback.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop every derived cache: epochs, engines, result cache."""
+        self._weight_epoch += 1
+        for k in range(self.plan.num_shards):
+            self._shard_epochs[k] += 1
+        self._cross.invalidate()
+        self._fallback.invalidate()
+        self.cache.clear()
+
+    def _epochs_for(self, i: int, j: int) -> tuple[int, int, int]:
+        return (self._weight_epoch, self._shard_epochs[i], self._shard_epochs[j])
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def _check_vertex(self, vertex: int) -> None:
+        if not isinstance(vertex, int) or not 0 <= vertex < self.frn.num_vertices:
+            raise QueryError(
+                f"vertex {vertex!r} not in [0, {self.frn.num_vertices})"
+            )
+
+    def _distance_raw(self, u: int, v: int) -> float:
+        """Exact full-graph distance via the sharded tables (uncached)."""
+        if u == v:
+            return 0.0
+        i, j = self.plan.shard(u), self.plan.shard(v)
+        if self.shards[i].degraded or self.shards[j].degraded:
+            return dijkstra_distance(self.frn.graph, u, v)
+        u_local = self._to_local[i][u]
+        v_local = self._to_local[j][v]
+        if i == j:
+            d_local = self.shards[i].index.distance(u_local, v_local)
+            return self.boundary.combine_intra(i, u_local, v_local, d_local)
+        return self.boundary.combine_cross(i, u_local, j, v_local)
+
+    def distance(self, u: int, v: int) -> ServingDistance:
+        """Exact shortest spatial distance between any two global vertices."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        i, j = self.plan.shard(u), self.plan.shard(v)
+        epochs = self._epochs_for(i, j)
+        key = ("d", u, v) if u <= v else ("d", v, u)
+        stale_before = self.cache.stale_drops
+        cached = self.cache.lookup(key, epochs)
+        self._count_cache("stale", self.cache.stale_drops - stale_before)
+        if cached is not None:
+            self._count_cache("hit")
+            return cached
+        self._count_cache("miss")
+        degraded = self.shards[i].degraded or self.shards[j].degraded
+        if degraded:
+            self._count_route("fallback")
+            answer = ServingDistance(
+                value=dijkstra_distance(self.frn.graph, u, v),
+                degraded=True,
+                source="fallback",
+            )
+        else:
+            route = "shard" if i == j else "boundary"
+            self._count_route(route)
+            answer = ServingDistance(
+                value=self._distance_raw(u, v), degraded=False, source=route
+            )
+        self.cache.put(key, answer, epochs)
+        self._sync_gauges()
+        return answer
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _remap_result(self, shard: int, result: FSPResult) -> FSPResult:
+        to_global = self._to_global[shard]
+        return replace(result, path=tuple(to_global[v] for v in result.path))
+
+    def _route_class(self, query: FSPQuery) -> tuple[str, int, int]:
+        """Routing decision for one query: ``(route, i, j)``."""
+        i = self.plan.shard(query.source)
+        j = self.plan.shard(query.target)
+        if self.shards[i].degraded or self.shards[j].degraded:
+            return "fallback", i, j
+        if (
+            i == j
+            and self.intra_shard_local
+            and query.source != query.target
+        ):
+            u_local = self._to_local[i][query.source]
+            v_local = self._to_local[i][query.target]
+            d_local = self.shards[i].index.distance(u_local, v_local)
+            if math.isfinite(d_local) and (
+                self.boundary.combine_intra(i, u_local, v_local, d_local)
+                == d_local
+            ):
+                return "shard", i, j
+        return "boundary", i, j
+
+    def _evaluate(self, query: FSPQuery, route: str, i: int) -> ServingResult:
+        if route == "fallback":
+            return ServingResult(
+                result=self._fallback.query(query), degraded=True,
+                source="fallback",
+            )
+        if route == "shard":
+            local = FSPQuery(
+                self._to_local[i][query.source],
+                self._to_local[i][query.target],
+                query.timestep,
+            )
+            served = self.shards[i].query(local)
+            return ServingResult(
+                result=self._remap_result(i, served.result),
+                degraded=served.degraded,
+                source="shard",
+            )
+        return ServingResult(
+            result=self._cross.query(query), degraded=False, source="boundary"
+        )
+
+    def query(self, query: FSPQuery) -> ServingResult:
+        """Answer one FSPQ query through the sharded topology + cache."""
+        query.validated(self.frn.num_vertices, self.frn.num_timesteps)
+        i = self.plan.shard(query.source)
+        j = self.plan.shard(query.target)
+        epochs = self._epochs_for(i, j)
+        key = ("q", query.source, query.target, query.timestep)
+        stale_before = self.cache.stale_drops
+        cached = self.cache.lookup(key, epochs)
+        self._count_cache("stale", self.cache.stale_drops - stale_before)
+        if cached is not None:
+            self._count_cache("hit")
+            return cached
+        self._count_cache("miss")
+        route, i, j = self._route_class(query)
+        self._count_route(route)
+        answer = self._evaluate(query, route, i)
+        self.cache.put(key, answer, epochs)
+        self._sync_gauges()
+        return answer
+
+    def batch(
+        self,
+        queries: list[FSPQuery],
+        workers: int = 1,
+        report: BatchReport | None = None,
+    ) -> list[ServingResult]:
+        """Evaluate a workload, fanning shard groups through the fork pool.
+
+        Cache hits are answered immediately; misses are grouped by routing
+        decision, each shard group runs through the existing
+        :func:`~repro.core.batch.batch_query` machinery on that shard's
+        engine, and the pool workers available are split across groups in
+        proportion to the work each one admitted (degraded-fallback
+        queries always run serially in the gateway process).
+        """
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        for query in queries:
+            query.validated(self.frn.num_vertices, self.frn.num_timesteps)
+        results: list[ServingResult | None] = [None] * len(queries)
+        pending: dict[str, list[tuple[int, FSPQuery, int, tuple[int, ...]]]] = {}
+        hits = 0
+        for position, query in enumerate(queries):
+            i = self.plan.shard(query.source)
+            j = self.plan.shard(query.target)
+            epochs = self._epochs_for(i, j)
+            key = ("q", query.source, query.target, query.timestep)
+            stale_before = self.cache.stale_drops
+            cached = self.cache.lookup(key, epochs)
+            self._count_cache("stale", self.cache.stale_drops - stale_before)
+            if cached is not None:
+                results[position] = cached
+                hits += 1
+                continue
+            route, i, j = self._route_class(query)
+            group = f"shard:{i}" if route == "shard" else route
+            pending.setdefault(group, []).append((position, query, i, epochs))
+        self._count_cache("hit", hits)
+        total_misses = sum(len(v) for v in pending.values())
+        self._count_cache("miss", total_misses)
+
+        def _finish(
+            position: int, query: FSPQuery, answer: ServingResult,
+            epochs: tuple[int, ...],
+        ) -> None:
+            key = ("q", query.source, query.target, query.timestep)
+            self.cache.put(key, answer, epochs)
+            results[position] = answer
+
+        for group, entries in pending.items():
+            # admission-weighted allocation: each group gets pool workers in
+            # proportion to its share of the admitted (non-cached) workload.
+            share = max(
+                1, round(workers * len(entries) / max(1, total_misses))
+            )
+            if group == "fallback":
+                self._count_route("fallback", len(entries))
+                for position, query, _, epochs in entries:
+                    _finish(
+                        position, query,
+                        ServingResult(
+                            result=self._fallback.query(query),
+                            degraded=True, source="fallback",
+                        ),
+                        epochs,
+                    )
+            elif group == "boundary":
+                self._count_route("boundary", len(entries))
+                answers = batch_query(
+                    self._cross,
+                    [query for _, query, _, _ in entries],
+                    workers=share,
+                    report=report,
+                )
+                for (position, query, _, epochs), result in zip(entries, answers):
+                    _finish(
+                        position, query,
+                        ServingResult(
+                            result=result, degraded=False, source="boundary"
+                        ),
+                        epochs,
+                    )
+            else:
+                shard = entries[0][2]
+                self._count_route("shard", len(entries))
+                local = [
+                    FSPQuery(
+                        self._to_local[shard][query.source],
+                        self._to_local[shard][query.target],
+                        query.timestep,
+                    )
+                    for _, query, _, _ in entries
+                ]
+                served = self.shards[shard].batch(
+                    local, workers=share, report=report
+                )
+                for (position, query, _, epochs), answer in zip(entries, served):
+                    _finish(
+                        position, query,
+                        ServingResult(
+                            result=self._remap_result(shard, answer.result),
+                            degraded=answer.degraded,
+                            source="shard",
+                        ),
+                        epochs,
+                    )
+        self._sync_gauges()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def _reject(self, update, kind: str, reason: str, detail: str) -> UpdateOutcome:
+        self.dead_letters.push(update, reason, detail)
+        self.metrics["updates_rejected"] += 1
+        self._count(
+            "repro_gateway_updates_total",
+            "gateway updates by kind and outcome",
+            kind=kind,
+            outcome="rejected",
+        )
+        return UpdateOutcome(accepted=False, applied=False, reason=reason)
+
+    def _record_outcome(self, kind: str, outcome: UpdateOutcome) -> UpdateOutcome:
+        token = (
+            "applied" if outcome.applied
+            else "deferred" if outcome.deferred
+            else "rejected"
+        )
+        self.metrics[f"updates_{token}"] += 1
+        self._count(
+            "repro_gateway_updates_total",
+            "gateway updates by kind and outcome",
+            kind=kind,
+            outcome=token,
+        )
+        self._sync_gauges()
+        return outcome
+
+    def submit(self, update: FlowUpdate | WeightUpdate) -> UpdateOutcome:
+        """Route one update to its owning shard; never raises on bad input.
+
+        Flow updates go to the vertex's shard engine.  Weight updates on a
+        within-shard edge go to that shard engine *and*, once applied, are
+        mirrored onto the full graph so the boundary tables and fallback
+        paths see the same weights.  Weight updates on *cut edges* (which
+        belong to no shard subgraph) are admitted by the gateway itself and
+        applied to the full graph directly.
+        """
+        if isinstance(update, FlowUpdate):
+            if not (
+                isinstance(update.vertex, int)
+                and 0 <= update.vertex < self.frn.num_vertices
+            ):
+                return self._reject(
+                    update, "flow", "unknown-vertex",
+                    f"vertex {update.vertex!r} not in "
+                    f"[0, {self.frn.num_vertices})",
+                )
+            shard = self.plan.shard(update.vertex)
+            local = FlowUpdate(
+                self._to_local[shard][update.vertex],
+                update.value,
+                update.timestamp,
+            )
+            outcome = self.shards[shard].submit(local)
+            return self._record_outcome("flow", outcome)
+        if isinstance(update, WeightUpdate):
+            return self._record_outcome("weight", self._submit_weight(update))
+        return self._reject(
+            update, "unknown", "unsupported-type",
+            f"cannot apply {type(update).__name__}",
+        )
+
+    def _submit_weight(self, update: WeightUpdate) -> UpdateOutcome:
+        for vertex in (update.u, update.v):
+            if not (
+                isinstance(vertex, int)
+                and 0 <= vertex < self.frn.num_vertices
+            ):
+                return self._reject(
+                    update, "weight", "unknown-vertex",
+                    f"vertex {vertex!r} not in [0, {self.frn.num_vertices})",
+                )
+        i = self.plan.shard(update.u)
+        j = self.plan.shard(update.v)
+        if i == j:
+            shard = i
+            local = WeightUpdate(
+                self._to_local[shard][update.u],
+                self._to_local[shard][update.v],
+                update.value,
+                update.timestamp,
+            )
+            outcome = self.shards[shard].submit(local)
+            if outcome.applied:
+                # mirror onto the full graph so cross-shard candidate
+                # generation and degraded Dijkstra see the new weight,
+                # then refresh every distance structure derived from it.
+                self.frn.graph.set_weight(update.u, update.v, update.value)
+                self.boundary.rebuild_shard(shard)
+                self.boundary.rebuild_global()
+                self._weight_epoch += 1
+                self._cross.invalidate()
+                self._fallback.invalidate()
+            elif outcome.deferred:
+                self._deferred_weights[shard].append(
+                    (update.u, update.v, update.value)
+                )
+            return outcome
+        # cut edge: owned by the gateway, not by any shard subgraph
+        return self._submit_cut_weight(update)
+
+    def _submit_cut_weight(self, update: WeightUpdate) -> UpdateOutcome:
+        key = (update.u, update.v) if update.u <= update.v else (update.v, update.u)
+        if key not in self._cut_edge_set:
+            return self._reject(
+                update, "cut-weight", "unknown-edge",
+                f"edge ({update.u}, {update.v}) not in graph",
+            )
+        value, timestamp = update.value, update.timestamp
+        if not (isinstance(value, (int, float)) and math.isfinite(value)):
+            return self._reject(
+                update, "cut-weight", "non-finite",
+                f"weight {value!r} is not finite",
+            )
+        if value <= 0:
+            return self._reject(
+                update, "cut-weight", "non-positive-weight",
+                f"weight {value} is not positive",
+            )
+        if not (isinstance(timestamp, (int, float)) and math.isfinite(timestamp)):
+            return self._reject(
+                update, "cut-weight", "non-finite",
+                f"timestamp {timestamp!r} is not finite",
+            )
+        last = self._last_ts.get(update.key)
+        if last is not None and timestamp < last:
+            return self._reject(
+                update, "cut-weight", "stale-timestamp",
+                f"timestamp {timestamp} predates last accepted {last}",
+            )
+        self._last_ts[update.key] = timestamp
+        self.frn.graph.set_weight(update.u, update.v, float(value))
+        self.boundary.rebuild_global()
+        self._weight_epoch += 1
+        self._cross.invalidate()
+        self._fallback.invalidate()
+        return UpdateOutcome(
+            accepted=True, applied=True, strategy="cut-edge", attempts=1
+        )
+
+    # ------------------------------------------------------------------
+    # health / repair
+    # ------------------------------------------------------------------
+    @property
+    def degraded_shards(self) -> tuple[int, ...]:
+        return tuple(
+            k for k, engine in enumerate(self.shards) if engine.degraded
+        )
+
+    def repair(self, shard: int | None = None) -> dict[int, bool]:
+        """Repair degraded shards (all of them when ``shard`` is ``None``).
+
+        Each repaired shard's deferred weight updates are folded into the
+        full graph too, then the boundary tables are rebuilt so the
+        combine paths see the recovered weights.  Returns the post-repair
+        audit verdict per repaired shard.
+        """
+        targets = [shard] if shard is not None else list(self.degraded_shards)
+        verdicts: dict[int, bool] = {}
+        rebuilt = False
+        for k in targets:
+            report = self.shards[k].repair()
+            verdicts[k] = report.ok
+            for u, v, value in self._deferred_weights[k]:
+                self.frn.graph.set_weight(u, v, value)
+                rebuilt = True
+            self._deferred_weights[k].clear()
+            if rebuilt:
+                self.boundary.rebuild_shard(k)
+            self.metrics["repairs"] += 1
+            self._count(
+                "repro_gateway_repairs_total", "per-shard repair passes"
+            )
+        if rebuilt:
+            self.boundary.rebuild_global()
+        if targets:
+            self._weight_epoch += 1
+            self._cross.invalidate()
+            self._fallback.invalidate()
+        self._sync_gauges()
+        return verdicts
+
+    @property
+    def flow_engine(self) -> FlowAwareEngine:
+        """The gateway's exact-distance flow engine (for kNN & friends)."""
+        return self._cross
+
+    def status(self) -> GatewayStatus:
+        """Typed snapshot for telemetry/logging."""
+        return GatewayStatus(
+            num_shards=self.plan.num_shards,
+            shard_sizes=tuple(len(m) for m in self.plan.members),
+            boundary_vertices=self.boundary.num_boundary_vertices,
+            degraded_shards=self.degraded_shards,
+            weight_epoch=self._weight_epoch,
+            shard_epochs=tuple(self._shard_epochs),
+            cache=self.cache.stats(),
+            metrics=dict(self.metrics),
+        )

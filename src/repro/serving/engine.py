@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
@@ -65,7 +66,9 @@ class EngineStatus:
     ``time.time()`` timestamp, ``None`` until the first :meth:`~ResilientEngine.audit`.
 
     Dict-style access (``status["state"]``) is kept for callers written
-    against the pre-typed API.
+    against the pre-typed API, but is deprecated and will be removed one
+    release after 1.0 (docs/API.md, "Deprecation policy") — use attribute
+    access or :meth:`as_dict`.
     """
 
     state: str
@@ -77,6 +80,12 @@ class EngineStatus:
     metrics: dict[str, int] = field(default_factory=dict)
 
     def __getitem__(self, key: str):
+        warnings.warn(
+            "dict-style EngineStatus access is deprecated; use attribute "
+            "access (status.state) or status.as_dict()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         try:
             return getattr(self, key)
         except AttributeError:
@@ -205,6 +214,28 @@ class ResilientEngine:
         self._deferred: list[FlowUpdate | WeightUpdate] = []
         self._last_audit_at: float | None = None
         self._last_audit_ok: bool | None = None
+        self._invalidation_hooks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # unified invalidation hook
+    # ------------------------------------------------------------------
+    def add_invalidation_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback fired on every :meth:`invalidate`.
+
+        Layers stacked above the engine (the sharded gateway's result
+        cache, memoised oracles, ...) register here so one maintenance
+        event refreshes *every* derived cache — the engine's own flow
+        cache and the listeners are bumped by the same call, never
+        separately.
+        """
+        self._invalidation_hooks.append(hook)
+
+    def invalidate(self) -> None:
+        """Drop the engines' derived caches and notify every listener."""
+        self._engine.invalidate()
+        self._fallback.invalidate()
+        for hook in self._invalidation_hooks:
+            hook()
 
     # ------------------------------------------------------------------
     # telemetry plumbing (dual-write: self.metrics + the obs registry)
@@ -338,7 +369,7 @@ class ResilientEngine:
                         "submitted updates by admission outcome",
                         outcome="accepted",
                     )
-                    self._engine.invalidate_flow_cache()
+                    self.invalidate()
                     return UpdateOutcome(
                         accepted=True,
                         applied=True,
@@ -436,6 +467,57 @@ class ResilientEngine:
             value=self.index.distance(u, v), degraded=False, source="index"
         )
 
+    def batch(
+        self,
+        queries: list[FSPQuery],
+        workers: int = 1,
+        report=None,
+    ) -> list[ServingResult]:
+        """Evaluate a workload, degrading to the index-free path if needed.
+
+        Healthy engines fan the workload through
+        :func:`repro.core.batch.batch_query` (shared memoised oracle, fork
+        pool with ``workers > 1``); degraded engines answer serially from
+        the fallback engine, query by query, exactly like :meth:`query`.
+        """
+        from repro.core.batch import batch_query
+
+        if self.degraded:
+            self.metrics["queries_degraded"] += len(queries)
+            self._count(
+                "repro_serving_queries_total",
+                "served queries by answer source",
+                len(queries),
+                source="fallback",
+            )
+            return [
+                ServingResult(
+                    result=self._fallback.query(query),
+                    degraded=True,
+                    source="fallback",
+                )
+                for query in queries
+            ]
+        self.metrics["queries_index"] += len(queries)
+        self._count(
+            "repro_serving_queries_total",
+            "served queries by answer source",
+            len(queries),
+            source="index",
+        )
+        results = batch_query(
+            self._engine, queries, workers=workers, report=report
+        )
+        return [
+            ServingResult(result=result, degraded=False, source="index")
+            for result in results
+        ]
+
+    @property
+    def flow_engine(self) -> FlowAwareEngine:
+        """The flow-aware engine answering right now (protocol accessor)."""
+        return self._fallback if self.degraded else self._engine
+
     # ------------------------------------------------------------------
     # health / repair
     # ------------------------------------------------------------------
@@ -475,7 +557,7 @@ class ResilientEngine:
                 graph.set_weight(update.u, update.v, update.value)
         self.index = FAHLIndex(graph, flows, beta=self.index.beta)
         self._engine.oracle = self.index
-        self._engine.invalidate_flow_cache()
+        self.invalidate()
         self._deferred.clear()
         self.metrics["repairs"] += 1
         self._count("repro_serving_repairs_total", "full index rebuilds")

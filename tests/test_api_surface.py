@@ -1,0 +1,152 @@
+"""The stable public surface: Engine protocol, front doors, snapshot."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import (
+    Engine,
+    FSPQuery,
+    QueryConstraints,
+    ResilientEngine,
+    ShardedGateway,
+    as_distance,
+    as_result,
+    build_fahl,
+    constrained,
+    knn,
+    skyline,
+)
+from repro.core.fpsps import FlowAwareEngine
+from repro.core.knn import flow_aware_knn
+from repro.core.skyline import skyline_paths
+from repro.errors import QueryError
+from repro.flow.synthetic import generate_flow_series
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.generators import grid_network
+
+API_DOC = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+@pytest.fixture(scope="module")
+def frn():
+    graph = grid_network(6, 6, seed=9)
+    return FlowAwareRoadNetwork(graph, generate_flow_series(graph, days=1, seed=2))
+
+
+@pytest.fixture(scope="module")
+def engines(frn):
+    index = build_fahl(frn)
+    return {
+        "flow": FlowAwareEngine(frn, oracle=index),
+        "resilient": ResilientEngine(frn, index=index, max_retries=0, backoff=0.0),
+        "sharded": ShardedGateway(frn, num_shards=2, max_retries=0, backoff=0.0),
+    }
+
+
+class TestEngineProtocol:
+    def test_all_serving_classes_satisfy_engine(self, engines):
+        for engine in engines.values():
+            assert isinstance(engine, Engine)
+
+    def test_bare_index_is_not_an_engine(self, frn):
+        assert not isinstance(build_fahl(frn), Engine)
+
+    def test_engines_are_drop_in_interchangeable(self, engines):
+        query = FSPQuery(0, 35, 1)
+        distances = {
+            name: as_distance(engine.distance(0, 35))
+            for name, engine in engines.items()
+        }
+        assert len(set(distances.values())) == 1
+        spdis = {
+            name: as_result(engine.query(query)).shortest_distance
+            for name, engine in engines.items()
+        }
+        assert len(set(spdis.values())) == 1
+
+    def test_batch_is_uniform(self, engines):
+        queries = [FSPQuery(0, 20, 0), FSPQuery(3, 30, 1)]
+        for engine in engines.values():
+            results = engine.batch(queries)
+            assert len(results) == 2
+            assert all(
+                as_result(r).shortest_distance > 0 for r in results
+            )
+
+    def test_normalisers_reject_garbage(self):
+        with pytest.raises(QueryError):
+            as_result("nope")
+        with pytest.raises(QueryError):
+            as_distance(object())
+
+
+class TestHarmonisedFrontDoors:
+    def test_knn_matches_legacy_call(self, engines):
+        pois = [5, 11, 22, 30, 34]
+        query = FSPQuery(0, 1, 2)  # target ignored by knn
+        legacy = flow_aware_knn(engines["flow"], 0, pois, 2, 2)
+        for engine in engines.values():
+            got = knn(engine, query, pois, 2)
+            assert [m.poi for m in got] == [m.poi for m in legacy]
+
+    def test_knn_positional_source_deprecated(self, engines):
+        pois = [5, 11, 22]
+        with pytest.warns(DeprecationWarning):
+            got = knn(engines["flow"], 0, pois, 1, timestep=2)
+        assert got == knn(engines["flow"], FSPQuery(0, 1, 2), pois, 1)
+        with pytest.warns(DeprecationWarning), pytest.raises(QueryError):
+            knn(engines["flow"], 0, pois, 1)  # legacy spelling needs timestep=
+
+    def test_constrained_trivial_equals_plain_query(self, engines):
+        query = FSPQuery(2, 33, 0)
+        for engine in engines.values():
+            plain = as_result(engine.query(query))
+            got = constrained(engine, query, QueryConstraints())
+            assert got.shortest_distance == plain.shortest_distance
+
+    def test_constrained_forbidden_vertex_respected(self, engines):
+        query = FSPQuery(0, 35, 0)
+        baseline = constrained(engines["flow"], query, QueryConstraints())
+        banned = baseline.path[len(baseline.path) // 2]
+        for engine in engines.values():
+            got = constrained(
+                engine, query,
+                QueryConstraints(forbidden_vertices=frozenset({banned})),
+            )
+            assert banned not in got.path
+
+    def test_skyline_accepts_frn_or_engine(self, frn, engines):
+        query = FSPQuery(0, 35, 1)
+        want = skyline_paths(frn, 0, 35, 1)
+        assert skyline(frn, query).paths == want.paths
+        for engine in engines.values():
+            assert skyline(engine, query).paths == want.paths
+
+    def test_skyline_positional_deprecated(self, frn):
+        with pytest.warns(DeprecationWarning):
+            got = skyline(frn, 0, target=35, timestep=1)
+        assert got.paths == skyline_paths(frn, 0, 35, 1).paths
+        with pytest.warns(DeprecationWarning), pytest.raises(QueryError):
+            skyline(frn, 0, timestep=1)  # legacy spelling needs target=
+
+
+class TestApiSnapshot:
+    def test_docs_table_matches_public_all(self):
+        text = API_DOC.read_text()
+        section = text.split("## Public surface", 1)[1]
+        documented = set(re.findall(r"^\| `([^`]+)` \|", section, re.MULTILINE))
+        exported = set(repro.__all__)
+        assert documented == exported, (
+            "docs/API.md public-surface table and repro.__all__ disagree; "
+            f"only in docs: {sorted(documented - exported)}, "
+            f"only in __all__: {sorted(exported - documented)}"
+        )
+
+    def test_all_names_are_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

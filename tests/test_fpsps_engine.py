@@ -94,7 +94,14 @@ class TestEngineBasics:
         engine = FlowAwareEngine(diamond_frn)
         engine.query(FSPQuery(0, 3, 0))
         assert engine._flow_cache
-        engine.invalidate_flow_cache()
+        engine.invalidate()
+        assert not engine._flow_cache
+
+    def test_invalidate_flow_cache_deprecated_alias(self, diamond_frn):
+        engine = FlowAwareEngine(diamond_frn)
+        engine.query(FSPQuery(0, 3, 0))
+        with pytest.warns(DeprecationWarning):
+            engine.invalidate_flow_cache()
         assert not engine._flow_cache
 
 

@@ -1,0 +1,272 @@
+"""Sharded gateway: partition invariants, exactness, cache, isolation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FSPQuery, ShardedGateway, as_distance, build_fahl
+from repro.core.fpsps import FlowAwareEngine
+from repro.flow.synthetic import generate_flow_series
+from repro.graph.frn import FlowAwareRoadNetwork
+from repro.graph.generators import grid_network
+from repro.scale import partition_network
+from repro.scale.cache import ResultCache
+from repro.serving import FlowUpdate, WeightUpdate
+from repro.testing.faults import FaultInjector
+from repro.baselines.dijkstra import dijkstra_distance
+
+from .strategies import connected_graphs
+
+
+def _frn(graph, seed=4):
+    return FlowAwareRoadNetwork(graph, generate_flow_series(graph, days=1, seed=seed))
+
+
+@pytest.fixture()
+def grid_frn():
+    return _frn(grid_network(8, 8, seed=3))
+
+
+@pytest.fixture()
+def gateway(grid_frn):
+    return ShardedGateway(grid_frn, num_shards=4, max_retries=0, backoff=0.0)
+
+
+class TestPartition:
+    def test_covers_every_vertex_exactly_once(self, grid_frn):
+        plan = partition_network(grid_frn.graph, 4)
+        seen = [v for members in plan.members for v in members]
+        assert sorted(seen) == list(range(grid_frn.graph.num_vertices))
+        for k, members in enumerate(plan.members):
+            assert all(plan.shard(v) == k for v in members)
+
+    def test_shards_are_connected(self, grid_frn):
+        plan = partition_network(grid_frn.graph, 4)
+        for members in plan.members:
+            sub, _ = grid_frn.graph.subgraph(members)
+            reached = {0}
+            stack = [0]
+            while stack:
+                u = stack.pop()
+                for w in sub.neighbors(u):
+                    if w not in reached:
+                        reached.add(w)
+                        stack.append(w)
+            assert len(reached) == sub.num_vertices
+
+    def test_boundary_and_cut_edges_agree_with_graph(self, grid_frn):
+        graph = grid_frn.graph
+        plan = partition_network(graph, 4)
+        cut = {
+            (min(u, v), max(u, v))
+            for u, v, _ in graph.edges()
+            if plan.shard(u) != plan.shard(v)
+        }
+        assert {(min(u, v), max(u, v)) for u, v, _ in plan.cut_edges} == cut
+        for k, members in enumerate(plan.members):
+            expected = {
+                v
+                for v in members
+                if any(plan.shard(w) != k for w in graph.neighbors(v))
+            }
+            assert set(plan.boundary[k]) == expected
+
+
+class TestExactness:
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_distances_bit_identical_to_monolithic(self, data):
+        graph = data.draw(connected_graphs(min_vertices=8, max_vertices=20))
+        frn = _frn(graph, seed=data.draw(st.integers(0, 5)))
+        gateway = ShardedGateway(
+            frn, num_shards=data.draw(st.integers(2, 3)),
+            max_retries=0, backoff=0.0,
+        )
+        mono = build_fahl(frn)
+        n = graph.num_vertices
+        for _ in range(8):
+            u = data.draw(st.integers(0, n - 1))
+            v = data.draw(st.integers(0, n - 1))
+            # integer edge weights: float64 sums are exact, so == is fair
+            assert as_distance(gateway.distance(u, v)) == mono.distance(u, v)
+
+    def test_grid_distances_match_monolithic(self, gateway, grid_frn):
+        mono = build_fahl(grid_frn)
+        n = grid_frn.num_vertices
+        for i in range(60):
+            u, v = (5 * i) % n, (11 * i + 3) % n
+            assert as_distance(gateway.distance(u, v)) == pytest.approx(
+                mono.distance(u, v), abs=1e-9
+            )
+
+    def test_query_spdis_matches_monolithic_across_intervals(
+        self, gateway, grid_frn
+    ):
+        mono = FlowAwareEngine(
+            grid_frn, oracle=build_fahl(grid_frn),
+            alpha=0.5, eta_u=3.0, pruning="none",
+        )
+        n, steps = grid_frn.num_vertices, grid_frn.num_timesteps
+        for i in range(40):
+            u, v = (7 * i + 1) % n, (13 * i + 5) % n
+            if u == v:
+                continue
+            query = FSPQuery(u, v, i % steps)
+            got = gateway.query(query).result
+            want = mono.query(query)
+            assert got.shortest_distance == pytest.approx(
+                want.shortest_distance, abs=1e-9
+            )
+
+    def test_batch_matches_serial_queries(self, gateway, grid_frn):
+        n, steps = grid_frn.num_vertices, grid_frn.num_timesteps
+        queries = [
+            FSPQuery((3 * i) % n, (7 * i + 5) % n, i % steps)
+            for i in range(24)
+            if (3 * i) % n != (7 * i + 5) % n
+        ]
+        serial = [gateway.query(q) for q in queries]
+        gateway.invalidate()  # drop the cache so batch recomputes
+        batched = gateway.batch(queries, workers=2)
+        for got, want in zip(batched, serial):
+            assert got.result.shortest_distance == pytest.approx(
+                want.result.shortest_distance, abs=1e-9
+            )
+
+
+class TestResultCache:
+    def test_repeated_query_hits(self, gateway, grid_frn):
+        query = FSPQuery(0, grid_frn.num_vertices - 1, 2)
+        first = gateway.query(query)
+        second = gateway.query(query)
+        assert second.result is first.result
+        stats = gateway.status().cache
+        assert stats.hits >= 1 and stats.misses >= 1
+
+    def test_weight_update_stale_drops_cached_entries(self, gateway, grid_frn):
+        graph = grid_frn.graph
+        u, v, w = next(iter(graph.edges()))
+        far = grid_frn.num_vertices - 1
+        before = as_distance(gateway.distance(u, far))
+        assert as_distance(gateway.distance(u, far)) == before  # cached
+        outcome = gateway.submit(WeightUpdate(u, v, w * 4.0, timestamp=1.0))
+        assert outcome.applied
+        after = as_distance(gateway.distance(u, far))
+        assert after == pytest.approx(
+            dijkstra_distance(graph, u, far), abs=1e-9
+        )
+        assert gateway.status().cache.stale_drops >= 1
+
+    def test_flow_update_invalidates_only_owning_shards(self, gateway):
+        plan = gateway.plan
+        in_shard0 = FSPQuery(plan.members[0][0], plan.members[0][-1], 0)
+        in_shard1 = FSPQuery(plan.members[1][0], plan.members[1][-1], 0)
+        gateway.query(in_shard0)
+        gateway.query(in_shard1)
+        assert gateway.submit(
+            FlowUpdate(plan.members[0][0], 42.0, timestamp=1.0)
+        ).applied
+        base = gateway.status().cache.stale_drops
+        gateway.query(in_shard1)  # shard 1 epoch untouched: still a hit
+        assert gateway.status().cache.stale_drops == base
+        gateway.query(in_shard0)  # shard 0 epoch bumped: entry dies lazily
+        assert gateway.status().cache.stale_drops == base + 1
+
+    def test_lru_eviction_is_bounded(self):
+        cache = ResultCache(capacity=2)
+        for i in range(5):
+            cache.put(("q", i, i + 1, 0), i, (0, 0, 0))
+        stats = cache.stats()
+        assert stats.size == 2
+        assert stats.evictions == 3
+
+
+class TestMaintenance:
+    def test_intra_shard_weight_update_routes_ilu(self, gateway):
+        plan, graph = gateway.plan, gateway.frn.graph
+        u, v, w = next(
+            (u, v, w) for u, v, w in graph.edges()
+            if plan.shard(u) == plan.shard(v)
+        )
+        outcome = gateway.submit(WeightUpdate(u, v, w + 2.0, timestamp=1.0))
+        assert outcome.applied and outcome.strategy == "ilu"
+        assert graph.weight(u, v) == w + 2.0
+
+    def test_cut_edge_weight_update_is_gateway_owned(self, gateway):
+        u, v, _ = gateway.plan.cut_edges[0]
+        new = gateway.frn.graph.weight(u, v) + 3.0
+        outcome = gateway.submit(WeightUpdate(u, v, new, timestamp=1.0))
+        assert outcome.applied and outcome.strategy == "cut-edge"
+        far = (u + 17) % gateway.frn.num_vertices
+        assert as_distance(gateway.distance(u, far)) == pytest.approx(
+            dijkstra_distance(gateway.frn.graph, u, far), abs=1e-9
+        )
+
+    def test_bad_updates_are_dead_lettered_not_raised(self, gateway):
+        assert not gateway.submit(FlowUpdate(3, math.nan, timestamp=1.0)).accepted
+        assert not gateway.submit(FlowUpdate(-7, 1.0, timestamp=1.0)).accepted
+        u, v, _ = gateway.plan.cut_edges[0]
+        assert not gateway.submit(
+            WeightUpdate(u, v, -1.0, timestamp=1.0)
+        ).accepted
+        status = gateway.status()
+        assert status.metrics["updates_rejected"] >= 3
+
+    def test_cut_edge_stale_timestamp_rejected(self, gateway):
+        u, v, _ = gateway.plan.cut_edges[0]
+        w = gateway.frn.graph.weight(u, v)
+        assert gateway.submit(WeightUpdate(u, v, w + 1.0, timestamp=5.0)).applied
+        late = gateway.submit(WeightUpdate(u, v, w + 2.0, timestamp=4.0))
+        assert not late.accepted and late.reason == "stale-timestamp"
+
+
+class TestDegradedIsolation:
+    def test_poisoned_shard_does_not_degrade_the_rest(self, gateway):
+        plan = gateway.plan
+        victim = plan.members[0][0]
+        with FaultInjector() as injector:
+            injector.fail_at("flow:flow-set", times=10)
+            outcome = gateway.submit(FlowUpdate(victim, 42.0, timestamp=1.0))
+        assert outcome.deferred
+        assert gateway.degraded_shards == (0,)
+
+        healthy = gateway.query(
+            FSPQuery(plan.members[1][0], plan.members[1][-1], 0)
+        )
+        assert not healthy.degraded and healthy.source == "shard"
+
+        touched = gateway.query(FSPQuery(victim, plan.members[2][0], 0))
+        assert touched.degraded and touched.source == "fallback"
+        assert touched.result.shortest_distance == pytest.approx(
+            dijkstra_distance(gateway.frn.graph, victim, plan.members[2][0]),
+            abs=1e-9,
+        )
+
+    def test_repair_restores_index_serving(self, gateway):
+        victim = gateway.plan.members[0][0]
+        with FaultInjector() as injector:
+            injector.fail_at("flow:flow-set", times=10)
+            gateway.submit(FlowUpdate(victim, 42.0, timestamp=1.0))
+        assert gateway.degraded_shards == (0,)
+        verdicts = gateway.repair()
+        assert verdicts == {0: True}
+        assert gateway.degraded_shards == ()
+        result = gateway.query(FSPQuery(victim, gateway.plan.members[2][0], 0))
+        assert result.source in ("shard", "boundary")
+
+
+class TestStatus:
+    def test_snapshot_shape(self, gateway, grid_frn):
+        gateway.query(FSPQuery(0, grid_frn.num_vertices - 1, 0))
+        status = gateway.status()
+        assert status.num_shards == 4
+        assert sum(status.shard_sizes) == grid_frn.num_vertices
+        assert status.boundary_vertices > 0
+        assert status.degraded_shards == ()
+        assert len(status.shard_epochs) == 4
+        assert status.cache.capacity > 0
+        assert any(k.startswith("queries_") for k in status.metrics)
