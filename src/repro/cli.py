@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="candidate-path cap per query (default 12)")
     run.add_argument("--datasets", default="BRN,NYC,BAY,COL",
                      help="comma-separated dataset names")
+    run.add_argument("--dimacs", metavar="PATH", action="append", default=None,
+                     help="run on a real DIMACS .gr file instead of the "
+                          "synthetic datasets (repeatable; a sibling .co "
+                          "file is picked up automatically)")
     run.add_argument("--seed", type=int, default=0, help="workload seed")
 
     stats = sub.add_parser(
@@ -89,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--eta", type=float, default=3.0)
     report.add_argument("--candidates", type=int, default=12)
     report.add_argument("--datasets", default="BRN,NYC,BAY,COL")
+    report.add_argument("--dimacs", metavar="PATH", action="append",
+                        default=None,
+                        help="run on a real DIMACS .gr file instead of the "
+                             "synthetic datasets (repeatable)")
     report.add_argument("--seed", type=int, default=0)
 
     obs_cmd = sub.add_parser(
@@ -140,8 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    from repro.workloads.datasets import DIMACS_PREFIX
+
+    if getattr(args, "dimacs", None):
+        datasets = tuple(f"{DIMACS_PREFIX}{path}" for path in args.dimacs)
+    else:
+        datasets = tuple(
+            name.strip().upper() for name in args.datasets.split(",")
+        )
     return ExperimentConfig(
-        datasets=tuple(name.strip().upper() for name in args.datasets.split(",")),
+        datasets=datasets,
         scale=args.scale,
         num_groups=args.groups,
         queries_per_group=args.queries,

@@ -26,9 +26,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import QueryError
 
-__all__ = ["FlowBounds", "lemma4_bounds", "adaptive_upper_bound"]
+__all__ = [
+    "FlowBounds",
+    "adaptive_prune_mask",
+    "adaptive_upper_bound",
+    "lemma4_bounds",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +48,15 @@ class FlowBounds:
     def prunes(self, flow: float) -> bool:
         """Whether a candidate with this path flow is pruned."""
         return flow < self.lower or flow > self.upper
+
+    def prunes_many(self, flows: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`prunes`: a boolean mask over a flow vector.
+
+        Same comparisons as the scalar method, applied element-wise, so the
+        mask agrees entry for entry with a :meth:`prunes` loop.
+        """
+        flows = np.asarray(flows, dtype=np.float64)
+        return (flows < self.lower) | (flows > self.upper)
 
 
 def lemma4_bounds(
@@ -88,3 +104,44 @@ def adaptive_upper_bound(
     if spread <= 0:
         return flow_max
     return flow_min + spread * best_score / (1.0 - alpha)
+
+
+def adaptive_prune_mask(
+    scores: np.ndarray,
+    flows: np.ndarray,
+    flow_min: float,
+    flow_max: float,
+    alpha: float,
+) -> np.ndarray:
+    """The whole adaptive-pruning pass as one array mask.
+
+    The sequential loop prunes candidate ``i`` when its flow exceeds
+    :func:`adaptive_upper_bound` of the best score among the *unpruned*
+    candidates before it.  That running best equals the running minimum
+    over **all** earlier scores: a pruned candidate satisfies
+    ``(1-α)·TF' > best_score``, and since its score is at least
+    ``(1-α)·TF'``, it is strictly above the incumbent and can never lower
+    the minimum.  So the prefix minimum of the full score vector
+    reproduces the loop's incumbent exactly, and the mask agrees
+    candidate for candidate with the scalar pass (same float operations,
+    same comparisons).
+
+    Candidate 0 is never pruned (no incumbent exists yet).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise QueryError(f"alpha must be in (0, 1), got {alpha}")
+    scores = np.asarray(scores, dtype=np.float64)
+    flows = np.asarray(flows, dtype=np.float64)
+    if scores.shape != flows.shape or scores.ndim != 1:
+        raise QueryError("scores and flows must be aligned 1-D arrays")
+    mask = np.zeros(scores.shape, dtype=bool)
+    if scores.size < 2:
+        return mask
+    spread = flow_max - flow_min
+    incumbent = np.minimum.accumulate(scores)[:-1]
+    if spread <= 0:
+        bound = np.full_like(incumbent, flow_max)
+    else:
+        bound = flow_min + spread * incumbent / (1.0 - alpha)
+    mask[1:] = flows[1:] > bound
+    return mask

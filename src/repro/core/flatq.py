@@ -1,0 +1,401 @@
+"""Flat single-query FSPQ kernel over the packed label arena.
+
+A scalar FSPQ query spends ~80% of its time in Yen spur searches, and each
+spur search spends most of *its* time in per-vertex Python work: heuristic
+calls into the oracle, dict-based distance maps, and banned-edge set
+construction that rescans every accepted path.  :class:`FlatQueryKernel`
+keeps the exact algorithm — the candidate stream is **bit-identical** to
+:func:`repro.paths.yen.iter_shortest_paths` driven by an
+:class:`~repro.paths.astar_search.OracleHeuristic` — but restructures the
+state so the per-vertex work collapses:
+
+* the A* heuristic ``h(v) = dis(v, target)`` becomes one vectorised
+  one-to-all gather (:meth:`HierarchyIndex.distances_to` over the packed
+  :class:`~repro.labeling.arena.LabelArena`) instead of one scalar label
+  scan per visited vertex, cached per target;
+* A* runs on a prebuilt adjacency list (``neighbor_items`` order preserved,
+  undirected edge ids precomputed) with stamped distance/parent arrays —
+  no dict lookups, no per-search allocation;
+* Yen's banned-edge sets are maintained incrementally per accepted prefix
+  (``prefix_state``) instead of rescanning all accepted paths each round,
+  and spur searches are memoized on ``(root, banned-set version)`` so a
+  repeated deviation point is never searched twice;
+* a one-step lookahead lower bound skips spur searches that provably
+  cannot yield a candidate within the distance bound or within the
+  consumer's remaining pull budget.
+
+Every optimisation above is output-invariant: memoized searches are
+replayed under identical inputs, and a skipped spur search's candidate
+could never have been popped from the deviation frontier within the pull
+budget (its total is at least the lookahead bound, and at least
+``remaining`` queued candidates are no worse).  The property tests in
+``tests/test_property_flat_kernel.py`` pin this down against the scalar
+path, including straight after ILU/ISU/GSU maintenance.
+
+The kernel snapshots ``index.label_version`` at build time; the engine
+rebuilds it whenever the version moves, so maintenance transparently
+invalidates the cached adjacency, heuristics and memo tables.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import math
+from typing import TYPE_CHECKING, Iterator
+
+from repro.paths.scoring import path_flow
+
+if TYPE_CHECKING:  # circular-import guard: hierarchy is typing-only here
+    from repro.graph.frn import FlowAwareRoadNetwork
+    from repro.labeling.hierarchy import HierarchyIndex
+
+__all__ = ["FlatQueryKernel"]
+
+_INF = math.inf
+
+
+class FlatQueryKernel:
+    """Flat-array candidate enumeration for one (index, FRN) pair.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.labeling.hierarchy.HierarchyIndex` (FAHL or H2H)
+        over exactly ``frn.graph``.  Its ``distance_many`` feeds the
+        heuristic tables, so the kernel's A* sees the same admissible
+        heuristic values as the scalar :class:`OracleHeuristic` path.
+    frn:
+        The flow-aware road network the engine queries.
+
+    Attributes
+    ----------
+    version:
+        ``index.label_version`` at build time; :meth:`is_current` compares
+        it so engines drop the kernel after any maintenance operation.
+    stats:
+        Monotone counters (spur searches run / memoized / skipped,
+        heuristic tables built) — exported to ``repro.obs`` by the engine.
+    """
+
+    def __init__(self, index: "HierarchyIndex", frn: "FlowAwareRoadNetwork") -> None:
+        graph = frn.graph
+        n = graph.num_vertices
+        self.index = index
+        self.frn = frn
+        self.num_vertices = n
+        self.version = index.label_version
+        # adjacency rows in neighbor_items order (A* must expand neighbours
+        # in exactly the same sequence as the reference search), annotated
+        # with undirected edge ids so banned-edge checks are int-set probes
+        eid: dict[tuple[int, int], int] = {}
+        adj: list[list[tuple[int, float, int]]] = []
+        wmap: dict[tuple[int, int], float] = {}
+        for u in range(n):
+            row = []
+            for v, w in graph.neighbor_items(u):
+                key = (u, v) if u < v else (v, u)
+                e = eid.get(key)
+                if e is None:
+                    e = eid[key] = len(eid)
+                row.append((v, w, e))
+                wmap[(u, v)] = w
+            adj.append(row)
+        self.adj = adj
+        self.eid = eid
+        self.wmap = wmap
+        # stamped search state reused across every A* run (token bump = O(1)
+        # reset); lists beat numpy here — access is scalar, not vectorised
+        self._dist: list[float] = [_INF] * n
+        self._prev: list[int] = [0] * n
+        self._stamp: list[int] = [0] * n
+        self._token = 0
+        self._h_cache: dict[int, list[float]] = {}
+        self.stats = {
+            "astar_runs": 0,
+            "spur_memo_hits": 0,
+            "spur_skips": 0,
+            "heuristic_builds": 0,
+        }
+
+    def is_current(self) -> bool:
+        """Whether the snapshot still matches the index's label version."""
+        return self.version == self.index.label_version
+
+    # ------------------------------------------------------------------
+    # heuristics / distances
+    # ------------------------------------------------------------------
+    def h_to(self, target: int) -> list[float]:
+        """The admissible heuristic table toward ``target`` (cached).
+
+        One vectorised one-to-all arena gather; entry ``h[v]`` is
+        bit-identical to ``index.distance(v, target)`` (the documented
+        guarantee of ``distance_many``), so A* pops vertices in exactly
+        the order the scalar ``OracleHeuristic`` search would.
+        """
+        h = self._h_cache.get(target)
+        if h is None:
+            if len(self._h_cache) >= 128:
+                self._h_cache.clear()
+            h = self.index.distances_to(target).tolist()
+            self._h_cache[target] = h
+            self.stats["heuristic_builds"] += 1
+        return h
+
+    def distance(self, u: int, v: int) -> float:
+        """Exact ``SPDis(u, v)``, served from a cached table when one exists."""
+        h = self._h_cache.get(v)
+        if h is not None:
+            return h[u]
+        return self.index.distance(u, v)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _astar(
+        self,
+        source: int,
+        target: int,
+        h: list[float],
+        banned_v: frozenset[int],
+        banned_e: frozenset[int] | set[int],
+        cutoff: float,
+    ) -> tuple[list[int] | None, float]:
+        """A* on the flat adjacency; mirrors ``astar_path`` operation for
+        operation (same pops, same pushes, same tie-breaking)."""
+        if source in banned_v or target in banned_v:
+            return None, _INF
+        self.stats["astar_runs"] += 1
+        adj = self.adj
+        dist = self._dist
+        prev = self._prev
+        stamp = self._stamp
+        self._token += 1
+        token = self._token
+        dist[source] = 0.0
+        stamp[source] = token
+        heap: list[tuple[float, float, int]] = [(h[source], 0.0, source)]
+        pop = heapq.heappop
+        push = heapq.heappush
+        while heap:
+            f, d, u = pop(heap)
+            if f > cutoff:
+                break
+            if u == target:
+                path = [target]
+                x = target
+                while x != source:
+                    x = prev[x]
+                    path.append(x)
+                path.reverse()
+                return path, d
+            if stamp[u] == token and d > dist[u]:
+                continue
+            for v, w, e in adj[u]:
+                if v in banned_v or e in banned_e:
+                    continue
+                nd = d + w
+                if stamp[v] != token or nd < dist[v]:
+                    dist[v] = nd
+                    stamp[v] = token
+                    prev[v] = u
+                    est = nd + h[v]
+                    if est <= cutoff:
+                        push(heap, (est, nd, v))
+        return None, _INF
+
+    def iter_paths(
+        self,
+        source: int,
+        target: int,
+        max_distance: float,
+        max_pulls: int | None = None,
+    ) -> Iterator[tuple[list[int], float]]:
+        """Loopless paths in non-decreasing distance order (lazy Yen).
+
+        The yielded ``(path, distance)`` stream is bit-identical to
+        :func:`repro.paths.yen.iter_shortest_paths` under an oracle
+        heuristic.  ``max_pulls`` is the consumer's pull budget (the
+        engine pulls at most ``max_candidates + 1`` paths); it only
+        enables the frontier-budget spur skip and never changes which
+        paths are produced within the budget.
+        """
+        h = self.h_to(target)
+        empty: frozenset[int] = frozenset()
+        best, best_dist = self._astar(source, target, h, empty, empty, max_distance)
+        if not best or best_dist > max_distance:
+            return
+        yield best, best_dist
+        yielded = 1
+        accepted_last = best
+        seen = {tuple(best)}
+        # per accepted-prefix deviation state: [banned edge ids, version];
+        # the version makes (root, version) a sound memo key for spur runs
+        prefix_state: dict[tuple[int, ...], list] = {}
+        wmap = self.wmap
+        eid = self.eid
+
+        def add_accepted(path: list[int]) -> None:
+            tp = tuple(path)
+            for i in range(len(path) - 1):
+                key = tp[:i + 1]
+                s = prefix_state.get(key)
+                if s is None:
+                    s = prefix_state[key] = [set(), 0]
+                a, b = path[i], path[i + 1]
+                e = eid[(a, b) if a < b else (b, a)]
+                if e not in s[0]:
+                    s[0].add(e)
+                    s[1] += 1
+
+        add_accepted(best)
+        frontier: list[tuple[float, int, list[int]]] = []
+        totals: list[float] = []  # frontier totals, sorted (budget skip)
+        counter = 0
+        memo: dict[tuple, tuple[list[int] | None, float]] = {}
+        stats = self.stats
+        while True:
+            base = accepted_last
+            tbase = tuple(base)
+            remaining = None if max_pulls is None else max_pulls - yielded
+            prefix_cost = 0.0
+            for i in range(len(base) - 1):
+                spur = base[i]
+                root = tbase[:i + 1]
+                s = prefix_state.get(root)
+                banned_e = s[0] if s is not None else empty
+                ver = s[1] if s is not None else 0
+                mkey = (root, ver)
+                hit = memo.get(mkey)
+                if hit is None:
+                    # one-step lookahead lower bound on any spur deviation:
+                    # the cheapest allowed first hop plus its exact
+                    # remaining distance (h is exact, hence tight)
+                    lb = _INF
+                    rootset = set(root[:-1])
+                    for v, w, e in self.adj[spur]:
+                        if e not in banned_e and v not in rootset:
+                            est = w + h[v]
+                            if est < lb:
+                                lb = est
+                    lb += prefix_cost
+                    if lb > max_distance or (
+                        remaining is not None
+                        and len(totals) >= remaining
+                        and totals[remaining - 1] <= lb
+                    ):
+                        # either no deviation fits the distance bound, or
+                        # >= remaining queued candidates are no worse than
+                        # this spur's best possible total — it could never
+                        # be popped within the consumer's budget
+                        stats["spur_skips"] += 1
+                        prefix_cost += wmap[(base[i], base[i + 1])]
+                        continue
+                    hit = self._astar(
+                        spur, target, h, frozenset(rootset), banned_e,
+                        max_distance - prefix_cost,
+                    )
+                    memo[mkey] = hit
+                else:
+                    stats["spur_memo_hits"] += 1
+                spur_path, spur_dist = hit
+                if spur_path:
+                    total = prefix_cost + spur_dist
+                    if total <= max_distance:
+                        candidate = list(root[:-1]) + spur_path
+                        key = tuple(candidate)
+                        if key not in seen:
+                            seen.add(key)
+                            counter += 1
+                            heapq.heappush(frontier, (total, counter, candidate))
+                            bisect.insort(totals, total)
+                prefix_cost += wmap[(base[i], base[i + 1])]
+            if not frontier:
+                return
+            dist, _, path = heapq.heappop(frontier)
+            totals.pop(bisect.bisect_left(totals, dist))
+            accepted_last = path
+            add_accepted(path)
+            yield path, dist
+            yielded += 1
+            if max_pulls is not None and yielded >= max_pulls:
+                return
+
+    # ------------------------------------------------------------------
+    # candidate collection (the engine's two consumer shapes)
+    # ------------------------------------------------------------------
+    def collect_eager(
+        self,
+        source: int,
+        target: int,
+        max_distance: float,
+        flow_vector,
+        max_candidates: int,
+    ) -> tuple[list[list[int]], list[float], list[float], bool, bool]:
+        """Capped full enumeration — mirrors the engine's eager collector."""
+        paths: list[list[int]] = []
+        distances: list[float] = []
+        flows: list[float] = []
+        truncated = False
+        for path, dist in self.iter_paths(
+            source, target, max_distance, max_pulls=max_candidates + 1
+        ):
+            if len(paths) == max_candidates:
+                truncated = True
+                break
+            paths.append(path)
+            distances.append(dist)
+            flows.append(path_flow(flow_vector, path))
+        return paths, distances, flows, truncated, False
+
+    def collect_lazy(
+        self,
+        source: int,
+        target: int,
+        spdis: float,
+        max_distance: float,
+        flow_vector,
+        alpha: float,
+        max_candidates: int,
+        min_candidates: int,
+    ) -> tuple[list[list[int]], list[float], list[float], bool, bool]:
+        """Lazy enumeration with the score-dominance stop (FAHL-W).
+
+        Same float arithmetic and the same stop test as the engine's
+        scalar collector, so the collected prefix is identical.
+        """
+        dist_range = max_distance - spdis
+        paths: list[list[int]] = []
+        distances: list[float] = []
+        flows: list[float] = []
+        truncated = False
+        early_stopped = False
+
+        def best_score() -> float:
+            flow_min = min(flows)
+            flow_max = max(flows)
+            flow_range = flow_max - flow_min
+            best = _INF
+            for dist, flow in zip(distances, flows):
+                d_term = (dist - spdis) / dist_range if dist_range > 0 else 0.0
+                f_term = (flow - flow_min) / flow_range if flow_range > 0 else 0.0
+                score = alpha * d_term + (1.0 - alpha) * f_term
+                if score < best:
+                    best = score
+            return best
+
+        for path, dist in self.iter_paths(
+            source, target, max_distance, max_pulls=max_candidates + 1
+        ):
+            if len(paths) == max_candidates:
+                truncated = True
+                break
+            if len(paths) >= min_candidates:
+                d_term = (dist - spdis) / dist_range if dist_range > 0 else 0.0
+                if alpha * d_term > best_score():
+                    early_stopped = True
+                    break
+            paths.append(path)
+            distances.append(dist)
+            flows.append(path_flow(flow_vector, path))
+        return paths, distances, flows, truncated, early_stopped

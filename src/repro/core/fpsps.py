@@ -35,10 +35,16 @@ import warnings
 import numpy as np
 
 from repro import obs
-from repro.core.bounds import adaptive_upper_bound, lemma4_bounds
+from repro.core.bounds import (
+    adaptive_prune_mask,
+    adaptive_upper_bound,
+    lemma4_bounds,
+)
+from repro.core.flatq import FlatQueryKernel
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.errors import QueryError
 from repro.graph.frn import FlowAwareRoadNetwork
+from repro.labeling.hierarchy import HierarchyIndex
 from repro.paths.astar_search import astar_path
 from repro.paths.candidates import (
     enumerate_all_paths_within,
@@ -48,9 +54,30 @@ from repro.paths.candidates import (
 from repro.paths.scoring import NormalizationContext, path_flow
 from repro.paths.yen import iter_shortest_paths
 
-__all__ = ["FlowAwareEngine", "PRUNING_MODES"]
+__all__ = ["FlowAwareEngine", "KERNEL_MODES", "PRUNING_MODES"]
 
 PRUNING_MODES = ("none", "lemma4", "adaptive")
+KERNEL_MODES = ("flat", "scalar")
+
+#: kernel stats exported to the metrics registry after each flat query
+_KERNEL_COUNTERS = {
+    "astar_runs": (
+        "repro_flatq_spur_searches_total",
+        "A* spur searches run by the flat kernel",
+    ),
+    "spur_memo_hits": (
+        "repro_flatq_spur_memo_hits_total",
+        "spur searches answered from the kernel memo table",
+    ),
+    "spur_skips": (
+        "repro_flatq_spur_skips_total",
+        "spur searches skipped by the lookahead lower bound",
+    ),
+    "heuristic_builds": (
+        "repro_flatq_heuristic_builds_total",
+        "one-to-all heuristic tables built by the flat kernel",
+    ),
+}
 
 
 class FlowAwareEngine:
@@ -86,6 +113,16 @@ class FlowAwareEngine:
         candidates have been enumerated — a quality floor trading a little
         enumeration work for much better agreement with the unpruned
         optimum (measured in EXPERIMENTS.md).
+    kernel:
+        ``"flat"`` (default) evaluates queries through the vectorised
+        :class:`~repro.core.flatq.FlatQueryKernel` whenever the oracle is
+        a hierarchy index over this FRN's graph — bit-identical results,
+        roughly an order of magnitude faster.  ``"scalar"`` forces the
+        reference pure-Python path (the exactness baseline the flat
+        kernel is tested against).  Oracles the kernel cannot speak for
+        (``None``, non-hierarchy baselines, ALT-style oracles with their
+        own heuristic factory, exhaustive mode) silently use the scalar
+        path either way.
     """
 
     def __init__(
@@ -100,6 +137,7 @@ class FlowAwareEngine:
         w_c: float = 0.5,
         exhaustive: bool = False,
         min_candidates: int = 4,
+        kernel: str = "flat",
     ) -> None:
         if not 0.0 < alpha < 1.0:
             raise QueryError(f"alpha must be in (0, 1), got {alpha}")
@@ -121,7 +159,13 @@ class FlowAwareEngine:
         if min_candidates < 1:
             raise QueryError(f"min_candidates must be >= 1, got {min_candidates}")
         self.min_candidates = int(min_candidates)
+        if kernel not in KERNEL_MODES:
+            raise QueryError(
+                f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
+        self.kernel = kernel
         self._flow_cache: dict[int, np.ndarray] = {}
+        self._flat_kernel_cache: FlatQueryKernel | None = None
 
     # ------------------------------------------------------------------
     def _flow_at(self, t: int) -> np.ndarray:
@@ -142,6 +186,34 @@ class FlowAwareEngine:
         so maintenance can never refresh one cache and miss another.
         """
         self._flow_cache.clear()
+        self._flat_kernel_cache = None
+
+    def _flat_kernel(self) -> FlatQueryKernel | None:
+        """The flat kernel for the current oracle, or ``None``.
+
+        The kernel only speaks for hierarchy indexes over exactly this
+        FRN's graph whose heuristic is the plain exact-distance oracle
+        wrap; anything else (index-free baselines, ALT oracles with a
+        ``heuristic`` factory, exhaustive enumeration, a batch-path
+        ``MemoizedOracle`` swap) falls back to the scalar reference.  A
+        cached kernel is dropped whenever the oracle object changes or
+        maintenance bumps its label version — the staleness contract the
+        property tests exercise.
+        """
+        if self.kernel != "flat" or self.exhaustive:
+            return None
+        oracle = self.oracle
+        if not isinstance(oracle, HierarchyIndex):
+            return None
+        if oracle.graph is not self.frn.graph:
+            return None
+        if callable(getattr(oracle, "heuristic", None)):
+            return None
+        kern = self._flat_kernel_cache
+        if kern is None or kern.index is not oracle or not kern.is_current():
+            kern = FlatQueryKernel(oracle, self.frn)
+            self._flat_kernel_cache = kern
+        return kern
 
     def invalidate_flow_cache(self) -> None:
         """Deprecated alias of :meth:`invalidate` (removed next release)."""
@@ -156,6 +228,9 @@ class FlowAwareEngine:
     def shortest_distance(self, source: int, target: int) -> float:
         """``SPDis`` via the oracle, or A*/Dijkstra when index-free."""
         if self.oracle is not None:
+            kern = self._flat_kernel()
+            if kern is not None:
+                return kern.distance(source, target)
             return self.oracle.distance(source, target)
         heuristic = heuristic_for(self.frn.graph, None, target)
         _, dist = astar_path(self.frn.graph, source, target, heuristic)
@@ -329,6 +404,10 @@ class FlowAwareEngine:
                 truncated=False,
             )
 
+        kern = self._flat_kernel()
+        if kern is not None:
+            return self._query_flat(kern, source, target, flow_vector)
+
         spdis = self.shortest_distance(source, target)
         if not math.isfinite(spdis):
             raise QueryError(f"vertices {source} and {target} are disconnected")
@@ -401,6 +480,103 @@ class FlowAwareEngine:
             distance=distances[best_index],
             flow=flows[best_index],
             score=best_key[0],
+            shortest_distance=spdis,
+            num_candidates=len(paths),
+            num_pruned=num_pruned,
+            truncated=truncated,
+            early_stopped=early_stopped,
+        )
+
+    def _query_flat(
+        self,
+        kern: FlatQueryKernel,
+        source: int,
+        target: int,
+        flow_vector: np.ndarray,
+    ) -> FSPResult:
+        """Alg. 5 through the flat kernel: vectorised bounds and scoring.
+
+        Candidate enumeration is bit-identical to the scalar collectors
+        (the kernel's contract); pruning and scoring then run as whole
+        candidate-vector operations whose element-wise arithmetic matches
+        the scalar loop exactly — same IEEE operations, same comparisons,
+        same tie-breaking (stable lexsort picks the first index with the
+        minimal ``(score, distance, flow)`` key, which is precisely what
+        the sequential strict-less update keeps).  Returns the same
+        :class:`FSPResult` the scalar path would.
+        """
+        registry = obs.get_registry()
+        before = dict(kern.stats) if registry.enabled else None
+        spdis = kern.h_to(target)[source]
+        if not math.isfinite(spdis):
+            raise QueryError(f"vertices {source} and {target} are disconnected")
+        max_distance = self.eta_u * spdis
+        if self.pruning == "lemma4":
+            paths, distances, flows, truncated, early_stopped = kern.collect_lazy(
+                source,
+                target,
+                spdis,
+                max_distance,
+                flow_vector,
+                alpha=self.alpha,
+                max_candidates=self.max_candidates,
+                min_candidates=self.min_candidates,
+            )
+        else:
+            paths, distances, flows, truncated, early_stopped = kern.collect_eager(
+                source, target, max_distance, flow_vector, self.max_candidates
+            )
+        if before is not None:
+            for key, (metric, help_text) in _KERNEL_COUNTERS.items():
+                delta = kern.stats[key] - before[key]
+                if delta:
+                    registry.counter(metric, help_text).inc(delta)
+        if not paths:
+            raise QueryError(
+                f"no candidate paths between {source} and {target} "
+                f"within MCPDis={max_distance}"
+            )
+
+        flow_min = min(flows)
+        flow_max = max(flows)
+        dists = np.asarray(distances, dtype=np.float64)
+        flows_arr = np.asarray(flows, dtype=np.float64)
+        dist_range = max_distance - spdis
+        flow_range = flow_max - flow_min
+        if dist_range > 0:
+            d_terms = (dists - spdis) / dist_range
+        else:
+            d_terms = np.zeros_like(dists)
+        if flow_range > 0:
+            f_terms = (flows_arr - flow_min) / flow_range
+        else:
+            f_terms = np.zeros_like(flows_arr)
+        scores = self.alpha * d_terms + (1.0 - self.alpha) * f_terms
+
+        if self.pruning == "lemma4":
+            bounds = lemma4_bounds(flow_min, flow_max, self.alpha, self.eta_u)
+            pruned = bounds.prunes_many(flows_arr)
+        elif self.pruning == "adaptive":
+            pruned = adaptive_prune_mask(
+                scores, flows_arr, flow_min, flow_max, self.alpha
+            )
+        else:
+            pruned = np.zeros(len(flows), dtype=bool)
+        num_pruned = int(pruned.sum())
+        alive = np.flatnonzero(~pruned)
+        if alive.size:
+            order = np.lexsort((flows_arr[alive], dists[alive], scores[alive]))
+            best_index = int(alive[order[0]])
+        else:
+            # every candidate was pruned (possible under lemma4); fall back
+            # to the spatially shortest candidate, which is always index 0.
+            best_index = 0
+
+        return FSPResult(
+            path=tuple(paths[best_index]),
+            distance=distances[best_index],
+            flow=flows[best_index],
+            score=float(scores[best_index]),
             shortest_distance=spdis,
             num_candidates=len(paths),
             num_pruned=num_pruned,

@@ -35,6 +35,11 @@ __all__ = ["LabelArena"]
 #: :meth:`LabelArena.pair_distances` uses the segmented-reduction kernel.
 _DENSE_POS_LIMIT = 32_000_000
 
+#: quantized sentinel standing in for "no entry": larger than any real
+#: packed distance (road weights are small integers), and safe to add to
+#: itself without overflowing int64.
+_QUANT_INF = np.int64(2) ** 40
+
 
 def _pack(arrays: list[np.ndarray], dtype) -> tuple[np.ndarray, np.ndarray]:
     """Flatten a ragged array list into ``(offsets[n + 1], values)``."""
@@ -68,6 +73,19 @@ class LabelArena:
         candidate never changes a minimum).  Lets the hot kernel run on
         rectangular gathers with no per-pair expansion; ``None`` when the
         matrix would exceed the :data:`_DENSE_POS_LIMIT` element budget.
+    label_pad:
+        Dense ``(n, max_label_width)`` padded rectangular view of the
+        labels (pad value ``+inf``): ``label_pad[v, j] == labels[v][j]``
+        for every valid depth position ``j``.  Hub position arrays only
+        address depths at or above the hub, which both endpoint labels
+        cover, so rectangular kernels never read the padding.
+    label_values_q, label_pad_q:
+        Packed-int (int64) quantized copies of the distance labels, built
+        only when every label value is integral and small enough that all
+        query arithmetic stays exact (see :attr:`quantized`).  Integer
+        gathers sidestep float rounding questions entirely: sums and
+        minima of integral float64 values are exact, so the quantized
+        kernel agrees bit for bit with the float path.
     anc_offsets, anc_values:
         Root-to-vertex ancestor paths — *shared* with the index's flat
         ancestor storage, not copied.
@@ -78,6 +96,9 @@ class LabelArena:
         "num_vertices",
         "label_offsets",
         "label_values",
+        "label_pad",
+        "label_values_q",
+        "label_pad_q",
         "via_offsets",
         "via_values",
         "pos_offsets",
@@ -94,6 +115,8 @@ class LabelArena:
         self.via_offsets, self.via_values = _pack(index.vias, np.int32)
         self.pos_offsets, self.pos_values = _pack(index.positions, np.int64)
         self.pos_pad = self._pad_positions()
+        self.label_pad = self._pad_labels()
+        self.label_values_q, self.label_pad_q = self._quantize()
         self.anc_offsets = index.anc_offsets
         self.anc_values = index.anc_flat
 
@@ -107,6 +130,39 @@ class LabelArena:
         col = np.arange(int(counts.max()), dtype=np.int64)
         idx = self.pos_offsets[:-1, None] + np.minimum(col, counts[:, None] - 1)
         return self.pos_values[idx]
+
+    def _pad_labels(self) -> np.ndarray | None:
+        n = self.num_vertices
+        counts = self.label_offsets[1:] - self.label_offsets[:-1]
+        if n == 0 or int(counts.max()) * n > _DENSE_POS_LIMIT:
+            return None
+        width = int(counts.max())
+        col = np.arange(width, dtype=np.int64)
+        idx = self.label_offsets[:-1, None] + np.minimum(col, counts[:, None] - 1)
+        pad = self.label_values[idx]
+        pad[col[None, :] >= counts[:, None]] = np.inf
+        return pad
+
+    def _quantize(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Packed-int label copies when exactness is provable.
+
+        Quantization requires every label value to be a non-negative
+        integer below :data:`_QUANT_INF`: any sum of two such entries is
+        below ``2**41``, far inside both int64 and the 2**53 window where
+        float64 represents integers exactly — so the integer kernel and
+        the float kernel compute identical distances, bit for bit.
+        """
+        values = self.label_values
+        if self.label_pad is None or values.size == 0:
+            return None, None
+        if not np.all(np.floor(values) == values):
+            return None, None
+        if float(values.min()) < 0.0 or float(values.max()) >= float(_QUANT_INF):
+            return None, None
+        pad_q = np.where(
+            np.isfinite(self.label_pad), self.label_pad, float(_QUANT_INF)
+        ).astype(np.int64)
+        return values.astype(np.int64), pad_q
 
     @property
     def nbytes(self) -> int:
@@ -123,7 +179,24 @@ class LabelArena:
             + self.pos_offsets.nbytes
             + self.pos_values.nbytes
             + (self.pos_pad.nbytes if self.pos_pad is not None else 0)
+            + (self.label_pad.nbytes if self.label_pad is not None else 0)
+            + (
+                self.label_values_q.nbytes
+                if self.label_values_q is not None
+                else 0
+            )
+            + (self.label_pad_q.nbytes if self.label_pad_q is not None else 0)
         )
+
+    @property
+    def quantized(self) -> bool:
+        """Whether the packed-int fast path is active.
+
+        True when every label value is a non-negative integer below the
+        sentinel — always the case for integer-weight road networks, where
+        label entries are sums of edge weights.
+        """
+        return self.label_pad_q is not None
 
     def label(self, v: int) -> np.ndarray:
         """The packed distance label of ``v`` (a view, no copy)."""
@@ -147,12 +220,20 @@ class LabelArena:
         The hot path gathers padded position rows from :attr:`pos_pad` and
         reduces along a rectangular axis — no per-pair expansion at all
         (the pad duplicates each row's last candidate, which cannot change
-        a minimum).  When the dense matrix was over budget at build time,
-        a ragged kernel expands each pair's window with ``repeat`` and
-        folds it with a segmented ``minimum.reduceat`` — segments are
-        never empty because every position array contains the vertex's own
-        depth.
+        a minimum).  When the arena is :attr:`quantized`, the gather runs
+        over the packed-int rectangular view instead: integer sums and
+        minima are exact and the final cast back to float64 is lossless,
+        so the result is the same array.  When the dense matrix was over
+        budget at build time, a ragged kernel expands each pair's window
+        with ``repeat`` and folds it with a segmented
+        ``minimum.reduceat`` — segments are never empty because every
+        position array contains the vertex's own depth.
         """
+        if self.pos_pad is not None and self.label_pad_q is not None:
+            pos = self.pos_pad.take(hubs, axis=0)
+            lu = self.label_pad_q[sources[:, None], pos]
+            lu += self.label_pad_q[targets[:, None], pos]
+            return np.min(lu, axis=1).astype(np.float64)
         if self.pos_pad is not None:
             idx = self.pos_pad.take(hubs, axis=0)
             off_u = self.label_offsets[sources]

@@ -308,6 +308,54 @@ class HierarchyIndex:
             ).inc(int(us.size))
         return self.arena().pair_distances(us, vs, hubs)
 
+    def hub_cutset(self, u: int, v: int) -> np.ndarray:
+        """The precomputed hub cut-set of ``(u, v)`` as a position slice.
+
+        Def. 8 restricts the Eq.-5 minimum to the positions of the LCA
+        node's bag (plus the node itself) — the vertex-cut separating the
+        two subtrees.  Those position arrays are precomputed at build time
+        (:meth:`sync_bag`) and kept current by maintenance, so fetching the
+        cut-set is one LCA lookup plus an O(1) slice, never a merge loop
+        over the two ancestor paths.  Returned as a read-only view.
+        """
+        n = self.graph.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise QueryError(f"hub_cutset query on unknown vertices ({u}, {v})")
+        return self.positions[self.lca.query(u, v)]
+
+    def distances_to(self, target: int) -> np.ndarray:
+        """Exact distances from *every* vertex to ``target`` in one gather.
+
+        One batched LCA sweep plus one arena kernel call — the one-to-all
+        primitive the flat query kernel uses to build admissible A*
+        heuristic tables.  Bit-identical to ``[distance(u, target) for u
+        in range(n)]`` because it is exactly :meth:`distance_many` over
+        ``arange(n)``.
+        """
+        n = self.graph.num_vertices
+        if not 0 <= target < n:
+            raise QueryError(f"distances_to query on unknown vertex {target}")
+        us = np.arange(n, dtype=np.int64)
+        vs = np.full(n, target, dtype=np.int64)
+        hubs = self.lca.query_many(us, vs)
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_label_pairs_batched_total",
+                "vertex pairs answered by the vectorised arena kernel",
+            ).inc(n)
+            arena = self.arena()
+            width = (
+                arena.pos_pad.shape[1]
+                if arena.pos_pad is not None
+                else len(arena.pos_values)
+            )
+            registry.counter(
+                "repro_label_gather_entries_total",
+                "label entries gathered by one-to-all distance sweeps",
+            ).inc(2 * n * int(width))
+        return self.arena().pair_distances(us, vs, hubs)
+
     def path(self, u: int, v: int) -> list[int]:
         """A concrete shortest path ``u .. v`` (unpacking label shortcuts)."""
         n = self.graph.num_vertices

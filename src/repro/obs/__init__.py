@@ -46,6 +46,7 @@ from repro.obs.export import (
     render_prometheus,
     write_snapshot_jsonl,
 )
+from repro.obs.latency import LatencyRecorder, latency_summary
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -68,8 +69,10 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LatencyRecorder",
     "METRIC_NAME_RE",
     "MetricsRegistry",
+    "latency_summary",
     "Span",
     "Stopwatch",
     "Tracer",

@@ -1,0 +1,121 @@
+"""Latency percentile helpers: one spelling for p50/p95/p99 everywhere.
+
+Two consumers need percentiles: offline benchmarks, which hold every sample
+and want *exact* percentiles, and live telemetry, which only has the
+registry's log-bucket histograms and can do no better than bucket-upper-
+bound estimates.  Before this module each call site did its own arithmetic
+(``sorted(xs)[int(0.95 * len(xs))]`` in one file, ``family.quantile(0.95)``
+in another); these helpers make both spellings canonical:
+
+* :class:`LatencyRecorder` — keeps exact samples for benchmark-grade
+  percentiles and (optionally) dual-writes every observation into a
+  registry histogram, so a benchmark run leaves a Prometheus-exportable
+  trail for free.
+* :func:`latency_summary` — the bucket-estimate summary of an existing
+  registry histogram, for reports over live telemetry.
+
+Both return the same dict shape (``count``/``mean``/``p50``/``p95``/
+``p99``), so report code does not care where the numbers came from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = ["LatencyRecorder", "latency_summary"]
+
+#: the canonical report quantiles: median, tail, extreme tail
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _quantile_field(q: float) -> str:
+    """``0.5 -> "p50"``, ``0.99 -> "p99"``, ``0.999 -> "p99.9"``."""
+    pct = 100.0 * q
+    if pct == int(pct):
+        return f"p{int(pct)}"
+    return f"p{pct:g}"
+
+
+class LatencyRecorder:
+    """Exact-sample latency aggregation with optional registry dual-write.
+
+    Parameters
+    ----------
+    metric:
+        Registry histogram family to mirror observations into (e.g.
+        ``"repro_fspq_bench_seconds"``).  ``None`` keeps samples local.
+    registry:
+        Target registry for the mirror; defaults to the active process
+        registry.  Disabled registries cost one no-op call per observe.
+    labels:
+        Fixed labels for the mirrored histogram series.
+    """
+
+    def __init__(
+        self,
+        metric: str | None = None,
+        help: str = "",
+        registry: MetricsRegistry | None = None,
+        **labels: object,
+    ) -> None:
+        self.samples: list[float] = []
+        self._metric = metric
+        self._help = help
+        self._registry = registry
+        self._labels = labels
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (seconds)."""
+        self.samples.append(float(seconds))
+        if self._metric is not None:
+            from repro import obs
+
+            registry = self._registry if self._registry is not None else (
+                obs.get_registry()
+            )
+            registry.histogram(self._metric, self._help).observe(
+                seconds, **self._labels
+            )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-quantile over the recorded samples (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(self.samples, 100.0 * q))
+
+    def summary(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> dict:
+        """``{"count", "mean", "p50", "p95", "p99"}`` over exact samples."""
+        out: dict[str, float | int] = {
+            "count": len(self.samples),
+            "mean": float(np.mean(self.samples)) if self.samples else 0.0,
+        }
+        for q in quantiles:
+            out[_quantile_field(q)] = self.percentile(q)
+        return out
+
+
+def latency_summary(
+    histogram: Histogram,
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    **labels: object,
+) -> dict:
+    """Percentile summary of a registry histogram series.
+
+    Same shape as :meth:`LatencyRecorder.summary`, but quantiles are the
+    histogram's bucket-upper-bound estimates (Prometheus-style resolution)
+    because the raw samples are gone.
+    """
+    out: dict[str, float | int] = {
+        "count": histogram.count(**labels),
+        "mean": histogram.mean(**labels),
+    }
+    for q in quantiles:
+        out[_quantile_field(q)] = histogram.quantile(q, **labels)
+    return out

@@ -12,9 +12,12 @@ the very same registry.
 
 from __future__ import annotations
 
+from repro.obs.latency import latency_summary
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = ["render_report"]
+
+_LATENCY_HEADERS = ["runs", "total ms", "mean ms", "p50 ms", "p95 ms", "p99 ms"]
 
 
 def _fmt(value: float) -> str:
@@ -53,20 +56,22 @@ def _counter_rows(family: Counter | None, label: str) -> list[list[object]]:
 
 
 def _hist_rows(family: Histogram | None, label: str) -> list[list[object]]:
-    """count / total / mean / p95 per label value of a histogram family."""
+    """count / total / mean / p50 / p95 / p99 per label value of a family."""
     if family is None:
         return []
     rows = []
     for key in sorted(family.label_sets()):
         labels = dict(key)
         name = labels.get(label, "(all)") if labels else "(all)"
-        kwargs = {k: v for k, v in labels.items()}
+        summary = latency_summary(family, **labels)
         rows.append([
             name,
-            family.count(**kwargs),
-            family.sum(**kwargs) * 1000.0,
-            family.mean(**kwargs) * 1000.0,
-            family.quantile(0.95, **kwargs) * 1000.0,
+            summary["count"],
+            family.sum(**labels) * 1000.0,
+            summary["mean"] * 1000.0,
+            summary["p50"] * 1000.0,
+            summary["p95"] * 1000.0,
+            summary["p99"] * 1000.0,
         ])
     return rows
 
@@ -81,7 +86,7 @@ def render_report(registry: MetricsRegistry) -> str:
     if isinstance(build, Histogram) and build.label_sets():
         sections.append(_table(
             "index build (per phase)",
-            ["phase", "runs", "total ms", "mean ms", "p95 ms"],
+            ["phase", *_LATENCY_HEADERS],
             _hist_rows(build, "phase"),
         ))
 
@@ -90,7 +95,7 @@ def render_report(registry: MetricsRegistry) -> str:
     if isinstance(query_seconds, Histogram) and query_seconds.label_sets():
         sections.append(_table(
             "FSPQ queries (per pruning mode)",
-            ["pruning", "queries", "total ms", "mean ms", "p95 ms"],
+            ["pruning", *_LATENCY_HEADERS],
             _hist_rows(query_seconds, "pruning"),
         ))
         evals = get("repro_query_bound_evals_total")
@@ -122,7 +127,7 @@ def render_report(registry: MetricsRegistry) -> str:
     if isinstance(maint, Histogram) and maint.label_sets():
         sections.append(_table(
             "maintenance (per strategy)",
-            ["op", "runs", "total ms", "mean ms", "p95 ms"],
+            ["op", *_LATENCY_HEADERS],
             _hist_rows(maint, "op"),
         ))
         rows = []
@@ -183,6 +188,13 @@ def render_report(registry: MetricsRegistry) -> str:
         serving_rows.append(["deferred updates (gauge)", deferred.value()])
     if serving_rows:
         sections.append(_table("serving engine", ["counter", "value"], serving_rows))
+    serving_latency = get("repro_serving_query_seconds")
+    if isinstance(serving_latency, Histogram) and serving_latency.label_sets():
+        sections.append(_table(
+            "serving queries (per answer source)",
+            ["source", *_LATENCY_HEADERS],
+            _hist_rows(serving_latency, "source"),
+        ))
 
     # -------------------------------------------------------------- batch
     batch_rows: list[list[object]] = []
@@ -207,7 +219,7 @@ def render_report(registry: MetricsRegistry) -> str:
             batch_rows = []
         sections.append(_table(
             "batch chunks (per mode)",
-            ["mode", "chunks", "total ms", "mean ms", "p95 ms"],
+            ["mode", *_LATENCY_HEADERS],
             _hist_rows(chunk, "mode"),
         ))
     if batch_rows:

@@ -114,6 +114,12 @@ class ShardedGateway:
         shard (the usual partition-serving locality trade; distances stay
         exact either way).  Set false to force the boundary-combine route
         for every query.
+    kernel:
+        Query-kernel selection (``"flat"`` default, ``"scalar"``
+        reference), forwarded to the per-shard engines — intra-shard
+        dispatch therefore runs the vectorised flat kernel — and to the
+        cross-shard/fallback engines (which fall back to scalar on their
+        own, as their oracles are not hierarchy indexes).
     engine_kwargs:
         Extra keyword arguments forwarded to every per-shard
         :class:`~repro.serving.engine.ResilientEngine` (``time_budget``,
@@ -132,6 +138,7 @@ class ShardedGateway:
         balance: float = 0.6,
         intra_shard_local: bool = True,
         dead_letter_capacity: int = 1024,
+        kernel: str = "flat",
         **engine_kwargs,
     ) -> None:
         self.frn = frn
@@ -179,6 +186,7 @@ class ShardedGateway:
                 eta_u=eta_u,
                 pruning=pruning,
                 dead_letter_capacity=dead_letter_capacity,
+                kernel=kernel,
                 **engine_kwargs,
             )
             self.shards.append(engine)
@@ -188,10 +196,11 @@ class ShardedGateway:
         # -- cross-shard and degraded-fallback engines ------------------
         self._cross = FlowAwareEngine(
             frn, oracle=_ShardedOracle(self), alpha=alpha, eta_u=eta_u,
-            pruning=pruning,
+            pruning=pruning, kernel=kernel,
         )
         self._fallback = FlowAwareEngine(
-            frn, oracle=None, alpha=alpha, eta_u=eta_u, pruning=pruning
+            frn, oracle=None, alpha=alpha, eta_u=eta_u, pruning=pruning,
+            kernel=kernel,
         )
 
         # -- cache + epochs (wired through the unified invalidation hook)

@@ -163,6 +163,10 @@ class ResilientEngine:
         Bound of the quarantine ring buffer.
     clock, sleep:
         Injectable time sources (tests pass fakes; chaos stays fast).
+    kernel:
+        Query-kernel selection forwarded to both wrapped engines
+        (``"flat"`` default, ``"scalar"`` reference) — see
+        :class:`~repro.core.fpsps.FlowAwareEngine`.
     """
 
     def __init__(
@@ -180,6 +184,7 @@ class ResilientEngine:
         dead_letter_capacity: int = 1024,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        kernel: str = "flat",
     ) -> None:
         if index is None:
             index = FAHLIndex.from_frn(frn)
@@ -195,10 +200,12 @@ class ResilientEngine:
         self.frn = frn
         self.index = index
         self._engine = FlowAwareEngine(
-            frn, oracle=index, alpha=alpha, eta_u=eta_u, pruning=pruning
+            frn, oracle=index, alpha=alpha, eta_u=eta_u, pruning=pruning,
+            kernel=kernel,
         )
         self._fallback = FlowAwareEngine(
-            frn, oracle=None, alpha=alpha, eta_u=eta_u, pruning=pruning
+            frn, oracle=None, alpha=alpha, eta_u=eta_u, pruning=pruning,
+            kernel=kernel,
         )
         self.time_budget = float(time_budget)
         self.max_retries = int(max_retries)
@@ -423,6 +430,7 @@ class ResilientEngine:
 
     def query(self, query: FSPQuery) -> ServingResult:
         """Answer an FSPQ query, degrading to index-free search if needed."""
+        registry = obs.get_registry()
         if self.degraded:
             self.metrics["queries_degraded"] += 1
             self._count(
@@ -430,18 +438,34 @@ class ResilientEngine:
                 "served queries by answer source",
                 source="fallback",
             )
-            return ServingResult(
-                result=self._fallback.query(query), degraded=True, source="fallback"
-            )
+            if not registry.enabled:
+                return ServingResult(
+                    result=self._fallback.query(query),
+                    degraded=True,
+                    source="fallback",
+                )
+            start = time.perf_counter()
+            result = self._fallback.query(query)
+            registry.histogram(
+                "repro_serving_query_seconds", "end-to-end serving query latency"
+            ).observe(time.perf_counter() - start, source="fallback")
+            return ServingResult(result=result, degraded=True, source="fallback")
         self.metrics["queries_index"] += 1
         self._count(
             "repro_serving_queries_total",
             "served queries by answer source",
             source="index",
         )
-        return ServingResult(
-            result=self._engine.query(query), degraded=False, source="index"
-        )
+        if not registry.enabled:
+            return ServingResult(
+                result=self._engine.query(query), degraded=False, source="index"
+            )
+        start = time.perf_counter()
+        result = self._engine.query(query)
+        registry.histogram(
+            "repro_serving_query_seconds", "end-to-end serving query latency"
+        ).observe(time.perf_counter() - start, source="index")
+        return ServingResult(result=result, degraded=False, source="index")
 
     def distance(self, u: int, v: int) -> ServingDistance:
         """Shortest spatial distance, degrading to direct Dijkstra if needed."""

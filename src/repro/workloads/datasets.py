@@ -17,11 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.errors import DatasetFormatError
 from repro.flow.capacity import synthesize_lane_counts
 from repro.flow.predictor import TrainablePredictor
 from repro.flow.synthetic import generate_flow_series
+from repro.graph.dimacs import load_dimacs
 from repro.graph.frn import FlowAwareRoadNetwork
 from repro.graph.generators import (
     grid_network,
@@ -29,10 +31,26 @@ from repro.graph.generators import (
     ring_radial_network,
 )
 from repro.graph.road_network import RoadNetwork
+from repro.graph.validation import is_connected, largest_component
 
-__all__ = ["Dataset", "DATASET_NAMES", "load_dataset", "make_frn", "dataset_statistics"]
+__all__ = [
+    "Dataset",
+    "DATASET_NAMES",
+    "DIMACS_PREFIX",
+    "load_dataset",
+    "load_dimacs_dataset",
+    "make_frn",
+    "dataset_statistics",
+]
 
 DATASET_NAMES = ("BRN", "NYC", "BAY", "COL")
+
+#: dataset-name prefix selecting a real DIMACS ``.gr`` file instead of a
+#: synthetic stand-in: ``"dimacs:/path/to/net.gr"`` loads the file (plus a
+#: sibling ``.co`` when present) and attaches synthetic flows via
+#: :func:`make_frn` — which is all the experiment runner and CLI need to
+#: run every experiment on a real network.
+DIMACS_PREFIX = "dimacs:"
 
 #: base vertex budgets at scale=1.0 (relative sizes follow the paper)
 _BASE_SIZES = {"BRN": 1000, "NYC": 1700, "BAY": 2400, "COL": 3200}
@@ -132,6 +150,14 @@ def load_dataset(
     epochs:
         Prediction quality for the FRN's predicted flow series (Fig. 10).
     """
+    if name.lower().startswith(DIMACS_PREFIX):
+        return load_dimacs_dataset(
+            name[len(DIMACS_PREFIX):],
+            days=days,
+            interval_minutes=interval_minutes,
+            epochs=epochs,
+            seed=seed,
+        )
     name = name.upper()
     if scale <= 0:
         raise DatasetFormatError(f"scale must be positive, got {scale}")
@@ -150,6 +176,49 @@ def load_dataset(
         "COL": "Colorado-like sparse grid stand-in",
     }
     return Dataset(name=name, frn=frn, description=descriptions[name], seed=seed)
+
+
+def load_dimacs_dataset(
+    gr_path: str,
+    days: int = 7,
+    interval_minutes: int = 60,
+    epochs: int = 200,
+    seed: int = 0,
+) -> Dataset:
+    """Load a real DIMACS ``.gr`` network as a flow-aware dataset.
+
+    A sibling ``.co`` coordinate file (same stem) is picked up
+    automatically when present.  Disconnected inputs are restricted to
+    their largest connected component — labeling and the experiments
+    require connectivity, and DIMACS extracts occasionally carry stray
+    islands.  Flows are synthesised exactly like the named datasets, so
+    every experiment and benchmark runs unchanged on real topology.
+    """
+    path = Path(gr_path).expanduser()
+    if not path.is_file():
+        raise DatasetFormatError(f"DIMACS graph file not found: {path}")
+    co_path = path.with_suffix(".co")
+    graph = load_dimacs(path, co_path if co_path.is_file() else None)
+    description = f"DIMACS network from {path}"
+    if not is_connected(graph):
+        full = graph.num_vertices
+        graph, _ = largest_component(graph)
+        description += (
+            f" (largest component: {graph.num_vertices}/{full} vertices)"
+        )
+    frn = make_frn(
+        graph,
+        days=days,
+        interval_minutes=interval_minutes,
+        epochs=epochs,
+        seed=seed,
+    )
+    return Dataset(
+        name=f"{DIMACS_PREFIX}{path}",
+        frn=frn,
+        description=description,
+        seed=seed,
+    )
 
 
 def dataset_statistics(datasets: list[Dataset]) -> list[dict[str, object]]:

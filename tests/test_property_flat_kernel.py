@@ -1,0 +1,113 @@
+"""Property-based tests: the flat kernel is bit-identical to scalar.
+
+On integer-weight graphs (every ``connected_graphs`` draw) the flat
+kernel must return *exactly* the same ``FSPResult`` as the scalar
+reference — dataclass equality, so every float compares bitwise — for
+every pruning mode, and it must stay identical immediately after
+ILU / ISU / GSU maintenance (the kernel's precomputed state has to be
+invalidated by the label-version bump alone, with no explicit reset).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fahl import FAHLIndex
+from repro.core.fpsps import PRUNING_MODES, FlowAwareEngine
+from repro.core.fspq import FSPQuery
+from repro.core.maintenance import apply_flow_update, apply_weight_update
+from repro.errors import QueryError
+from repro.flow.series import FlowSeries
+from repro.graph.frn import FlowAwareRoadNetwork
+from tests.strategies import connected_graphs
+
+
+def _engines(frn, index, pruning, max_candidates=16):
+    return tuple(
+        FlowAwareEngine(
+            frn,
+            oracle=index,
+            pruning=pruning,
+            kernel=kernel,
+            max_candidates=max_candidates,
+        )
+        for kernel in ("flat", "scalar")
+    )
+
+
+def _answer(engine, query):
+    try:
+        return engine.query(query)
+    except QueryError as exc:
+        return ("QueryError", str(exc))
+
+
+def _assert_identical(flat, scalar, graph, data, queries=4):
+    n = graph.num_vertices
+    for _ in range(queries):
+        s = data.draw(st.integers(0, n - 1))
+        t = data.draw(st.integers(0, n - 1))
+        if s == t:
+            continue
+        query = FSPQuery(s, t, 0)
+        assert _answer(flat, query) == _answer(scalar, query), (s, t)
+
+
+@given(graph=connected_graphs(max_vertices=10), data=st.data())
+def test_flat_bit_identical_to_scalar(graph, data):
+    n = graph.num_vertices
+    flows = np.array([data.draw(st.integers(0, 80)) for _ in range(n)],
+                     dtype=float)
+    frn = FlowAwareRoadNetwork(graph, FlowSeries(flows[None, :]))
+    index = FAHLIndex(graph, flows, beta=0.5)
+    pruning = data.draw(st.sampled_from(PRUNING_MODES))
+    flat, scalar = _engines(frn, index, pruning)
+    _assert_identical(flat, scalar, graph, data)
+
+
+@given(graph=connected_graphs(max_vertices=10), data=st.data())
+def test_flat_bit_identical_after_maintenance(graph, data):
+    """ILU/ISU/GSU must invalidate the kernel's precomputed state."""
+    n = graph.num_vertices
+    flows = np.array([data.draw(st.integers(0, 80)) for _ in range(n)],
+                     dtype=float)
+    frn = FlowAwareRoadNetwork(graph, FlowSeries(flows[None, :]))
+    index = FAHLIndex(graph, flows, beta=0.5)
+    pruning = data.draw(st.sampled_from(PRUNING_MODES))
+    flat, scalar = _engines(frn, index, pruning)
+    # warm the kernel so maintenance has stale state to invalidate
+    _assert_identical(flat, scalar, graph, data, queries=2)
+
+    edges = list(graph.edges())
+    for _ in range(data.draw(st.integers(1, 3))):
+        kind = data.draw(st.sampled_from(["ilu", "isu", "gsu"]))
+        if kind == "ilu":
+            u, v, _ = edges[data.draw(st.integers(0, len(edges) - 1))]
+            apply_weight_update(
+                index, u, v, float(data.draw(st.integers(1, 40)))
+            )
+        else:
+            vertex = data.draw(st.integers(0, n - 1))
+            apply_flow_update(
+                index, vertex, float(data.draw(st.integers(0, 160))),
+                method=kind,
+            )
+        # immediately after each update: still bit-identical, with no
+        # explicit invalidate() on either engine
+        _assert_identical(flat, scalar, graph, data, queries=2)
+
+
+@given(graph=connected_graphs(max_vertices=9), data=st.data())
+def test_flat_truncation_flags_identical(graph, data):
+    """Tiny budgets: truncated/early_stopped flags must agree too."""
+    n = graph.num_vertices
+    flows = np.array([data.draw(st.integers(0, 80)) for _ in range(n)],
+                     dtype=float)
+    frn = FlowAwareRoadNetwork(graph, FlowSeries(flows[None, :]))
+    index = FAHLIndex(graph, flows, beta=0.5)
+    pruning = data.draw(st.sampled_from(PRUNING_MODES))
+    flat, scalar = _engines(frn, index, pruning, max_candidates=2)
+    flat.min_candidates = scalar.min_candidates = 1
+    _assert_identical(flat, scalar, graph, data, queries=6)
