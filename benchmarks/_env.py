@@ -1,0 +1,30 @@
+"""Shared environment stamp for every ``BENCH_*.json`` payload.
+
+The ROADMAP "Benchmark reality check" caveat — the reference container
+usually has a single CPU, so parallel paths (fork-pool batch workers,
+sharded fan-out) cannot demonstrate real speedups there — used to live in
+prose only.  Every benchmark embeds :func:`env_info` in its payload so the
+caveat is machine-readable: consumers comparing two BENCH files can refuse
+to compare throughput across different ``cpu_count`` values.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["PARALLEL_PATHS_NOTE", "env_info"]
+
+PARALLEL_PATHS_NOTE = (
+    "Recorded on a container with the cpu_count above; parallel code paths "
+    "(fork-pool batch workers, sharded fan-out) cannot show real speedups "
+    "when cpu_count is 1, so throughput/speedup figures are only comparable "
+    "across runs with the same cpu_count."
+)
+
+
+def env_info() -> dict:
+    """The per-run environment block embedded in each BENCH payload."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "parallel_paths_note": PARALLEL_PATHS_NOTE,
+    }

@@ -29,12 +29,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+try:
+    from benchmarks._env import env_info
+except ModuleNotFoundError:  # run as a script: benchmarks/ is sys.path[0]
+    from _env import env_info
 from repro.core.batch import batch_query
 from repro.core.fahl import build_fahl
 from repro.core.fpsps import FlowAwareEngine
@@ -172,7 +175,7 @@ def main(argv=None) -> dict:
 
     payload = {
         "generated_unix": int(time.time()),
-        "machine": {"cpu_count": os.cpu_count()},
+        "machine": env_info(),
         "dataset": {
             "label": f"{args.dataset}-S",
             "name": args.dataset,

@@ -26,13 +26,16 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+try:
+    from benchmarks._env import env_info
+except ModuleNotFoundError:  # run as a script: benchmarks/ is sys.path[0]
+    from _env import env_info
 from repro import obs
 from repro.core.fahl import build_fahl
 from repro.core.fpsps import PRUNING_MODES, FlowAwareEngine
@@ -106,8 +109,10 @@ def bench_mode(frn, index, queries, pruning: str, max_candidates: int) -> dict:
         "pruning": pruning,
         "queries": len(queries),
         "mismatches": mismatches,
-        "flat": {k: round(v, 9) for k, v in flat.items()},
-        "scalar": {k: round(v, 9) for k, v in scalar.items()},
+        "flat": {k: round(v, 9) if isinstance(v, float) else v
+                 for k, v in flat.items()},
+        "scalar": {k: round(v, 9) if isinstance(v, float) else v
+                   for k, v in scalar.items()},
         "speedup_p50": round(scalar["p50"] / flat["p50"], 3),
         "speedup_p99": round(scalar["p99"] / flat["p99"], 3),
         "speedup_mean": round(scalar["mean"] / flat["mean"], 3),
@@ -182,7 +187,7 @@ def main(argv=None) -> int:
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
     payload = {
         "generated_unix": int(time.time()),
-        "machine": {"cpu_count": os.cpu_count()},
+        "machine": env_info(),
         "dataset": {
             "label": dataset.name if args.dimacs else f"{args.dataset}-S",
             "name": dataset.name,

@@ -30,6 +30,10 @@ from pathlib import Path
 
 import numpy as np
 
+try:
+    from benchmarks._env import env_info
+except ModuleNotFoundError:  # run as a script: benchmarks/ is sys.path[0]
+    from _env import env_info
 from repro.core.fahl import build_fahl
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery
@@ -108,7 +112,7 @@ def main(argv=None) -> dict:
     cpu_count = os.cpu_count() or 1
     payload = {
         "generated_unix": int(time.time()),
-        "machine": {"cpu_count": cpu_count},
+        "machine": env_info(),
         "dataset": {
             "label": f"{args.dataset}-S",
             "name": args.dataset,

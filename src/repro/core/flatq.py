@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Iterator
 from repro.paths.scoring import path_flow
 
 if TYPE_CHECKING:  # circular-import guard: hierarchy is typing-only here
+    from repro.core.overlay import DeltaOverlay
     from repro.graph.frn import FlowAwareRoadNetwork
     from repro.labeling.hierarchy import HierarchyIndex
 
@@ -78,11 +79,18 @@ class FlatQueryKernel:
         heuristic tables built) — exported to ``repro.obs`` by the engine.
     """
 
-    def __init__(self, index: "HierarchyIndex", frn: "FlowAwareRoadNetwork") -> None:
+    def __init__(
+        self,
+        index: "HierarchyIndex",
+        frn: "FlowAwareRoadNetwork",
+        overlay: "DeltaOverlay | None" = None,
+    ) -> None:
         graph = frn.graph
         n = graph.num_vertices
         self.index = index
         self.frn = frn
+        self.overlay = overlay
+        self.overlay_version = overlay.version if overlay is not None else -1
         self.num_vertices = n
         self.version = index.label_version
         # adjacency rows in neighbor_items order (A* must expand neighbours
@@ -111,6 +119,7 @@ class FlatQueryKernel:
         self._stamp: list[int] = [0] * n
         self._token = 0
         self._h_cache: dict[int, list[float]] = {}
+        self._patched: set[tuple[int, int]] = set()
         self.stats = {
             "astar_runs": 0,
             "spur_memo_hits": 0,
@@ -119,8 +128,42 @@ class FlatQueryKernel:
         }
 
     def is_current(self) -> bool:
-        """Whether the snapshot still matches the index's label version."""
-        return self.version == self.index.label_version
+        """Whether the snapshot still matches index *and* overlay versions."""
+        if self.version != self.index.label_version:
+            return False
+        return (
+            self.overlay is None or self.overlay.version == self.overlay_version
+        )
+
+    def refresh_overlay(self) -> None:
+        """Resync adjacency weights after overlay absorbs (no full rebuild).
+
+        Only edges the overlay tracks (now or at any point since the kernel
+        was built) can have moved, so the patch is ``O(|D| · degree)``:
+        update the affected adjacency rows and weight map in place, then
+        drop the heuristic tables (their values are overlay-dependent).
+        The spur memo lives per-enumeration, so nothing else is stale.
+        """
+        overlay = self.overlay
+        if overlay is None or overlay.version == self.overlay_version:
+            return
+        graph = self.frn.graph
+        candidates = set(overlay.edges) | self._patched
+        for lo, hi in candidates:
+            w = graph.weight(lo, hi)
+            if self.wmap.get((lo, hi)) == w:
+                continue
+            self.wmap[(lo, hi)] = w
+            self.wmap[(hi, lo)] = w
+            for a, b in ((lo, hi), (hi, lo)):
+                row = self.adj[a]
+                for i, (v, _, e) in enumerate(row):
+                    if v == b:
+                        row[i] = (v, w, e)
+                        break
+            self._patched.add((lo, hi))
+        self._h_cache.clear()
+        self.overlay_version = overlay.version
 
     # ------------------------------------------------------------------
     # heuristics / distances
@@ -131,13 +174,21 @@ class FlatQueryKernel:
         One vectorised one-to-all arena gather; entry ``h[v]`` is
         bit-identical to ``index.distance(v, target)`` (the documented
         guarantee of ``distance_many``), so A* pops vertices in exactly
-        the order the scalar ``OracleHeuristic`` search would.
+        the order the scalar ``OracleHeuristic`` search would.  With a
+        non-empty overlay the table instead comes from
+        :meth:`DeltaOverlay.table_to` — the exact *current* distances,
+        the same values the scalar path reads through
+        ``OverlayOracle.heuristic`` — keeping the two candidate streams
+        aligned under continuous updates.
         """
         h = self._h_cache.get(target)
         if h is None:
             if len(self._h_cache) >= 128:
                 self._h_cache.clear()
-            h = self.index.distances_to(target).tolist()
+            if self.overlay is not None and not self.overlay.is_empty:
+                h = self.overlay.table_to(target).tolist()
+            else:
+                h = self.index.distances_to(target).tolist()
             self._h_cache[target] = h
             self.stats["heuristic_builds"] += 1
         return h
@@ -147,6 +198,8 @@ class FlatQueryKernel:
         h = self._h_cache.get(v)
         if h is not None:
             return h[u]
+        if self.overlay is not None and not self.overlay.is_empty:
+            return self.h_to(v)[u]
         return self.index.distance(u, v)
 
     # ------------------------------------------------------------------

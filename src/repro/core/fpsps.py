@@ -42,6 +42,7 @@ from repro.core.bounds import (
 )
 from repro.core.flatq import FlatQueryKernel
 from repro.core.fspq import FSPQuery, FSPResult
+from repro.core.overlay import OverlayOracle
 from repro.errors import QueryError
 from repro.graph.frn import FlowAwareRoadNetwork
 from repro.labeling.hierarchy import HierarchyIndex
@@ -188,31 +189,56 @@ class FlowAwareEngine:
         self._flow_cache.clear()
         self._flat_kernel_cache = None
 
+    def prime(self) -> None:
+        """Rebuild the flat kernel eagerly (a no-op for scalar engines).
+
+        After an index swap, :meth:`invalidate` leaves the kernel to be
+        rebuilt lazily — which would bill the arena/adjacency build to the
+        first query on the new index.  Background maintenance (the serving
+        layer's consolidation pass) calls this right after the swap so the
+        rebuild happens on the maintenance plane instead.
+        """
+        self._flat_kernel()
+
     def _flat_kernel(self) -> FlatQueryKernel | None:
         """The flat kernel for the current oracle, or ``None``.
 
-        The kernel only speaks for hierarchy indexes over exactly this
-        FRN's graph whose heuristic is the plain exact-distance oracle
-        wrap; anything else (index-free baselines, ALT oracles with a
+        The kernel speaks for hierarchy indexes over exactly this FRN's
+        graph whose heuristic is the plain exact-distance oracle wrap, and
+        for :class:`~repro.core.overlay.OverlayOracle` wrappers over such
+        an index (stable ⊕ overlay serving: the kernel's heuristic tables
+        and adjacency then track the overlay's exact current-graph view).
+        Anything else (index-free baselines, ALT oracles with a
         ``heuristic`` factory, exhaustive enumeration, a batch-path
         ``MemoizedOracle`` swap) falls back to the scalar reference.  A
         cached kernel is dropped whenever the oracle object changes or
-        maintenance bumps its label version — the staleness contract the
-        property tests exercise.
+        maintenance bumps its label version; an overlay version bump only
+        triggers the cheap in-place adjacency resync.
         """
         if self.kernel != "flat" or self.exhaustive:
             return None
         oracle = self.oracle
+        overlay = None
+        if isinstance(oracle, OverlayOracle):
+            overlay = oracle.overlay
+            oracle = oracle.index
         if not isinstance(oracle, HierarchyIndex):
             return None
         if oracle.graph is not self.frn.graph:
             return None
-        if callable(getattr(oracle, "heuristic", None)):
+        if overlay is None and callable(getattr(oracle, "heuristic", None)):
             return None
         kern = self._flat_kernel_cache
-        if kern is None or kern.index is not oracle or not kern.is_current():
-            kern = FlatQueryKernel(oracle, self.frn)
+        if (
+            kern is None
+            or kern.index is not oracle
+            or kern.overlay is not overlay
+            or kern.version != oracle.label_version
+        ):
+            kern = FlatQueryKernel(oracle, self.frn, overlay=overlay)
             self._flat_kernel_cache = kern
+        elif not kern.is_current():
+            kern.refresh_overlay()
         return kern
 
     def invalidate_flow_cache(self) -> None:

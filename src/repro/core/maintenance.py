@@ -90,6 +90,18 @@ FAULT_POINTS: tuple[str, ...] = (
     "gsu:suffix-eliminated",
     "gsu:structure-rebuilt",
     "gsu:labels-refreshed",
+    # background consolidation (repro.core.overlay) — fold the delta overlay
+    # into a back-buffer clone, then swap it in atomically.  Everything up to
+    # and including "consolidate:swap-prepared" happens on the back buffer
+    # only; a failure there discards the clone and leaves the serving index
+    # untouched.  The commit itself is plain attribute assignment with no
+    # checkpoint inside, so "consolidate:swap-committed" fires only once the
+    # swap (index + overlay rebase + epoch bump) is fully visible.
+    "consolidate:clone-created",
+    "consolidate:weights-folded",
+    "consolidate:flows-folded",
+    "consolidate:swap-prepared",
+    "consolidate:swap-committed",
 )
 
 _fault_hook: Callable[[str], None] | None = None
@@ -271,6 +283,7 @@ def apply_weight_update(
     v: int,
     new_weight: float,
     transactional: bool = True,
+    prior_weight: float | None = None,
 ) -> LabelUpdateStats:
     """Update edge ``(u, v)`` to ``new_weight`` and repair the index (ILU).
 
@@ -283,6 +296,13 @@ def apply_weight_update(
     index — graph weight included — back to its pre-call state and raises
     :class:`~repro.errors.MaintenanceError`; ``False`` skips the snapshot
     (slightly faster, no crash-consistency guarantee).
+
+    ``prior_weight`` overrides the weight the *labels* were built under.
+    The consolidation path needs this: its back-buffer clone shares the
+    live graph, whose weight already holds ``new_weight`` (the overlay
+    absorbed it), so reading the graph would make the repair a no-op.
+    Passing the overlay's recorded stable weight makes ILU repair the
+    clone's labels from that stable state to the current one.
     """
     graph = index.graph
     try:
@@ -298,13 +318,13 @@ def apply_weight_update(
     start = time.perf_counter()
     with obs.trace("maintenance.weight_update", u=u, v=v):
         if not transactional:
-            stats = _ilu_impl(index, u, v, new_weight)
+            stats = _ilu_impl(index, u, v, new_weight, prior_weight=prior_weight)
         else:
             old_weight = graph.weight(u, v)
 
             def body() -> LabelUpdateStats:
                 try:
-                    return _ilu_impl(index, u, v, new_weight)
+                    return _ilu_impl(index, u, v, new_weight, prior_weight=prior_weight)
                 except Exception:
                     graph.set_weight(u, v, old_weight)
                     raise
@@ -324,9 +344,10 @@ def _ilu_impl(
     u: int,
     v: int,
     new_weight: float,
+    prior_weight: float | None = None,
 ) -> LabelUpdateStats:
     graph = index.graph
-    old_weight = graph.weight(u, v)
+    old_weight = graph.weight(u, v) if prior_weight is None else float(prior_weight)
     graph.set_weight(u, v, new_weight)
     _checkpoint("ilu:weight-set")
     if new_weight == old_weight:

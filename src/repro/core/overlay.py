@@ -1,0 +1,782 @@
+"""Delta overlay: exact ``stable ⊕ overlay`` serving under continuous updates.
+
+The paper's ILU repairs labels *in place*, which blocks queries for the
+duration of the repair.  Following the stable/delta split of *Stable Tree
+Labelling for Accelerating Distance Queries on Dynamic Road Networks*
+(PAPERS.md), this module keeps the labelling **stable** (built for the
+weights at the last consolidation) and absorbs accepted weight updates into
+a small :class:`DeltaOverlay`:
+
+* :meth:`DeltaOverlay.absorb` applies the new weight to the live graph
+  immediately and records the edge together with the *stable* weight the
+  labels still assume.  Both endpoints become **overlay hubs**, each
+  carrying an exact one-to-all distance vector on the *current* graph
+  (a fresh Dijkstra for a new hub; incremental decrease-relaxation /
+  affected-row recomputation for subsequent changes).
+
+* :class:`OverlayOracle` answers distance queries exactly from
+  ``stable ⊕ overlay``.  Let ``D`` be the overlay edge set, ``d0`` the
+  stable label distance and ``a(s, t)`` the current-graph distance
+  *avoiding* every edge of ``D``.  Because weights off ``D`` are unchanged,
+
+  .. math::  d_{cur}(s, t) = \\min\\big(a(s, t),\\;
+             \\min_{x \\in hubs} dist_x[s] + dist_x[t]\\big)
+
+  — the current-optimal path either avoids ``D`` entirely (first term,
+  where current cost equals stable cost) or passes through an endpoint of
+  a ``D``-edge (second term, tight because subpaths of shortest paths are
+  shortest).  Point queries avoid the Dijkstra in the first term with a
+  **certification** test over the labels alone: if no *stable* shortest
+  path can use any ``D``-edge (``d0(s,u) + w0(u,v) + d0(v,t) > d0(s,t)``
+  for every edge, both orientations, with a small conservative slack),
+  then ``a = d0`` and the answer is ``min(d0, hub term)``.  Uncertified
+  pairs fall back to an A* on the current graph under the admissible
+  slack heuristic ``max(0, d0(v,t) - Σ decreases)``.  One-to-all tables
+  (the FSPQ kernels' heuristics) use the avoid-Dijkstra form directly.
+
+* :class:`ConsolidationTask` folds the overlay into a **back buffer** —
+  a :meth:`~repro.labeling.hierarchy.HierarchyIndex.clone` repaired with
+  the ordinary ILU/ISU/GSU maintenance — in small cooperative steps that
+  interleave with queries, then swaps it in atomically (plain attribute
+  assignments, no fault checkpoint in between) and rebases the overlay.
+  The back buffer reads weights through a snapshot view, so updates
+  absorbed *during* consolidation cannot contaminate the repair; they
+  simply stay in the overlay across the swap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro import obs
+from repro.baselines.dijkstra import dijkstra_distances
+from repro.core.maintenance import (
+    _checkpoint,
+    apply_flow_update,
+    apply_weight_update,
+)
+from repro.errors import EdgeNotFoundError, GraphError, QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.labeling.hierarchy import HierarchyIndex
+from repro.paths.astar_search import AdmissibleHeuristic, OracleHeuristic, astar_path
+
+__all__ = ["DeltaOverlay", "OverlayOracle", "ConsolidationTask"]
+
+#: relative slack under which a stable shortest path is *assumed* to touch an
+#: overlay edge (forcing the safe fallback).  Only near-ties are affected,
+#: and only in the conservative direction; with integer weights (the paper's
+#: road networks, and the arena's quantised fast path) certification is exact.
+_CERT_SLACK = 1e-9
+
+
+def _edge_key(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass
+class OverlayEdge:
+    """One absorbed weight change: stable (label) weight vs. live weight."""
+
+    u: int
+    v: int
+    stable: float
+    current: float
+
+
+class DeltaOverlay:
+    """Accepted-but-unconsolidated weight updates over a stable labelling.
+
+    Parameters
+    ----------
+    graph:
+        The live :class:`RoadNetwork` (shared with the serving index).
+    capacity:
+        Soft bound on distinct changed edges; :attr:`is_full` tells the
+        serving layer it should consolidate.  Absorbs are never refused —
+        exactness does not depend on the bound, only query overhead does.
+    """
+
+    def __init__(self, graph: RoadNetwork, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise GraphError(f"overlay capacity must be >= 1, got {capacity}")
+        self.graph = graph
+        self.capacity = int(capacity)
+        self.edges: dict[tuple[int, int], OverlayEdge] = {}
+        self._hub_ids: list[int] = []
+        self._hub_rows: dict[int, np.ndarray] = {}
+        self._matrix: np.ndarray | None = None
+        #: bumped by every absorb and rebase; kernels/caches key off it
+        self.version = 0
+        self.absorbed_total = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    @property
+    def is_empty(self) -> bool:
+        """No pending correction — stable labels are exact on their own."""
+        return not self.edges
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.edges) >= self.capacity
+
+    @property
+    def num_hubs(self) -> int:
+        return len(self._hub_ids)
+
+    @property
+    def total_decrease(self) -> float:
+        """Total weight-decrease mass — the admissible A* slack.
+
+        A current shortest path is simple, so it uses each decreased edge
+        at most once: its stable cost exceeds its current cost by at most
+        this sum, making ``d0(v, t) - total_decrease`` a lower bound on
+        the current distance.
+        """
+        return sum(
+            e.stable - e.current for e in self.edges.values() if e.current < e.stable
+        )
+
+    def nbytes(self) -> int:
+        return sum(row.nbytes for row in self._hub_rows.values())
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def absorb(self, u: int, v: int, new_weight: float) -> bool:
+        """Apply ``(u, v) -> new_weight`` to the live graph and record it.
+
+        O(1) on the graph plus incremental hub-vector repair; the labels
+        are untouched (that is the whole point).  Returns ``False`` when
+        the weight is unchanged (no version bump).
+        """
+        try:
+            new_weight = float(new_weight)
+        except (TypeError, ValueError) as exc:
+            raise GraphError(f"edge weight must be a number, got {new_weight!r}") from exc
+        if not math.isfinite(new_weight):
+            raise GraphError(f"edge weight must be finite, got {new_weight!r}")
+        if new_weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {new_weight}")
+        graph = self.graph
+        if not graph.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        old_weight = graph.weight(u, v)
+        if new_weight == old_weight:
+            return False
+        start = time.perf_counter()
+        lo, hi = _edge_key(u, v)
+        graph.set_weight(u, v, new_weight)
+        entry = self.edges.get((lo, hi))
+        if entry is None:
+            self.edges[(lo, hi)] = OverlayEdge(lo, hi, old_weight, new_weight)
+        else:
+            # keep the entry even when the edge returns to its stable weight:
+            # a concurrent consolidation may already have folded a different
+            # value for it, and the rebase bookkeeping needs the record.  A
+            # ``current == stable`` entry is dropped at the next rebase and
+            # is harmless meanwhile (the hub term still covers its paths).
+            entry.current = new_weight
+        # repair rows that existed before this change, then add new hubs
+        # (computed on the already-updated graph, hence exact as-is)
+        self._repair_rows(lo, hi, old_weight, new_weight)
+        self._ensure_hub(lo)
+        self._ensure_hub(hi)
+        self._matrix = None
+        self.version += 1
+        self.absorbed_total += 1
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_overlay_absorbed_total", "weight updates absorbed by the overlay"
+            ).inc()
+            registry.gauge(
+                "repro_overlay_edges", "edges pending consolidation"
+            ).set(len(self.edges))
+            registry.gauge(
+                "repro_overlay_hubs", "overlay hub vectors held"
+            ).set(len(self._hub_ids))
+            registry.histogram(
+                "repro_overlay_ingest_seconds", "overlay absorb latency"
+            ).observe(time.perf_counter() - start)
+        return True
+
+    def _ensure_hub(self, x: int) -> None:
+        if x not in self._hub_rows:
+            self._hub_rows[x] = dijkstra_distances(self.graph, x)
+            self._hub_ids.append(x)
+
+    def _repair_rows(self, u: int, v: int, old_w: float, new_w: float) -> None:
+        """Keep every hub vector exact after ``(u, v)``: ``old_w -> new_w``."""
+        if new_w < old_w:
+            for row in self._hub_rows.values():
+                self._relax_decrease(row, u, v, new_w)
+            return
+        # increase: a hub's vector can only change if its shortest-path tree
+        # could route through the edge, i.e. the old tightness held
+        for x in list(self._hub_rows):
+            row = self._hub_rows[x]
+            if row[u] + old_w == row[v] or row[v] + old_w == row[u]:
+                self._hub_rows[x] = dijkstra_distances(self.graph, x)
+
+    def _relax_decrease(self, row: np.ndarray, u: int, v: int, w: float) -> None:
+        """Seeded Dijkstra relaxation after a weight decrease (exact)."""
+        heap: list[tuple[float, int]] = []
+        du, dv = float(row[u]), float(row[v])
+        if du + w < dv:
+            row[v] = du + w
+            heap.append((du + w, v))
+        if dv + w < du:
+            row[u] = dv + w
+            heap.append((dv + w, u))
+        graph = self.graph
+        while heap:
+            d, a = heapq.heappop(heap)
+            if d > row[a]:
+                continue
+            for b, wab in graph.neighbor_items(a):
+                nd = d + wab
+                if nd < row[b]:
+                    row[b] = nd
+                    heapq.heappush(heap, (nd, b))
+
+    # ------------------------------------------------------------------
+    # query terms
+    # ------------------------------------------------------------------
+    def _hub_matrix(self) -> np.ndarray | None:
+        if not self._hub_ids:
+            return None
+        if self._matrix is None:
+            self._matrix = np.vstack([self._hub_rows[x] for x in self._hub_ids])
+        return self._matrix
+
+    def hub_term(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """``min_x dist_x[s] + dist_x[t]`` per aligned pair (inf when hub-less).
+
+        Always an upper bound on the current distance (each term is a valid
+        concatenation of two current shortest paths) and tight whenever the
+        current-optimal path crosses an overlay edge.
+        """
+        matrix = self._hub_matrix()
+        if matrix is None:
+            return np.full(len(sources), math.inf)
+        return (matrix[:, sources] + matrix[:, targets]).min(axis=0)
+
+    def avoid_distances(self, target: int) -> np.ndarray:
+        """Current-graph one-to-all distances to ``target`` avoiding ``D``.
+
+        Off the overlay the current weights *are* the stable weights, so
+        this equals the stable distance restricted to ``D``-free paths —
+        the ``a(·, target)`` term of the exactness identity.
+        """
+        graph = self.graph
+        n = graph.num_vertices
+        if not 0 <= target < n:
+            raise QueryError(f"avoid_distances query on unknown vertex {target}")
+        banned = self.edges
+        dist = np.full(n, math.inf)
+        dist[target] = 0.0
+        heap: list[tuple[float, int]] = [(0.0, target)]
+        while heap:
+            d, a = heapq.heappop(heap)
+            if d > dist[a]:
+                continue
+            for b, w in graph.neighbor_items(a):
+                if (_edge_key(a, b)) in banned:
+                    continue
+                nd = d + w
+                if nd < dist[b]:
+                    dist[b] = nd
+                    heapq.heappush(heap, (nd, b))
+        return dist
+
+    def table_to(self, target: int) -> np.ndarray:
+        """Exact *current* one-to-all distance table toward ``target``."""
+        table = self.avoid_distances(target)
+        matrix = self._hub_matrix()
+        if matrix is not None:
+            np.minimum(table, (matrix + matrix[:, target][:, None]).min(axis=0),
+                       out=table)
+        return table
+
+    # ------------------------------------------------------------------
+    # consolidation rebase
+    # ------------------------------------------------------------------
+    def prepare_rebase(
+        self, consolidated: dict[tuple[int, int], float]
+    ) -> tuple[dict, list, dict]:
+        """Overlay state as of *after* a swap that folded ``consolidated``.
+
+        Pure computation — commit separately with :meth:`commit_rebase`
+        (plain assignments) so the swap has no failure window.
+        """
+        new_edges: dict[tuple[int, int], OverlayEdge] = {}
+        for key, e in self.edges.items():
+            stable = consolidated.get(key, e.stable)
+            if e.current != stable:
+                new_edges[key] = OverlayEdge(e.u, e.v, stable, e.current)
+        keep: set[int] = set()
+        for lo, hi in new_edges:
+            keep.add(lo)
+            keep.add(hi)
+        hub_ids = [x for x in self._hub_ids if x in keep]
+        hub_rows = {x: self._hub_rows[x] for x in hub_ids}
+        return new_edges, hub_ids, hub_rows
+
+    def commit_rebase(self, state: tuple[dict, list, dict]) -> None:
+        """Atomically install a :meth:`prepare_rebase` result."""
+        self.edges, self._hub_ids, self._hub_rows = state
+        self._matrix = None
+        self.version += 1
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.gauge(
+                "repro_overlay_edges", "edges pending consolidation"
+            ).set(len(self.edges))
+            registry.gauge(
+                "repro_overlay_hubs", "overlay hub vectors held"
+            ).set(len(self._hub_ids))
+
+    def stats(self) -> dict:
+        return {
+            "edges": len(self.edges),
+            "hubs": len(self._hub_ids),
+            "version": self.version,
+            "absorbed_total": self.absorbed_total,
+            "total_decrease": self.total_decrease,
+            "nbytes": self.nbytes(),
+        }
+
+
+class _TableHeuristic(AdmissibleHeuristic):
+    """Exact (hence admissible and consistent) precomputed distance table."""
+
+    def __init__(self, table: np.ndarray) -> None:
+        self._table = table
+
+    def estimate(self, vertex: int) -> float:
+        return float(self._table[vertex])
+
+
+class _SlackHeuristic(AdmissibleHeuristic):
+    """``max(0, d0(v, t) - Σ decreases)`` — admissible on the current graph."""
+
+    def __init__(self, index: HierarchyIndex, target: int, slack: float) -> None:
+        self._index = index
+        self._target = target
+        self._slack = slack
+        self._cache: dict[int, float] = {}
+
+    def estimate(self, vertex: int) -> float:
+        cached = self._cache.get(vertex)
+        if cached is None:
+            cached = max(0.0, self._index.distance(vertex, self._target) - self._slack)
+            self._cache[vertex] = cached
+        return cached
+
+
+class OverlayOracle:
+    """Exact distance oracle over ``stable labels ⊕ delta overlay``.
+
+    Drop-in for a :class:`HierarchyIndex` wherever the serving layers use
+    one as an oracle (``distance`` / ``distance_many`` / ``distances_to`` /
+    ``path``), plus the ``heuristic(target)`` factory that
+    :func:`repro.paths.candidates.heuristic_for` picks up — so the scalar
+    FSPQ path and the flat kernel read the *same* exact heuristic tables.
+    With an empty overlay every call delegates straight to the index
+    (zero added work, bit-identical answers).
+    """
+
+    _TABLE_CACHE = 8
+
+    def __init__(self, index: HierarchyIndex, overlay: DeltaOverlay) -> None:
+        if index.graph is not overlay.graph:
+            raise QueryError("overlay and index must share one live graph")
+        self.index = index
+        self.overlay = overlay
+        self._tables: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._tables_key: tuple[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> RoadNetwork:
+        return self.index.graph
+
+    @property
+    def label_version(self) -> int:
+        return self.index.label_version
+
+    def _slack_of(self, d0: float) -> float:
+        return _CERT_SLACK * (1.0 + abs(d0))
+
+    # ------------------------------------------------------------------
+    # heuristic tables
+    # ------------------------------------------------------------------
+    def heuristic_table(self, target: int) -> np.ndarray:
+        """Exact current one-to-all distances toward ``target`` (LRU-cached)."""
+        if self.overlay.is_empty:
+            return self.index.distances_to(target)
+        key = (self.overlay.version, self.index.label_version)
+        if key != self._tables_key:
+            self._tables.clear()
+            self._tables_key = key
+        table = self._tables.get(target)
+        if table is None:
+            table = self.overlay.table_to(target)
+            self._tables[target] = table
+            if len(self._tables) > self._TABLE_CACHE:
+                self._tables.popitem(last=False)
+        else:
+            self._tables.move_to_end(target)
+        return table
+
+    def heuristic(self, target: int) -> AdmissibleHeuristic:
+        """A*-heuristic factory (:func:`heuristic_for` contract).
+
+        Empty overlay: the plain :class:`OracleHeuristic` over the index —
+        identical values to the flat kernel's ``distances_to`` table, so
+        scalar and flat candidate streams stay bit-identical.  Non-empty:
+        the exact overlay table, same object the flat kernel uses.
+        """
+        if self.overlay.is_empty:
+            return OracleHeuristic(self.index, target)
+        return _TableHeuristic(self.heuristic_table(target))
+
+    def distances_to(self, target: int) -> np.ndarray:
+        return self.heuristic_table(target)
+
+    # ------------------------------------------------------------------
+    # point / batched distances
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> float:
+        """Exact current shortest distance ``d_cur(u, v)``."""
+        if self.overlay.is_empty:
+            return self.index.distance(u, v)
+        n = self.graph.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise QueryError(f"distance query on unknown vertices ({u}, {v})")
+        if u == v:
+            return 0.0
+        if self._tables_key == (self.overlay.version, self.index.label_version):
+            table = self._tables.get(v)
+            if table is not None:
+                return float(table[u])
+            table = self._tables.get(u)
+            if table is not None:
+                return float(table[v])
+        return float(self.distance_many([u], [v])[0])
+
+    def distance_many(self, sources, targets) -> np.ndarray:
+        """Vectorised :meth:`distance` (certification + hub term + fallback)."""
+        if self.overlay.is_empty:
+            return self.index.distance_many(sources, targets)
+        us = np.asarray(sources, dtype=np.int64)
+        vs = np.asarray(targets, dtype=np.int64)
+        if us.size == 0:
+            return np.empty(0, dtype=np.float64)
+        index = self.index
+        d0 = index.distance_many(us, vs)
+        edges = list(self.overlay.edges.values())
+        m = len(edges)
+        k = int(us.size)
+        a = np.fromiter((e.u for e in edges), dtype=np.int64, count=m)
+        b = np.fromiter((e.v for e in edges), dtype=np.int64, count=m)
+        w0 = np.fromiter((e.stable for e in edges), dtype=np.float64, count=m)
+        rep_s = np.repeat(us, m)
+        rep_t = np.repeat(vs, m)
+        tile_a = np.tile(a, k)
+        tile_b = np.tile(b, k)
+        d_sa = index.distance_many(rep_s, tile_a).reshape(k, m)
+        d_bt = index.distance_many(tile_b, rep_t).reshape(k, m)
+        d_sb = index.distance_many(rep_s, tile_b).reshape(k, m)
+        d_at = index.distance_many(tile_a, rep_t).reshape(k, m)
+        via = np.minimum(d_sa + w0 + d_bt, d_sb + w0 + d_at).min(axis=1)
+        certified = via > d0 + _CERT_SLACK * (1.0 + np.abs(d0))
+        out = np.minimum(d0, self.overlay.hub_term(us, vs))
+        uncertified = np.flatnonzero(~certified)
+        for i in uncertified:
+            out[i] = self._fallback(int(us[i]), int(vs[i]))
+        if uncertified.size:
+            obs.counter(
+                "repro_overlay_uncertified_fallbacks_total",
+                "pairs a stable shortest path may cross the overlay on "
+                "(answered by A* on the current graph)",
+            ).inc(int(uncertified.size))
+        return out
+
+    def _fallback(self, u: int, v: int) -> float:
+        """Exact answer for an uncertified pair: A* on the current graph."""
+        if u == v:
+            return 0.0
+        heuristic = _SlackHeuristic(self.index, v, self.overlay.total_decrease)
+        _, dist = astar_path(self.graph, u, v, heuristic)
+        return dist
+
+    # ------------------------------------------------------------------
+    def path(self, u: int, v: int) -> list[int]:
+        """A concrete shortest path on the *current* graph."""
+        if self.overlay.is_empty:
+            return self.index.path(u, v)
+        n = self.graph.num_vertices
+        if not (0 <= u < n and 0 <= v < n):
+            raise QueryError(f"path query on unknown vertices ({u}, {v})")
+        if u == v:
+            return [u]
+        path, _ = astar_path(
+            self.graph, u, v, _TableHeuristic(self.heuristic_table(v))
+        )
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"OverlayOracle(edges={len(self.overlay)}, "
+            f"hubs={self.overlay.num_hubs}, version={self.overlay.version})"
+        )
+
+
+# ----------------------------------------------------------------------
+# consolidation
+# ----------------------------------------------------------------------
+class _SnapshotGraph:
+    """Weight-snapshot view of the live graph for the back buffer.
+
+    The consolidation clone shares the live :class:`RoadNetwork`, whose
+    weights have already moved on (the overlay absorbed them).  ILU's
+    shortcut recompute reads *base* weights from the graph, so the back
+    buffer must see each edge at the weight its labels were built under
+    until its own repair step runs — and must never see updates absorbed
+    mid-consolidation.  This view overlays ``overrides`` (initially every
+    overlay edge pinned at its stable weight) on the live graph; ILU's
+    ``set_weight`` writes the override, never the live graph.
+    """
+
+    def __init__(self, base: RoadNetwork, overrides: dict[tuple[int, int], float]):
+        self._base = base
+        self._overrides = overrides
+        self._touched: dict[int, dict[int, float]] = {}
+        for (lo, hi), w in overrides.items():
+            self._touched.setdefault(lo, {})[hi] = w
+            self._touched.setdefault(hi, {})[lo] = w
+
+    @property
+    def num_vertices(self) -> int:
+        return self._base.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._base.num_edges
+
+    @property
+    def coordinates(self):
+        return self._base.coordinates
+
+    def vertices(self) -> range:
+        return self._base.vertices()
+
+    def __len__(self) -> int:
+        return self._base.num_vertices
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._base
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._base.has_edge(u, v)
+
+    def weight(self, u: int, v: int) -> float:
+        w = self._overrides.get(_edge_key(u, v))
+        return self._base.weight(u, v) if w is None else w
+
+    def set_weight(self, u: int, v: int, weight: float) -> None:
+        if not self._base.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        lo, hi = _edge_key(u, v)
+        weight = float(weight)
+        self._overrides[(lo, hi)] = weight
+        self._touched.setdefault(lo, {})[hi] = weight
+        self._touched.setdefault(hi, {})[lo] = weight
+
+    def pin(self, u: int, v: int, weight: float) -> None:
+        """Pin an edge absorbed mid-consolidation at its stable weight."""
+        lo, hi = _edge_key(u, v)
+        if (lo, hi) not in self._overrides:
+            self.set_weight(u, v, weight)
+
+    def adjacency(self, vertex: int) -> Mapping[int, float]:
+        row = self._base.adjacency(vertex)
+        patch = self._touched.get(vertex)
+        if not patch:
+            return row
+        out = dict(row)
+        out.update(patch)
+        return out
+
+    def neighbor_items(self, vertex: int) -> Iterator[tuple[int, float]]:
+        return iter(self.adjacency(vertex).items())
+
+    def neighbors(self, vertex: int):
+        return self._base.neighbors(vertex)
+
+    def degree(self, vertex: int) -> int:
+        return self._base.degree(vertex)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        for u, v, _ in self._base.edges():
+            yield u, v, self.weight(u, v)
+
+    def total_weight(self) -> float:
+        return sum(w for _, _, w in self.edges())
+
+
+class ConsolidationTask:
+    """Cooperative background fold of the overlay into a back buffer.
+
+    Drive with :meth:`step` (one bounded unit of work per call — the
+    serving loop interleaves steps with queries) or :meth:`run` (to
+    completion).  Stages, each guarded by a ``consolidate:*`` fault
+    checkpoint from :data:`repro.core.maintenance.FAULT_POINTS`:
+
+    1. **clone** — deep-copy the serving index (graph shared through the
+       snapshot view above).
+    2. **weights** — one ILU per overlay edge on the clone, stable →
+       current weight, non-transactional (a failure discards the whole
+       clone; the serving index was never touched).
+    3. **flows** — fold queued flow updates with ISU/GSU on the clone.
+    4. **prepare** — compute the post-swap overlay state.
+    5. **commit** — plain attribute assignments: live graph back onto the
+       clone, ``on_commit(back)`` (the owner swaps its index reference and
+       bumps epochs), overlay rebase.  No fault checkpoint fires between
+       the first assignment and ``consolidate:swap-committed``, so the
+       swap is atomic under the chaos harness, and queries — which run
+       strictly between steps — observe either the old pair or the new
+       pair, never a mix.
+    """
+
+    def __init__(
+        self,
+        index: HierarchyIndex,
+        overlay: DeltaOverlay,
+        flow_updates: dict[int, float] | None = None,
+        flow_method: str = "isu",
+        on_commit: Callable[[HierarchyIndex], None] | None = None,
+    ) -> None:
+        self.index = index
+        self.overlay = overlay
+        self.flow_method = flow_method
+        self.on_commit = on_commit
+        self.state = "clone"
+        self.committed = False
+        self.back: HierarchyIndex | None = None
+        self.consolidated: dict[tuple[int, int], float] = {}
+        self.consolidated_flows: dict[int, float] = {}
+        self._view: _SnapshotGraph | None = None
+        self._rebase_state: tuple[dict, list, dict] | None = None
+        self._prepared_version: int | None = None
+        self._pending_edges: deque[tuple[tuple[int, int], float]] = deque()
+        has_flows = getattr(index, "flows", None) is not None
+        self._pending_flows: deque[tuple[int, float]] = deque(
+            sorted((flow_updates or {}).items()) if has_flows else ()
+        )
+        self.started = time.perf_counter()
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def note_absorb(self, u: int, v: int, stable_weight: float) -> None:
+        """Pin an edge absorbed while this task is running.
+
+        The back buffer must keep seeing the weight its labels were built
+        under; the edge stays in the overlay across the swap (it is not in
+        :attr:`consolidated`), so queries remain exact throughout.
+        """
+        if self._view is not None and not self.committed:
+            self._view.pin(u, v, stable_weight)
+
+    @property
+    def done(self) -> bool:
+        return self.state == "done"
+
+    def step(self) -> str:
+        """Advance one stage-step; returns the state *after* the step."""
+        if self.state == "done":
+            return self.state
+        self.steps += 1
+        if self.state == "clone":
+            overrides = {key: e.stable for key, e in self.overlay.edges.items()}
+            self._pending_edges = deque(
+                (key, e.current) for key, e in self.overlay.edges.items()
+            )
+            back = self.index.clone()
+            self._view = _SnapshotGraph(self.index.graph, overrides)
+            back.graph = self._view
+            self.back = back
+            _checkpoint("consolidate:clone-created")
+            self.state = "weights"
+        elif self.state == "weights":
+            if self._pending_edges:
+                (lo, hi), target = self._pending_edges.popleft()
+                apply_weight_update(self.back, lo, hi, target, transactional=False)
+                self.consolidated[(lo, hi)] = target
+                _checkpoint("consolidate:weights-folded")
+            if not self._pending_edges:
+                self.state = "flows"
+        elif self.state == "flows":
+            if self._pending_flows:
+                vertex, flow = self._pending_flows.popleft()
+                apply_flow_update(
+                    self.back, vertex, flow,
+                    method=self.flow_method, transactional=False,
+                )
+                self.consolidated_flows[vertex] = flow
+                _checkpoint("consolidate:flows-folded")
+            if not self._pending_flows:
+                self.state = "prepare"
+        elif self.state == "prepare":
+            self._rebase_state = self.overlay.prepare_rebase(self.consolidated)
+            self._prepared_version = self.overlay.version
+            _checkpoint("consolidate:swap-prepared")
+            self.state = "commit"
+        elif self.state == "commit":
+            if self.overlay.version != self._prepared_version:
+                # an absorb landed between prepare and commit: recompute the
+                # rebase (still pure, still before any assignment) so the
+                # fresh entry survives the swap
+                self._rebase_state = self.overlay.prepare_rebase(self.consolidated)
+            swap_start = time.perf_counter()
+            # the atomic swap: nothing below can raise before the commit
+            # checkpoint — attribute/dict assignments only
+            self.back.graph = self.index.graph
+            if self.on_commit is not None:
+                self.on_commit(self.back)
+            self.overlay.commit_rebase(self._rebase_state)
+            self.committed = True
+            self.state = "done"
+            registry = obs.get_registry()
+            if registry.enabled:
+                registry.histogram(
+                    "repro_overlay_swap_seconds",
+                    "duration of the atomic pointer swap itself",
+                ).observe(time.perf_counter() - swap_start)
+                registry.histogram(
+                    "repro_overlay_consolidation_seconds",
+                    "wall time from consolidation start to swap commit",
+                ).observe(time.perf_counter() - self.started)
+                registry.counter(
+                    "repro_overlay_consolidations_total",
+                    "background consolidation swaps committed",
+                ).inc()
+            _checkpoint("consolidate:swap-committed")
+        return self.state
+
+    def run(self) -> HierarchyIndex:
+        """Drive the task to the committed swap; returns the new index."""
+        while self.state != "done":
+            self.step()
+        return self.back

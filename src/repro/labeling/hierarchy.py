@@ -23,6 +23,7 @@ ILU/ISU need; its return value (number of labels actually rewritten) is the
 
 from __future__ import annotations
 
+import copy
 import hashlib
 
 import numpy as np
@@ -400,6 +401,30 @@ class HierarchyIndex:
         left = self._expand_shortcut(a, middle)
         right = self._expand_shortcut(middle, b)
         return left + right[1:]
+
+    # ------------------------------------------------------------------
+    # cloning (consolidation back buffer)
+    # ------------------------------------------------------------------
+    def clone(self) -> "HierarchyIndex":
+        """An independent deep copy of the index that *shares* the graph.
+
+        The consolidation pass repairs a back-buffer clone while the
+        original keeps serving; both must observe the same live
+        :class:`RoadNetwork` (single source of truth for current weights),
+        so the graph is injected into the deepcopy memo instead of being
+        copied.  Everything else — elimination, tree, LCA, labels, bag
+        views — is fully independent: mutating the clone can never corrupt
+        the serving index.  The packed arena is excluded (the clone rebuilds
+        it lazily on first vectorised query).
+        """
+        memo: dict[int, object] = {id(self.graph): self.graph}
+        arena = self._arena
+        self._arena = None
+        try:
+            twin = copy.deepcopy(self, memo)
+        finally:
+            self._arena = arena
+        return twin
 
     # ------------------------------------------------------------------
     # integrity

@@ -91,10 +91,18 @@ class LatencyRecorder:
         return float(np.percentile(self.samples, 100.0 * q))
 
     def summary(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> dict:
-        """``{"count", "mean", "p50", "p95", "p99"}`` over exact samples."""
-        out: dict[str, float | int] = {
+        """``{"count", "empty", "mean", "p50", "p95", "p99"}`` over exact samples.
+
+        An empty recorder returns the explicit
+        ``{"count": 0, "empty": True}`` — no fabricated zero percentiles
+        that read as "instant" downstream.
+        """
+        if not self.samples:
+            return {"count": 0, "empty": True}
+        out: dict[str, float | int | bool] = {
             "count": len(self.samples),
-            "mean": float(np.mean(self.samples)) if self.samples else 0.0,
+            "empty": False,
+            "mean": float(np.mean(self.samples)),
         }
         for q in quantiles:
             out[_quantile_field(q)] = self.percentile(q)
@@ -110,10 +118,16 @@ def latency_summary(
 
     Same shape as :meth:`LatencyRecorder.summary`, but quantiles are the
     histogram's bucket-upper-bound estimates (Prometheus-style resolution)
-    because the raw samples are gone.
+    because the raw samples are gone.  A series with no observations
+    returns the explicit ``{"count": 0, "empty": True}`` instead of
+    degenerate all-zero percentiles.
     """
-    out: dict[str, float | int] = {
-        "count": histogram.count(**labels),
+    count = histogram.count(**labels)
+    if count == 0:
+        return {"count": 0, "empty": True}
+    out: dict[str, float | int | bool] = {
+        "count": count,
+        "empty": False,
         "mean": histogram.mean(**labels),
     }
     for q in quantiles:

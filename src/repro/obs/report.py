@@ -64,6 +64,8 @@ def _hist_rows(family: Histogram | None, label: str) -> list[list[object]]:
         labels = dict(key)
         name = labels.get(label, "(all)") if labels else "(all)"
         summary = latency_summary(family, **labels)
+        if summary["empty"]:
+            continue
         rows.append([
             name,
             summary["count"],

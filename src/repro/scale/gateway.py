@@ -73,6 +73,8 @@ class GatewayStatus:
     shard_epochs: tuple[int, ...]
     cache: CacheStats
     metrics: dict[str, int]
+    #: accepted-but-unconsolidated updates summed over overlay-mode shards
+    consolidation_lag: int = 0
 
 
 class _ShardedOracle:
@@ -123,7 +125,13 @@ class ShardedGateway:
     engine_kwargs:
         Extra keyword arguments forwarded to every per-shard
         :class:`~repro.serving.engine.ResilientEngine` (``time_budget``,
-        ``max_retries``, ``audit_samples``, ...).
+        ``max_retries``, ``audit_samples``, ...).  Pass
+        ``update_mode="overlay"`` for non-blocking continuous updates:
+        each shard then serves ``stable ⊕ overlay`` and consolidates in
+        the background via :meth:`maintenance_tick` /
+        :meth:`consolidate`, swapping its index per shard while the
+        others keep serving; the routing and distance paths read the
+        shard *oracles*, so answers stay exact throughout.
     """
 
     def __init__(
@@ -309,7 +317,10 @@ class ShardedGateway:
         u_local = self._to_local[i][u]
         v_local = self._to_local[j][v]
         if i == j:
-            d_local = self.shards[i].index.distance(u_local, v_local)
+            # the shard *oracle*, not the raw index: in overlay mode the
+            # labels legitimately lag the live weights between
+            # consolidations and the oracle folds the correction back in
+            d_local = self.shards[i].oracle.distance(u_local, v_local)
             return self.boundary.combine_intra(i, u_local, v_local, d_local)
         return self.boundary.combine_cross(i, u_local, j, v_local)
 
@@ -365,7 +376,7 @@ class ShardedGateway:
         ):
             u_local = self._to_local[i][query.source]
             v_local = self._to_local[i][query.target]
-            d_local = self.shards[i].index.distance(u_local, v_local)
+            d_local = self.shards[i].oracle.distance(u_local, v_local)
             if math.isfinite(d_local) and (
                 self.boundary.combine_intra(i, u_local, v_local, d_local)
                 == d_local
@@ -710,6 +721,33 @@ class ShardedGateway:
         self._sync_gauges()
         return verdicts
 
+    def maintenance_tick(self, steps: int = 1) -> dict[int, str]:
+        """Advance every shard's background consolidation a little.
+
+        Overlay-mode shards fold their pending overlays/flows into back
+        buffers one cooperative step at a time; each committed swap bumps
+        that shard's epoch through the unified invalidation hook, so the
+        result cache self-invalidates without a scan.  Inline-mode shards
+        are no-ops.  Returns the per-shard task state after the tick.
+        """
+        states: dict[int, str] = {}
+        for k, engine in enumerate(self.shards):
+            state = engine.maintenance_tick(steps=steps)
+            if state is not None:
+                states[k] = state
+        self._sync_gauges()
+        return states
+
+    def consolidate(self) -> dict[int, str]:
+        """Run every pending shard consolidation to the committed swap."""
+        states: dict[int, str] = {}
+        for k, engine in enumerate(self.shards):
+            state = engine.consolidate()
+            if state is not None:
+                states[k] = state
+        self._sync_gauges()
+        return states
+
     @property
     def flow_engine(self) -> FlowAwareEngine:
         """The gateway's exact-distance flow engine (for kNN & friends)."""
@@ -717,6 +755,10 @@ class ShardedGateway:
 
     def status(self) -> GatewayStatus:
         """Typed snapshot for telemetry/logging."""
+        lag = 0
+        for engine in self.shards:
+            if engine.overlay is not None:
+                lag += len(engine.overlay) + len(engine._pending_flows)
         return GatewayStatus(
             num_shards=self.plan.num_shards,
             shard_sizes=tuple(len(m) for m in self.plan.members),
@@ -726,4 +768,5 @@ class ShardedGateway:
             shard_epochs=tuple(self._shard_epochs),
             cache=self.cache.stats(),
             metrics=dict(self.metrics),
+            consolidation_lag=lag,
         )

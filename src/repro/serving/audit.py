@@ -37,6 +37,7 @@ def verify_index(
     samples: int = 32,
     seed: int = 0,
     tolerance: float = 1e-9,
+    oracle=None,
 ) -> AuditReport:
     """Audit ``index`` against the graph it serves.
 
@@ -48,6 +49,12 @@ def verify_index(
         RNG seed — audits are deterministic and replayable.
     tolerance:
         Maximum absolute distance disagreement tolerated.
+    oracle:
+        Optional serving-path oracle whose ``distance`` answers are probed
+        instead of the raw labels.  Overlay-mode engines pass their
+        :class:`~repro.core.overlay.OverlayOracle` here: between
+        consolidations the labels legitimately lag the live weights, and
+        the health question is whether *queries* agree with the graph.
 
     Returns an :class:`AuditReport`; ``report.ok`` is the health verdict.
     """
@@ -78,13 +85,14 @@ def verify_index(
         )
 
     rng = np.random.default_rng(seed)
+    probe = index if oracle is None else oracle
     mismatches: list[tuple[int, int, float, float]] = []
     checked = 0
     if not structure_errors and n > 0:
         for _ in range(samples):
             s = int(rng.integers(n))
             t = int(rng.integers(n))
-            got = index.distance(s, t)
+            got = probe.distance(s, t)
             want = dijkstra_distance(graph, s, t)
             checked += 1
             if not abs(got - want) <= tolerance:

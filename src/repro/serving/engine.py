@@ -19,6 +19,22 @@ fault-free execution; a production serving tier gets neither.
   current graph and flagged as such: correctness degrades to *latency*,
   never to wrong answers.
 
+Two update modes select *where* accepted updates land:
+
+* ``update_mode="inline"`` (default) — the paper's model: each update runs
+  ILU/ISU/GSU on the serving index synchronously, blocking queries for the
+  duration of the repair.
+* ``update_mode="overlay"`` — non-blocking continuous updates: weight
+  updates are absorbed O(1)-ish into a :class:`~repro.core.overlay.DeltaOverlay`
+  and queries answer exactly from ``stable ⊕ overlay`` through an
+  :class:`~repro.core.overlay.OverlayOracle`; flow updates queue for the
+  next consolidation (they steer ordering quality, not answer
+  correctness).  :meth:`maintenance_tick` folds the backlog into a back
+  buffer in small cooperative steps and swaps it in atomically; a
+  consolidation that keeps failing escalates through retries to the full
+  :meth:`repair` rebuild valve, with each failure recorded in the
+  dead-letter queue.
+
 The engine is deliberately synchronous and single-threaded — it models the
 per-shard serving loop; sharding/replication live a layer above.
 """
@@ -38,6 +54,7 @@ from repro.core.fahl import FAHLIndex
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.core.maintenance import apply_flow_update, apply_weight_update
+from repro.core.overlay import ConsolidationTask, DeltaOverlay, OverlayOracle
 from repro.errors import IndexStateError, MaintenanceError, QueryError
 from repro.graph.frn import FlowAwareRoadNetwork
 from repro.serving.audit import AuditReport, verify_index
@@ -78,6 +95,11 @@ class EngineStatus:
     last_audit_at: float | None = None
     last_audit_ok: bool | None = None
     metrics: dict[str, int] = field(default_factory=dict)
+    update_mode: str = "inline"
+    overlay_edges: int = 0
+    overlay_hubs: int = 0
+    pending_flow_updates: int = 0
+    consolidation_state: str | None = None
 
     def __getitem__(self, key: str):
         warnings.warn(
@@ -100,6 +122,11 @@ class EngineStatus:
             "last_audit_at": self.last_audit_at,
             "last_audit_ok": self.last_audit_ok,
             "metrics": dict(self.metrics),
+            "update_mode": self.update_mode,
+            "overlay_edges": self.overlay_edges,
+            "overlay_hubs": self.overlay_hubs,
+            "pending_flow_updates": self.pending_flow_updates,
+            "consolidation_state": self.consolidation_state,
         }
 
 
@@ -167,6 +194,13 @@ class ResilientEngine:
         Query-kernel selection forwarded to both wrapped engines
         (``"flat"`` default, ``"scalar"`` reference) — see
         :class:`~repro.core.fpsps.FlowAwareEngine`.
+    update_mode:
+        ``"inline"`` (default) repairs the serving index synchronously per
+        update; ``"overlay"`` absorbs updates into a delta overlay and
+        consolidates in the background (see the module docstring).
+    overlay_capacity:
+        Overlay-mode only: pending-edge count at which :meth:`submit`
+        triggers a consolidation run.
     """
 
     def __init__(
@@ -185,6 +219,8 @@ class ResilientEngine:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         kernel: str = "flat",
+        update_mode: str = "inline",
+        overlay_capacity: int = 64,
     ) -> None:
         if index is None:
             index = FAHLIndex.from_frn(frn)
@@ -197,10 +233,23 @@ class ResilientEngine:
             raise QueryError(f"time_budget must be positive, got {time_budget}")
         if max_retries < 0:
             raise QueryError(f"max_retries must be >= 0, got {max_retries}")
+        if update_mode not in ("inline", "overlay"):
+            raise QueryError(
+                f"update_mode must be 'inline' or 'overlay', got {update_mode!r}"
+            )
         self.frn = frn
         self.index = index
+        self.update_mode = update_mode
+        if update_mode == "overlay":
+            self.overlay: DeltaOverlay | None = DeltaOverlay(
+                frn.graph, capacity=overlay_capacity
+            )
+            self.oracle = OverlayOracle(index, self.overlay)
+        else:
+            self.overlay = None
+            self.oracle = index
         self._engine = FlowAwareEngine(
-            frn, oracle=index, alpha=alpha, eta_u=eta_u, pruning=pruning,
+            frn, oracle=self.oracle, alpha=alpha, eta_u=eta_u, pruning=pruning,
             kernel=kernel,
         )
         self._fallback = FlowAwareEngine(
@@ -222,6 +271,9 @@ class ResilientEngine:
         self._last_audit_at: float | None = None
         self._last_audit_ok: bool | None = None
         self._invalidation_hooks: list[Callable[[], None]] = []
+        self._task: ConsolidationTask | None = None
+        self._pending_flows: dict[int, float] = {}
+        self._consolidation_failures = 0
 
     # ------------------------------------------------------------------
     # unified invalidation hook
@@ -241,6 +293,16 @@ class ResilientEngine:
         """Drop the engines' derived caches and notify every listener."""
         self._engine.invalidate()
         self._fallback.invalidate()
+        self._notify_listeners()
+
+    def _notify_listeners(self) -> None:
+        """Fire the registered hooks without nuking the engines' caches.
+
+        Overlay absorbs use this lighter path: the flat kernel resyncs
+        itself off the overlay version and the flow cache does not depend
+        on weights, but result caches stacked above (the gateway) key off
+        epochs and must still be bumped.
+        """
         for hook in self._invalidation_hooks:
             hook()
 
@@ -262,6 +324,11 @@ class ResilientEngine:
         registry.gauge(
             "repro_serving_deferred_depth", "updates parked for the next repair"
         ).set(len(self._deferred))
+        if self.overlay is not None:
+            registry.gauge(
+                "repro_serving_consolidation_lag",
+                "accepted updates not yet folded into the stable index",
+            ).set(len(self.overlay) + len(self._pending_flows))
 
     def _set_state(self, new_state: str) -> None:
         if self.state == HEALTHY and new_state == DEGRADED:
@@ -334,6 +401,8 @@ class ResilientEngine:
             self._sync_depth_gauges()
             return UpdateOutcome(accepted=False, applied=False, reason=reason)
         self._last_ts[update.key] = update.timestamp
+        if self.update_mode == "overlay":
+            return self._submit_overlay(update)
 
         strategies = (
             ("isu", "gsu") if isinstance(update, FlowUpdate) else ("ilu",)
@@ -422,8 +491,162 @@ class ResilientEngine:
         )
 
     # ------------------------------------------------------------------
-    # query path
+    # overlay update path (update_mode="overlay")
     # ------------------------------------------------------------------
+    def _submit_overlay(self, update: FlowUpdate | WeightUpdate) -> UpdateOutcome:
+        """Absorb one validated update without touching the labels.
+
+        Weight updates land in the overlay (the live graph changes, the
+        index does not — queries answer from ``stable ⊕ overlay``); flow
+        updates queue for the next consolidation, since flows steer the
+        elimination ordering, never answer correctness.  Either way the
+        serving index is never blocked on a label repair.
+        """
+        overlay = self.overlay
+        assert overlay is not None
+        if isinstance(update, WeightUpdate):
+            changed = overlay.absorb(update.u, update.v, update.value)
+            if changed:
+                if self._task is not None:
+                    entry = overlay.edges[
+                        (update.u, update.v) if update.u < update.v
+                        else (update.v, update.u)
+                    ]
+                    self._task.note_absorb(update.u, update.v, entry.stable)
+                # results changed: bump listener epochs; the engines' own
+                # caches resync off the overlay version without a rebuild
+                self._notify_listeners()
+            strategy = "overlay"
+        else:
+            self._pending_flows[update.vertex] = update.value
+            strategy = "overlay-queued"
+        self.metrics["updates_accepted"] += 1
+        self._count(
+            "repro_serving_updates_total",
+            "submitted updates by admission outcome",
+            outcome="accepted",
+        )
+        self._sync_depth_gauges()
+        if overlay.is_full and self._task is None:
+            self.consolidate()
+        return UpdateOutcome(
+            accepted=True, applied=True, strategy=strategy, attempts=1
+        )
+
+    @property
+    def consolidation_pending(self) -> bool:
+        """True when there is unconsolidated state (or a task in flight)."""
+        if self.overlay is None:
+            return False
+        return (
+            self._task is not None
+            or not self.overlay.is_empty
+            or bool(self._pending_flows)
+        )
+
+    def maintenance_tick(self, steps: int = 1) -> str | None:
+        """Advance background consolidation by up to ``steps`` small steps.
+
+        The serving loop calls this between queries; each step is one
+        bounded unit of :class:`~repro.core.overlay.ConsolidationTask`
+        work, so queries never wait behind a full repair.  Returns the
+        task state after the tick (``None`` when nothing is pending).
+        A failed step discards the back buffer — the serving index was
+        never touched — and counts toward the retry/escalation budget:
+        after ``max_retries`` consecutive failures the engine pulls the
+        full-rebuild valve.
+        """
+        if self.overlay is None or not self.consolidation_pending:
+            return None
+        if self._task is None:
+            self._task = ConsolidationTask(
+                self.index,
+                self.overlay,
+                flow_updates=dict(self._pending_flows),
+                on_commit=self._install_back_buffer,
+            )
+        task = self._task
+        try:
+            state = task.state
+            for _ in range(max(1, steps)):
+                state = task.step()
+                if state == "done":
+                    break
+        except Exception as exc:  # noqa: BLE001 — chaos faults are arbitrary
+            self._task = None
+            if task.committed:
+                # the fault fired after the atomic swap: the new index is
+                # live and exact, only bookkeeping remained
+                self._finish_consolidation(task)
+                return "done"
+            return self._consolidation_failed(task, exc)
+        if task.done:
+            self._finish_consolidation(task)
+        return task.state
+
+    def consolidate(self) -> str | None:
+        """Run consolidation to completion (a "tick" of unbounded size)."""
+        state = self.maintenance_tick(steps=1)
+        while self._task is not None and state not in (None, "done"):
+            state = self.maintenance_tick(steps=1)
+        return state
+
+    def _install_back_buffer(self, back: FAHLIndex) -> None:
+        """The atomic swap body — plain assignments only, nothing raises."""
+        self.index = back
+        self.oracle.index = back
+
+    def _finish_consolidation(self, task: ConsolidationTask) -> None:
+        self._task = None
+        self._consolidation_failures = 0
+        for vertex, flow in task.consolidated_flows.items():
+            if self._pending_flows.get(vertex) == flow:
+                del self._pending_flows[vertex]
+        self.metrics["consolidations"] += 1
+        self._count(
+            "repro_serving_consolidations_total",
+            "background consolidation swaps committed",
+        )
+        self.invalidate()
+        # rebuild the flat kernel here, on the consolidation plane — the
+        # first query after the swap must not pay the arena rebuild
+        self._engine.prime()
+        self._sync_depth_gauges()
+
+    def _consolidation_failed(
+        self, task: ConsolidationTask, error: Exception
+    ) -> str:
+        """A consolidation step failed before the swap: discard and escalate.
+
+        The back buffer is thrown away (the serving pair was never touched,
+        so queries stay exact), the failure is recorded in the dead-letter
+        queue, and after ``max_retries`` consecutive failures the engine
+        escalates to the full :meth:`repair` rebuild valve — which does not
+        depend on the incremental paths at all.
+        """
+        self._consolidation_failures += 1
+        self.metrics["consolidation_failures"] += 1
+        self._count(
+            "repro_serving_consolidation_failures_total",
+            "consolidation attempts aborted before the swap",
+        )
+        self.dead_letters.push(
+            None,
+            "consolidation-failed",
+            f"attempt {self._consolidation_failures} died in state "
+            f"{task.state!r}: {error}",
+        )
+        self._sync_depth_gauges()
+        if self._consolidation_failures > self.max_retries:
+            self.metrics["escalations"] += 1
+            self._count(
+                "repro_serving_escalations_total",
+                "maintenance strategy escalations (ISU exhausted, trying GSU)",
+            )
+            self._consolidation_failures = 0
+            self.repair()
+            return "rebuilt"
+        return "failed"
     @property
     def degraded(self) -> bool:
         return self.state != HEALTHY
@@ -488,7 +711,7 @@ class ResilientEngine:
             source="index",
         )
         return ServingDistance(
-            value=self.index.distance(u, v), degraded=False, source="index"
+            value=self.oracle.distance(u, v), degraded=False, source="index"
         )
 
     def batch(
@@ -546,9 +769,17 @@ class ResilientEngine:
     # health / repair
     # ------------------------------------------------------------------
     def audit(self) -> AuditReport:
-        """Run the sampled self-audit; a failed audit degrades the engine."""
+        """Run the sampled self-audit; a failed audit degrades the engine.
+
+        In overlay mode the probe checks what queries actually see —
+        ``stable ⊕ overlay`` through the oracle — since the raw labels
+        legitimately lag the live weights between consolidations.
+        """
         report = verify_index(
-            self.index, samples=self.audit_samples, seed=self.audit_seed
+            self.index,
+            samples=self.audit_samples,
+            seed=self.audit_seed,
+            oracle=self.oracle if self.overlay is not None else None,
         )
         self._last_audit_at = time.time()
         self._last_audit_ok = report.ok
@@ -574,13 +805,26 @@ class ResilientEngine:
         """
         graph = self.frn.graph
         flows = self.index.flows.copy()
+        for vertex, value in self._pending_flows.items():
+            flows[vertex] = value
         for update in self._deferred:
             if isinstance(update, FlowUpdate):
                 flows[update.vertex] = update.value
             else:
                 graph.set_weight(update.u, update.v, update.value)
-        self.index = FAHLIndex(graph, flows, beta=self.index.beta)
-        self._engine.oracle = self.index
+        index = FAHLIndex(graph, flows, beta=self.index.beta)
+        # nothing below raises: the engine flips to the new index whole
+        self.index = index
+        if self.overlay is not None:
+            # the rebuild saw the *current* weights, so the overlay empties:
+            # its stable baseline is now the live graph itself
+            self._task = None
+            self.oracle.index = index
+            self.overlay.commit_rebase(({}, [], {}))
+            self._pending_flows.clear()
+        else:
+            self.oracle = index
+        self._engine.oracle = self.oracle
         self.invalidate()
         self._deferred.clear()
         self.metrics["repairs"] += 1
@@ -598,6 +842,11 @@ class ResilientEngine:
             last_audit_at=self._last_audit_at,
             last_audit_ok=self._last_audit_ok,
             metrics=dict(self.metrics),
+            update_mode=self.update_mode,
+            overlay_edges=0 if self.overlay is None else len(self.overlay),
+            overlay_hubs=0 if self.overlay is None else self.overlay.num_hubs,
+            pending_flow_updates=len(self._pending_flows),
+            consolidation_state=None if self._task is None else self._task.state,
         )
 
 

@@ -18,6 +18,7 @@ import pytest
 
 from repro.baselines.dijkstra import dijkstra_distances
 from repro.core.fpsps import FlowAwareEngine
+from repro.core.maintenance import FAULT_POINTS
 from repro.core.fspq import FSPQuery
 from repro.flow.synthetic import generate_flow_series
 from repro.graph.frn import FlowAwareRoadNetwork
@@ -152,3 +153,71 @@ class TestChaosRun:
         np.testing.assert_array_equal(serving.index.flows, expected_flows)
         assert_serving_correct(serving, frn)
         assert serving.distance(0, 7).source == "index"
+
+
+CONSOLIDATE_POINTS = tuple(
+    p for p in FAULT_POINTS if p.startswith("consolidate:")
+)
+
+
+@pytest.mark.chaos
+class TestOverlayConsolidationChaos:
+    """Kill background consolidation at every checkpoint; queries stay exact.
+
+    The overlay serving contract: a consolidation crash can never corrupt
+    the serving pair.  Before the swap commits, a kill discards the back
+    buffer and the old (index, overlay) pair keeps answering; the commit
+    itself is assignment-only, so a kill at ``swap-committed`` lands the
+    *complete* new pair.  Either way the engine never exposes a
+    half-swapped index, and a retry (or escalation) drains the backlog.
+    """
+
+    @pytest.mark.parametrize("point", CONSOLIDATE_POINTS)
+    def test_kill_at_checkpoint_keeps_queries_exact(self, point):
+        graph = fixed_graph()
+        frn = FlowAwareRoadNetwork(
+            graph, generate_flow_series(graph, days=1, seed=5)
+        )
+        serving = ResilientEngine(
+            frn, max_retries=1, backoff=0.0, update_mode="overlay"
+        )
+        ts = 0.0
+        for u, v, w in ((0, 1, 9.0), (5, 6, 0.5), (2, 4, 7.5)):
+            ts += 1.0
+            assert serving.submit(WeightUpdate(u, v, w, timestamp=ts)).applied
+        ts += 1.0
+        assert serving.submit(FlowUpdate(3, 42.0, timestamp=ts)).applied
+
+        index_before = serving.index
+        with FaultInjector() as inj:
+            inj.fail_at(point, times=1)
+            outcome = None
+            while serving.consolidation_pending:
+                outcome = serving.maintenance_tick(steps=1)
+                # never a half-swapped pair: the engine's index and the
+                # oracle's view swap in the same assignment block
+                assert serving.oracle.index is serving.index
+                assert_serving_correct(serving, frn)
+                if outcome in ("failed", "done", "rebuilt"):
+                    break
+            assert point in inj.trace
+
+        if outcome == "done":
+            # the fault fired *after* the atomic swap: new pair is live
+            assert serving.index is not index_before
+        elif outcome == "failed":
+            # pre-swap kill: back buffer discarded, serving pair untouched
+            assert serving.index is index_before
+            assert serving.dead_letters.by_reason["consolidation-failed"] == 1
+        else:
+            pytest.fail(f"unexpected consolidation outcome {outcome!r}")
+        assert not serving.degraded
+
+        # recovery: the next rounds drain the overlay and queued flows
+        while serving.consolidation_pending:
+            serving.maintenance_tick(steps=1)
+            assert serving.oracle.index is serving.index
+        assert serving.status().overlay_edges == 0
+        assert serving.index.flows[3] == 42.0
+        assert_serving_correct(serving, frn)
+        assert serving.audit().ok

@@ -37,7 +37,7 @@ class TestFaultSpec:
 class TestFaultInjector:
     def test_lists_all_points(self):
         assert list_fault_points() == FAULT_POINTS
-        assert len(FAULT_POINTS) == 13
+        assert len(FAULT_POINTS) == 18
 
     def test_rejects_unknown_point(self):
         with pytest.raises(ValueError, match="unknown fault point"):

@@ -343,10 +343,28 @@ class TestLatencyHelpers:
             hist.observe(value)
         summary = obs.latency_summary(hist)
         assert summary["count"] == 4
+        assert not summary["empty"]
         assert summary["mean"] == pytest.approx(hist.sum() / 4)
         # bucket-upper-bound estimates: ordered and bracketed
         assert summary["p50"] <= summary["p95"] <= summary["p99"]
         assert summary["p50"] >= 0.001
+
+    def test_empty_recorder_summary_is_explicit(self):
+        # regression: an empty recorder used to fabricate all-zero
+        # percentiles, indistinguishable from a genuinely instant workload
+        summary = obs.LatencyRecorder().summary()
+        assert summary == {"count": 0, "empty": True}
+        assert "p99" not in summary
+
+    def test_empty_histogram_summary_is_explicit(self):
+        registry = obs.MetricsRegistry(enabled=True)
+        hist = registry.histogram("repro_demo_seconds", "demo")
+        assert obs.latency_summary(hist) == {"count": 0, "empty": True}
+        hist.observe(0.5, mode="flat")
+        # a label set that never observed stays explicitly empty too
+        assert obs.latency_summary(hist, mode="scalar") == {
+            "count": 0, "empty": True,
+        }
 
 
 # ----------------------------------------------------------------------

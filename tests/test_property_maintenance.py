@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.baselines.dijkstra import dijkstra_distances
 from repro.core.fahl import FAHLIndex
 from repro.core.maintenance import apply_flow_update, apply_weight_update
+from repro.core.overlay import ConsolidationTask, DeltaOverlay, OverlayOracle
 from repro.labeling.h2h import build_h2h
 from tests.strategies import connected_graphs
 
@@ -84,3 +85,50 @@ def test_interleaved_updates_exact(graph, data):
             path = index.path(s, t)
             weight = sum(graph.weight(a, b) for a, b in zip(path, path[1:]))
             assert weight == pytest.approx(index.distance(s, t))
+
+
+@given(graph=connected_graphs(max_vertices=10), data=st.data())
+def test_overlay_interleaving_bit_identical_to_rebuild(graph, data):
+    """Interleaved query/update/consolidate == rebuild-from-scratch, bitwise.
+
+    Integer edge weights make every distance an exact float sum, so the
+    overlay-served answer must equal the answer of an index built fresh on
+    the current graph with ``==`` — no tolerance.
+    """
+    index = build_h2h(graph)
+    overlay = DeltaOverlay(graph, capacity=64)
+    oracle = OverlayOracle(index, overlay)
+    edges = list(graph.edges())
+    n = graph.num_vertices
+
+    def check_against_rebuild():
+        fresh = build_h2h(graph.copy())
+        for s in range(0, n, max(1, n // 3)):
+            for t in range(n):
+                assert oracle.distance(s, t) == fresh.distance(s, t), (s, t)
+
+    for _ in range(data.draw(st.integers(2, 7))):
+        action = data.draw(st.sampled_from(["update", "query", "consolidate"]))
+        if action == "update":
+            u, v, _ = edges[data.draw(st.integers(0, len(edges) - 1))]
+            overlay.absorb(u, v, float(data.draw(st.integers(1, 40))))
+        elif action == "consolidate":
+            task = ConsolidationTask(
+                oracle.index, overlay,
+                on_commit=lambda back: setattr(oracle, "index", back),
+            )
+            task.run()
+            assert task.committed
+        else:
+            s = data.draw(st.integers(0, n - 1))
+            t = data.draw(st.integers(0, n - 1))
+            fresh = build_h2h(graph.copy())
+            assert oracle.distance(s, t) == fresh.distance(s, t), (s, t)
+    check_against_rebuild()
+    # drain the overlay and the served answers are still the rebuilt ones
+    while not overlay.is_empty:
+        ConsolidationTask(
+            oracle.index, overlay,
+            on_commit=lambda back: setattr(oracle, "index", back),
+        ).run()
+    check_against_rebuild()

@@ -58,6 +58,12 @@ def assert_exact(index: FAHLIndex) -> None:
             assert index.distance(s, t) == pytest.approx(ref[t]), (s, t)
 
 
+#: the transactional-apply checkpoints; ``consolidate:*`` points belong to
+#: the background ConsolidationTask and are chaos-tested in test_overlay /
+#: test_chaos, where a fault discards the back buffer instead of rolling back
+MAINT_POINTS = tuple(p for p in FAULT_POINTS if not p.startswith("consolidate:"))
+
+
 def op_for(point: str):
     """An update operation guaranteed to cross checkpoint ``point``."""
     if point.startswith("ilu:"):
@@ -68,7 +74,7 @@ def op_for(point: str):
 
 
 class TestRollbackExactness:
-    @pytest.mark.parametrize("point", FAULT_POINTS)
+    @pytest.mark.parametrize("point", MAINT_POINTS)
     def test_fault_leaves_index_bit_identical(self, fahl, point):
         before_sum = fahl.checksum()
         before_flows = fahl.flows.copy()
@@ -87,7 +93,7 @@ class TestRollbackExactness:
         assert {(u, v): w for u, v, w in fahl.graph.edges()} == before_weights
         assert all_pairs(fahl) == before_dist
 
-    @pytest.mark.parametrize("point", FAULT_POINTS)
+    @pytest.mark.parametrize("point", MAINT_POINTS)
     def test_index_still_maintainable_after_rollback(self, fahl, point):
         with FaultInjector() as inj:
             inj.fail_at(point)
