@@ -1,0 +1,210 @@
+"""Durability benchmark: checkpoint cost, WAL replay rate, recover vs rebuild.
+
+Answers the operational question the durability layer exists for: after a
+crash, how much faster is ``recover()`` (load newest checkpoint, replay
+the WAL tail) than the alternative of rebuilding the index from scratch
+and re-applying every update from the feed?
+
+Timeline (NYC-S = the NYC dataset at ``--scale``):
+
+1. **cold build** — construct the FAHL index + serving engine from the
+   raw network (timed: the price recovery avoids paying again);
+2. apply a first batch of updates, write a **checkpoint** (timed, size
+   recorded) — the WAL rotates;
+3. apply a second batch (the WAL tail a crash would leave behind), then
+   drop the engine without ceremony;
+4. **recover** — ``recover(checkpoint_on_recover=False)`` restores the
+   checkpoint and replays the tail (timed; the flag keeps the timing
+   honest — no fresh checkpoint is folded into the recovery number);
+5. **cold restart** — what an operator without durability does: rebuild
+   the index from the raw network and re-apply *all* updates (timed).
+
+Exactness is asserted, not assumed: the recovered engine's distances on a
+query sample must be bit-identical to the pre-crash engine's.  The script
+exits non-zero if any distance mismatches or if recovery fails to beat
+the cold restart.  Results go to ``BENCH_recovery.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py
+    PYTHONPATH=src python benchmarks/bench_recovery.py --tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    from benchmarks._env import env_info
+except ModuleNotFoundError:  # run as a script: benchmarks/ is sys.path[0]
+    from _env import env_info
+from repro.durability import Durability, recover
+from repro.serving import ResilientEngine, WeightUpdate
+from repro.workloads.datasets import load_dataset
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_updates(frn, count, rng, start_ts=0.0):
+    edges = list(frn.graph.edges())
+    picks = rng.integers(0, len(edges), size=count)
+    factors = rng.uniform(0.7, 1.6, size=count)
+    return [
+        WeightUpdate(
+            edges[int(e)][0],
+            edges[int(e)][1],
+            float(edges[int(e)][2]) * float(f),
+            timestamp=start_ts + i,
+        )
+        for i, (e, f) in enumerate(zip(picks, factors))
+    ]
+
+
+def sample_pairs(n, count, rng):
+    return [
+        (int(u), int(v))
+        for u, v in zip(
+            rng.integers(0, n, size=count), rng.integers(0, n, size=count)
+        )
+    ]
+
+
+def distances(engine, pairs):
+    return [engine.distance(u, v).value for u, v in pairs]
+
+
+def run(scale, batch, seed, out_path):
+    rng = np.random.default_rng(seed)
+    dataset = load_dataset("NYC", scale=scale, seed=seed)
+    frn = dataset.frn
+    n = frn.num_vertices
+    print(f"NYC-S: {n} vertices, {frn.graph.num_edges} edges")
+
+    root = Path(tempfile.mkdtemp(prefix="bench-recovery-"))
+
+    # 1. cold build (the work a checkpoint restore skips)
+    t0 = time.perf_counter()
+    durability = Durability(root, fsync="interval")
+    engine = ResilientEngine(frn, durability=durability)
+    cold_build_s = time.perf_counter() - t0
+
+    # 2. first batch, then checkpoint
+    first = make_updates(frn, batch, rng)
+    for update in first:
+        engine.submit(update)
+    t0 = time.perf_counter()
+    durability.checkpoint(engine)
+    checkpoint_s = time.perf_counter() - t0
+    ckpt_dir = durability.checkpoint_dir(durability.generation)
+    checkpoint_bytes = sum(
+        f.stat().st_size for f in ckpt_dir.iterdir() if f.is_file()
+    )
+
+    # 3. second batch = the WAL tail a crash strands
+    second = make_updates(frn, batch, rng, start_ts=float(batch))
+    for update in second:
+        engine.submit(update)
+    pairs = sample_pairs(n, 200, rng)
+    expected = distances(engine, pairs)
+    wal_bytes = durability.wal_path(durability.generation).stat().st_size
+    durability.close()
+
+    # 4. recover: checkpoint restore + WAL tail replay
+    probe = load_dataset("NYC", scale=scale, seed=seed)
+    t0 = time.perf_counter()
+    recovered = recover(root, probe.frn, checkpoint_on_recover=False)
+    recover_s = time.perf_counter() - t0
+    report = recovered.last_recovery
+    replayed = report.replayed_updates + report.resubmitted_updates
+    mismatches = sum(
+        1 for got, want in zip(distances(recovered, pairs), expected)
+        if got != want
+    )
+    recovered.durability.close()
+
+    # 5. cold restart: full rebuild + re-apply the entire update history
+    probe2 = load_dataset("NYC", scale=scale, seed=seed)
+    t0 = time.perf_counter()
+    fresh = ResilientEngine(probe2.frn)
+    for update in first + second:
+        fresh.submit(update)
+    cold_restart_s = time.perf_counter() - t0
+
+    payload = {
+        "bench": "recovery",
+        "env": env_info(),
+        "config": {
+            "dataset": "NYC-S",
+            "scale": scale,
+            "seed": seed,
+            "num_vertices": n,
+            "num_edges": frn.graph.num_edges,
+            "updates_per_batch": batch,
+        },
+        "results": {
+            "cold_build_seconds": cold_build_s,
+            "checkpoint_write_seconds": checkpoint_s,
+            "checkpoint_bytes": checkpoint_bytes,
+            "wal_tail_bytes": wal_bytes,
+            "recover_seconds": recover_s,
+            "cold_restart_seconds": cold_restart_s,
+            "recover_speedup": cold_restart_s / recover_s,
+            "wal_replayed_updates": replayed,
+            "wal_replay_updates_per_second": (
+                replayed / recover_s if recover_s > 0 else None
+            ),
+            "distance_mismatches": mismatches,
+            "recovery_report": {
+                "generation": report.generation,
+                "cold_rebuild": report.cold_rebuild,
+                "replayed_updates": report.replayed_updates,
+                "resubmitted_updates": report.resubmitted_updates,
+                "torn_bytes": report.torn_bytes,
+            },
+        },
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload["results"], indent=2))
+    print(f"wrote {out_path}")
+
+    if mismatches:
+        print(f"FAIL: {mismatches} recovered distances mismatch", file=sys.stderr)
+        return 1
+    if recover_s >= cold_restart_s:
+        print(
+            f"FAIL: recover ({recover_s:.3f}s) did not beat cold restart "
+            f"({cold_restart_s:.3f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: recover {recover_s:.3f}s vs cold restart {cold_restart_s:.3f}s "
+        f"({cold_restart_s / recover_s:.1f}x)"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--updates", type=int, default=120,
+                        help="updates per batch (two batches total)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke: small graph, few updates")
+    parser.add_argument("--out", type=Path,
+                        default=_REPO_ROOT / "BENCH_recovery.json")
+    args = parser.parse_args()
+    scale, batch = (0.06, 20) if args.tiny else (args.scale, args.updates)
+    return run(scale, batch, args.seed, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,6 +144,33 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--seed", type=int, default=0)
     sharded.add_argument("--prom", metavar="FILE",
                          help="also write the Prometheus text export here")
+
+    recover_cmd = sub.add_parser(
+        "recover",
+        help="restore a serving engine from a durability directory "
+             "(newest valid checkpoint + write-ahead-log replay)",
+    )
+    recover_cmd.add_argument(
+        "directory", help="durability directory (wal-*.log + ckpt-*/)"
+    )
+    recover_cmd.add_argument("--dataset", default="NYC",
+                             help="dataset the engine was built from "
+                                  "(default NYC)")
+    recover_cmd.add_argument("--scale", type=float, default=0.35,
+                             help="dataset scale factor (default 0.35; must "
+                                  "match the crashed engine's)")
+    recover_cmd.add_argument("--seed", type=int, default=0,
+                             help="dataset seed (must match)")
+    recover_cmd.add_argument("--fsync", default="interval",
+                             choices=("always", "interval", "never"),
+                             help="fsync policy for the post-recovery log")
+    recover_cmd.add_argument("--no-checkpoint", action="store_true",
+                             help="skip the post-recovery checkpoint "
+                                  "(faster, but the next crash replays the "
+                                  "same tail again)")
+    recover_cmd.add_argument("--audit", action="store_true",
+                             help="run the sampled Dijkstra self-audit on "
+                                  "the recovered engine (exit 1 on failure)")
     return parser
 
 
@@ -355,12 +382,59 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_recover(args: argparse.Namespace) -> int:
+    from repro.durability import recover
+    from repro.errors import RecoveryError
+    from repro.workloads.datasets import load_dataset
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    try:
+        with obs.stopwatch(span="cli.recover", directory=args.directory):
+            engine = recover(
+                args.directory,
+                dataset.frn,
+                fsync=args.fsync,
+                checkpoint_on_recover=not args.no_checkpoint,
+            )
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    report = engine.last_recovery
+    source = (
+        "cold rebuild (no checkpoint)" if report.cold_rebuild
+        else f"checkpoint generation {report.generation}"
+    )
+    print(f"recovered {args.dataset} engine from {args.directory}")
+    print(f"  restore source:    {source}")
+    if report.fallback_generations:
+        print(f"  generations skipped (corrupt): {report.fallback_generations}")
+    print(f"  WAL records read:  {report.wal_records}")
+    print(f"  replayed updates:  {report.replayed_updates} "
+          f"(+{report.resubmitted_updates} in-flight resubmitted)")
+    print(f"  dead letters:      {report.replayed_dead_letters} replayed, "
+          f"{len(engine.dead_letters)} queued")
+    if report.torn_bytes:
+        print(f"  torn tail repaired: {report.torn_bytes} bytes truncated")
+    print(f"  engine state:      {engine.state} "
+          f"({len(engine._deferred)} deferred)")
+    print(f"  recovery time:     {report.duration_seconds:.3f}s")
+    if args.audit:
+        verdict = engine.audit()
+        print(f"  post-recovery audit: {'ok' if verdict.ok else 'FAILED'} "
+              f"({verdict.checked} samples)")
+        if not verdict.ok:
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "obs":
         return _run_obs(args)
     if args.command == "serve-sharded":
         return _run_serve_sharded(args)
+    if args.command == "recover":
+        return _run_recover(args)
     if args.command == "list":
         for key, module in EXPERIMENTS.items():
             summary = (module.__doc__ or "").strip().splitlines()[0]

@@ -1,0 +1,46 @@
+"""Durable crash recovery for the serving stack.
+
+Three cooperating pieces:
+
+:mod:`repro.durability.wal`
+    Append-only, checksummed write-ahead log with torn-tail repair and an
+    fsync policy knob (``always`` | ``interval`` | ``never``).
+:mod:`repro.durability.manager`
+    :class:`Durability` — one WAL plus atomically-published checkpoint
+    generations per engine directory; rotation retires replayed logs.
+:mod:`repro.durability.recovery`
+    :func:`recover` — newest valid checkpoint + WAL-tail replay back into
+    a live :class:`~repro.serving.engine.ResilientEngine`, falling back
+    generation by generation when a checkpoint fails verification.
+
+Crash-point instrumentation (:mod:`repro.durability.crashpoints`) lets the
+test suite kill the process model at every append/fsync/checkpoint/rotate
+boundary and prove recovery loses nothing that was acknowledged.
+"""
+
+from repro.durability.crashpoints import (
+    CRASH_POINTS,
+    SimulatedCrash,
+    crash_point,
+    set_crash_hook,
+)
+from repro.durability.manager import Durability, engine_state
+from repro.durability.records import decode_update, encode_update
+from repro.durability.recovery import RecoveryReport, recover
+from repro.durability.wal import FSYNC_POLICIES, WriteAheadLog, scan_and_repair
+
+__all__ = [
+    "CRASH_POINTS",
+    "Durability",
+    "FSYNC_POLICIES",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "WriteAheadLog",
+    "crash_point",
+    "decode_update",
+    "encode_update",
+    "engine_state",
+    "recover",
+    "scan_and_repair",
+    "set_crash_hook",
+]

@@ -1,0 +1,60 @@
+"""Named crash points inside the durability layer (chaos test seam).
+
+Durable recovery is only trustworthy if it survives a kill at *every*
+point where disk state is mid-mutation.  Each such point in the WAL
+append path, the checkpoint writer and the recovery replay loop calls
+:func:`crash_point` with a stable name; the chaos harness
+(:class:`repro.testing.faults.CrashInjector`) arms a hook that raises
+:class:`SimulatedCrash` there, modelling a SIGKILL whose only surviving
+evidence is whatever already reached the filesystem.
+
+``SimulatedCrash`` derives from :class:`BaseException` on purpose: a real
+power cut cannot be caught by an ``except Exception`` recovery path, so
+the simulated one must not be either.
+
+Nothing here is used by production code beyond the (default ``None``)
+hook indirection — the same pattern as
+:data:`repro.core.maintenance.FAULT_POINTS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["CRASH_POINTS", "SimulatedCrash", "crash_point", "set_crash_hook"]
+
+#: every instrumented kill point, in rough execution order
+CRASH_POINTS: tuple[str, ...] = (
+    # WAL append path (submit() calls these before acknowledging)
+    "wal:append-start",     # nothing written yet — the update was never logged
+    "wal:append-header",    # length+crc written, payload missing: a torn record
+    "wal:append-payload",   # full record buffered, not yet flushed to the OS
+    "wal:fsync",            # flushed, killed before fsync returned
+    # checkpoint writer (consolidate()/auto-cadence call these)
+    "checkpoint:start",           # checkpoint directory created, nothing in it
+    "checkpoint:index-written",   # index.npz durable, state.json missing
+    "checkpoint:state-written",   # state.json durable, manifest missing
+    "checkpoint:manifest",        # manifest tmp written, not yet renamed
+    "checkpoint:rotate",          # manifest durable, WAL not rotated/pruned
+    # recovery itself (a crash during recovery must stay recoverable)
+    "recover:mid-replay",
+)
+
+
+class SimulatedCrash(BaseException):
+    """The process died here.  Deliberately *not* an :class:`Exception`."""
+
+
+_hook: Callable[[str], None] | None = None
+
+
+def set_crash_hook(hook: Callable[[str], None] | None) -> None:
+    """Install (or clear) the process-wide crash hook (tests only)."""
+    global _hook
+    _hook = hook
+
+
+def crash_point(name: str) -> None:
+    """Announce a named kill point; the armed hook may raise here."""
+    if _hook is not None:
+        _hook(name)

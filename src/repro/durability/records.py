@@ -1,0 +1,109 @@
+"""WAL record payloads: typed envelopes and their JSON wire form.
+
+Four record types cover everything the serving layer acknowledges:
+
+``update``
+    An accepted :class:`~repro.serving.updates.WeightUpdate` or
+    :class:`~repro.serving.updates.FlowUpdate`, appended *before* the
+    maintenance attempt (and therefore before the ack).
+``outcome``
+    What happened to a previously logged update (``ref`` is its WAL
+    sequence number): applied with some strategy, or deferred to the next
+    repair.  An ``update`` with no ``outcome`` in the log means the crash
+    raced the attempt — recovery re-submits it through the full machinery.
+``dlq``
+    A dead-letter push that replay cannot re-derive (admission rejects,
+    consolidation-failure notes).  ``update`` may be ``None``.
+``consolidated``
+    The overlay was folded into the stable index and the swap committed.
+    Normally followed immediately by a checkpoint + WAL rotation; the
+    marker only survives in a log whose checkpoint never completed, where
+    it tells replay to re-run the fold.
+
+Payloads are JSON objects — small, stdlib-only, self-describing; the
+framing/checksum layer lives in :mod:`repro.durability.wal`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError
+from repro.serving.updates import FlowUpdate, WeightUpdate
+
+__all__ = [
+    "consolidated_record",
+    "decode_update",
+    "dlq_record",
+    "encode_update",
+    "outcome_record",
+    "update_record",
+]
+
+
+def encode_update(update: FlowUpdate | WeightUpdate) -> dict:
+    if isinstance(update, WeightUpdate):
+        return {
+            "kind": "weight",
+            "u": update.u,
+            "v": update.v,
+            "value": update.value,
+            "timestamp": update.timestamp,
+        }
+    if isinstance(update, FlowUpdate):
+        return {
+            "kind": "flow",
+            "vertex": update.vertex,
+            "value": update.value,
+            "timestamp": update.timestamp,
+        }
+    raise RecoveryError(
+        f"cannot serialize {type(update).__name__} into the write-ahead log"
+    )
+
+
+def decode_update(payload: dict | None) -> FlowUpdate | WeightUpdate | None:
+    if payload is None:
+        return None
+    kind = payload.get("kind")
+    if kind == "weight":
+        return WeightUpdate(
+            int(payload["u"]),
+            int(payload["v"]),
+            float(payload["value"]),
+            float(payload["timestamp"]),
+        )
+    if kind == "flow":
+        return FlowUpdate(
+            int(payload["vertex"]),
+            float(payload["value"]),
+            float(payload["timestamp"]),
+        )
+    raise RecoveryError(f"unknown update kind {kind!r} in the write-ahead log")
+
+
+def update_record(update: FlowUpdate | WeightUpdate) -> dict:
+    return {"type": "update", "update": encode_update(update)}
+
+
+def outcome_record(
+    ref: int, applied: bool, strategy: str | None, detail: str | None = None
+) -> dict:
+    record = {"type": "outcome", "ref": ref, "applied": applied,
+              "strategy": strategy}
+    if detail is not None:
+        record["detail"] = detail
+    return record
+
+
+def dlq_record(
+    update: FlowUpdate | WeightUpdate | None, reason: str, detail: str
+) -> dict:
+    return {
+        "type": "dlq",
+        "update": None if update is None else encode_update(update),
+        "reason": reason,
+        "detail": detail,
+    }
+
+
+def consolidated_record() -> dict:
+    return {"type": "consolidated"}

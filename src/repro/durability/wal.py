@@ -1,0 +1,211 @@
+"""Append-only, checksummed write-ahead log for the serving layer.
+
+File layout::
+
+    FAHLWAL1                     8-byte magic
+    <u32 length><u32 crc32><payload bytes>   repeated
+
+Each payload is one compact-JSON record (:mod:`repro.durability.records`)
+carrying its own monotonically increasing ``seq``.  The crc32 covers the
+payload bytes, so a bit-flip, a truncated write, or a record overwritten
+mid-append all fail verification.
+
+Durability knob (``fsync``):
+
+``"always"``
+    flush + ``os.fsync`` after every append — nothing acknowledged is ever
+    lost, at one fsync per update.
+``"interval"``
+    flush every append, fsync every ``fsync_every`` appends (and at every
+    :meth:`sync`, which checkpoints call) — bounded loss window of at most
+    ``fsync_every - 1`` acknowledged records on a *power* failure (a plain
+    process crash loses nothing: the OS still holds the flushed pages).
+``"never"``
+    flush only — the benchmark floor and an explicit opt-out.
+
+Torn-tail handling: :meth:`WriteAheadLog.open` scans the existing file
+record by record and **truncates at the first corrupt or incomplete
+record** instead of failing — a crash mid-append must cost the in-flight
+(unacknowledged) record only, never the log.  The scan result is kept on
+the instance (:attr:`recovered_records`, :attr:`torn_bytes`) so recovery
+does not read the file twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from repro import obs
+from repro.durability.crashpoints import crash_point
+from repro.errors import RecoveryError
+
+__all__ = ["FSYNC_POLICIES", "WriteAheadLog", "scan_and_repair"]
+
+_MAGIC = b"FAHLWAL1"
+_HEADER = struct.Struct("<II")
+#: sanity cap on a single record — anything bigger is framing corruption
+_MAX_RECORD = 16 * 1024 * 1024
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+def scan_and_repair(path: str | Path) -> tuple[list[dict], int]:
+    """Read every valid record of ``path``; truncate at the first bad one.
+
+    Returns ``(records, torn_bytes)`` where ``torn_bytes`` counts what the
+    repair cut off (0 for a clean log).  A missing file is created with
+    just the magic header — an empty log — so a crash between manifest
+    publication and WAL rotation (the log never existed) reads as "no
+    tail to replay" instead of an error.
+    """
+    path = Path(path)
+    if not path.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(_MAGIC)
+        return [], 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise RecoveryError(f"{path} is not a FAHL write-ahead log (bad magic)")
+    records: list[dict] = []
+    offset = len(_MAGIC)
+    good_end = offset
+    while offset + _HEADER.size <= len(data):
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if length > _MAX_RECORD or end > len(data):
+            break  # incomplete/insane tail
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # bit-flipped or half-overwritten record
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            break
+        records.append(record)
+        offset = good_end = end
+    torn_bytes = len(data) - good_end
+    if torn_bytes:
+        with open(path, "r+b") as handle:
+            handle.truncate(good_end)
+    return records, torn_bytes
+
+
+class WriteAheadLog:
+    """One log file, opened for appending after a torn-tail repair scan."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: str = "interval",
+        fsync_every: int = 32,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise RecoveryError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_every < 1:
+            raise RecoveryError(f"fsync_every must be >= 1, got {fsync_every}")
+        self.path = Path(path)
+        self.fsync = fsync
+        self.fsync_every = int(fsync_every)
+        self.recovered_records: list[dict] = []
+        self.torn_bytes = 0
+        self.next_seq = 0
+        self.appended = 0
+        self._since_sync = 0
+        self._scan_and_repair()
+        self._handle = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    # torn-tail repair scan
+    # ------------------------------------------------------------------
+    def _scan_and_repair(self) -> None:
+        """Load the surviving records and truncate any torn tail."""
+        self.recovered_records, self.torn_bytes = scan_and_repair(self.path)
+        if self.recovered_records:
+            self.next_seq = (
+                max(int(r.get("seq", -1)) for r in self.recovered_records) + 1
+            )
+
+    # ------------------------------------------------------------------
+    # append path
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> int:
+        """Frame, checksum and append one record; returns its ``seq``.
+
+        The caller decides when the record is *acknowledged*; with
+        ``fsync="always"`` the record is durable when this returns.
+        """
+        crash_point("wal:append-start")
+        seq = self.next_seq
+        record = dict(record)
+        record["seq"] = seq
+        payload = json.dumps(record, separators=(",", ":")).encode()
+        header = _HEADER.pack(len(payload), zlib.crc32(payload))
+        # two writes on purpose: the gap between them is the torn-record
+        # window the repair scan must (and does) survive
+        self._handle.write(header)
+        crash_point("wal:append-header")
+        self._handle.write(payload)
+        crash_point("wal:append-payload")
+        self.next_seq = seq + 1
+        self.appended += 1
+        self._since_sync += 1
+        self._handle.flush()
+        if self.fsync == "always" or (
+            self.fsync == "interval" and self._since_sync >= self.fsync_every
+        ):
+            self._fsync()
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_durability_wal_appends_total",
+                "write-ahead log records appended, by record type",
+            ).inc(type=str(record.get("type", "unknown")))
+            registry.counter(
+                "repro_durability_wal_bytes_total",
+                "write-ahead log bytes appended (framing included)",
+            ).inc(len(header) + len(payload))
+        return seq
+
+    def _fsync(self) -> None:
+        crash_point("wal:fsync")
+        os.fsync(self._handle.fileno())
+        self._since_sync = 0
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_durability_fsyncs_total", "write-ahead log fsync calls"
+            ).inc()
+
+    def sync(self) -> None:
+        """Force outstanding records to disk (checkpoint barrier)."""
+        if self.fsync == "never":
+            self._handle.flush()
+            return
+        self._handle.flush()
+        self._fsync()
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        if self.fsync != "never":
+            os.fsync(self._handle.fileno())
+        self._handle.close()
+
+    def __len__(self) -> int:
+        return len(self.recovered_records) + self.appended
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog({self.path.name}, fsync={self.fsync!r}, "
+            f"recovered={len(self.recovered_records)}, appended={self.appended})"
+        )

@@ -74,5 +74,48 @@ class DatasetFormatError(ReproError):
     """A dataset file (e.g. DIMACS ``.gr``) could not be parsed."""
 
 
+class IndexIntegrityError(DatasetFormatError):
+    """A persisted index file failed integrity verification.
+
+    Raised by :func:`repro.labeling.serialize.load_index` when an archive
+    is truncated, bit-flipped, missing arrays, or carries a checksum that
+    does not match its content.  Subclasses :class:`DatasetFormatError`
+    so pre-existing callers keep working, but exposes the forensic detail
+    a recovery path needs to decide between generations:
+
+    ``expected_checksum`` / ``actual_checksum``
+        Hex digests (stored vs recomputed) when the failure was a
+        checksum mismatch, else ``None``.
+    ``version``
+        The archive's declared format version when it could be read.
+    """
+
+    def __init__(
+        self,
+        path: object,
+        detail: str,
+        *,
+        expected_checksum: str | None = None,
+        actual_checksum: str | None = None,
+        version: int | None = None,
+    ) -> None:
+        super().__init__(f"index file {path} failed integrity check: {detail}")
+        self.path = path
+        self.detail = detail
+        self.expected_checksum = expected_checksum
+        self.actual_checksum = actual_checksum
+        self.version = version
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent serving engine.
+
+    Raised by :func:`repro.durability.recover` when no valid checkpoint
+    generation survives and the write-ahead log alone cannot reconstruct
+    the acknowledged history (e.g. every retained checkpoint is corrupt
+    and older logs were already pruned).
+    """
+
+
 class PartitionError(ReproError):
     """Graph partitioning failed (e.g. requested more parts than vertices)."""

@@ -21,20 +21,25 @@ Format (npz keys)
 
 Integrity: :func:`save_index` stores a content digest covering every other
 array in the archive; :func:`load_index` recomputes and compares it before
-touching any data, raising :class:`~repro.errors.DatasetFormatError` on
+touching any data, raising :class:`~repro.errors.IndexIntegrityError`
+(carrying expected vs actual digest and the declared format version) on
 mismatch — a bit-flipped or truncated index file fails loudly instead of
-serving silently wrong labels.  Version-1 archives (pre-checksum) still
-load.
+serving silently wrong labels.  Unreadable archives (truncated zip,
+missing arrays) raise the same error, so recovery code has a single
+"this generation is bad" signal.  Version-1 archives (pre-checksum)
+still load.
 """
 
 from __future__ import annotations
 
 import hashlib
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import DatasetFormatError
+from repro.errors import DatasetFormatError, IndexIntegrityError
 from repro.graph.road_network import RoadNetwork
 from repro.labeling.h2h import H2HIndex
 from repro.labeling.hierarchy import HierarchyIndex
@@ -180,61 +185,83 @@ def load_index(path: str | Path) -> HierarchyIndex:
     """
     from repro.core.fahl import FAHLIndex
 
-    with np.load(path) as data:
-        meta = data["meta"]
-        version, kind, n = int(meta[0]), int(meta[1]), int(meta[2])
-        if not 1 <= version <= _FORMAT_VERSION:
-            raise DatasetFormatError(
-                f"unsupported index format version {version}"
-            )
-        if version >= 2:
-            # verify content integrity before restoring anything
-            if _CHECKSUM_KEY not in data:
-                raise DatasetFormatError(
-                    f"index file {path} is missing its checksum"
-                )
-            arrays = {key: data[key] for key in data.files}
-            stored = np.asarray(arrays[_CHECKSUM_KEY], dtype=np.uint8)
-            expected = _payload_digest(arrays)
-            if stored.shape != expected.shape or not np.array_equal(stored, expected):
-                raise DatasetFormatError(
-                    f"index file {path} failed its integrity check "
-                    "(checksum mismatch — corrupted or tampered file)"
-                )
-        graph = _restore_graph(data)
-        elimination = _restore_elimination(data, n)
+    try:
+        with np.load(path) as data:
+            return _restore_index(data, path, FAHLIndex)
+    except DatasetFormatError:
+        raise  # includes IndexIntegrityError — already forensic
+    except (
+        OSError, KeyError, ValueError, EOFError,
+        zipfile.BadZipFile, zlib.error,
+    ) as exc:
+        # truncated zip central directory, missing arrays, short reads —
+        # numpy/zipfile surface them all differently; recovery needs one
+        # "this file is bad" signal
+        raise IndexIntegrityError(
+            path, f"unreadable archive ({type(exc).__name__}: {exc})"
+        ) from exc
 
-        if kind == _KIND_FAHL:
-            index = FAHLIndex.__new__(FAHLIndex)
-            index.beta = float(meta[3])
-            index.flows = np.asarray(data["flows"], dtype=np.float64)
-            index.flow_anchors = (
-                float(data["anchors"][0]),
-                float(data["anchors"][1]),
-            )
-        elif kind == _KIND_H2H:
-            index = H2HIndex.__new__(H2HIndex)
-        else:
-            raise DatasetFormatError(f"unknown index kind {kind}")
 
-        # bypass __init__ (which would rebuild): restore state directly
-        index.graph = graph
-        index.elim = elimination
-        index.labels = [np.empty(0)] * n
-        index.vias = [np.empty(0, dtype=np.int32)] * n
-        index.rebuild_structure()
-
-        label_offsets = data["label_offsets"]
-        label_values = data["label_values"]
-        via_values = data["via_values"]
-        via_offset = 0
-        for v in range(n):
-            lo, hi = int(label_offsets[v]), int(label_offsets[v + 1])
-            index.labels[v] = np.asarray(label_values[lo:hi], dtype=np.float64)
-            # the via array is one shorter than the label (no self entry)
-            length = hi - lo - 1
-            index.vias[v] = np.asarray(
-                via_values[via_offset: via_offset + length], dtype=np.int32
+def _restore_index(data, path, fahl_cls) -> HierarchyIndex:
+    meta = data["meta"]
+    version, kind, n = int(meta[0]), int(meta[1]), int(meta[2])
+    if not 1 <= version <= _FORMAT_VERSION:
+        raise IndexIntegrityError(
+            path, f"unsupported format version {version}", version=version
+        )
+    if version >= 2:
+        # verify content integrity before restoring anything
+        if _CHECKSUM_KEY not in data:
+            raise IndexIntegrityError(
+                path, "missing its checksum", version=version
             )
-            via_offset += length
+        arrays = {key: data[key] for key in data.files}
+        stored = np.asarray(arrays[_CHECKSUM_KEY], dtype=np.uint8)
+        expected = _payload_digest(arrays)
+        if stored.shape != expected.shape or not np.array_equal(stored, expected):
+            raise IndexIntegrityError(
+                path,
+                "checksum mismatch (corrupted or tampered file)",
+                expected_checksum=bytes(stored.tobytes()).hex(),
+                actual_checksum=bytes(expected.tobytes()).hex(),
+                version=version,
+            )
+    graph = _restore_graph(data)
+    elimination = _restore_elimination(data, n)
+
+    if kind == _KIND_FAHL:
+        index = fahl_cls.__new__(fahl_cls)
+        index.beta = float(meta[3])
+        index.flows = np.asarray(data["flows"], dtype=np.float64)
+        index.flow_anchors = (
+            float(data["anchors"][0]),
+            float(data["anchors"][1]),
+        )
+    elif kind == _KIND_H2H:
+        index = H2HIndex.__new__(H2HIndex)
+    else:
+        raise IndexIntegrityError(
+            path, f"unknown index kind {kind}", version=version
+        )
+
+    # bypass __init__ (which would rebuild): restore state directly
+    index.graph = graph
+    index.elim = elimination
+    index.labels = [np.empty(0)] * n
+    index.vias = [np.empty(0, dtype=np.int32)] * n
+    index.rebuild_structure()
+
+    label_offsets = data["label_offsets"]
+    label_values = data["label_values"]
+    via_values = data["via_values"]
+    via_offset = 0
+    for v in range(n):
+        lo, hi = int(label_offsets[v]), int(label_offsets[v + 1])
+        index.labels[v] = np.asarray(label_values[lo:hi], dtype=np.float64)
+        # the via array is one shorter than the label (no self entry)
+        length = hi - lo - 1
+        index.vias[v] = np.asarray(
+            via_values[via_offset: via_offset + length], dtype=np.int32
+        )
+        via_offset += length
     return index

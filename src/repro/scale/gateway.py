@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -43,7 +44,7 @@ from repro.baselines.dijkstra import dijkstra_distance
 from repro.core.batch import BatchReport, batch_query
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
-from repro.errors import QueryError
+from repro.errors import QueryError, RecoveryError
 from repro.flow.series import FlowSeries
 from repro.graph.frn import FlowAwareRoadNetwork
 from repro.scale.boundary import BoundaryIndex
@@ -132,6 +133,17 @@ class ShardedGateway:
         :meth:`consolidate`, swapping its index per shard while the
         others keep serving; the routing and distance paths read the
         shard *oracles*, so answers stay exact throughout.
+    durability_dir:
+        When set, every shard gets its own
+        :class:`~repro.durability.Durability` manager rooted at
+        ``<durability_dir>/shard-<k>`` — accepted updates are
+        write-ahead logged before the ack and consolidations checkpoint
+        the shard index.  After a crash, :meth:`recover_shard` restarts
+        one shard from its checkpoint + log while the others keep
+        serving.
+    durability_kwargs:
+        Extra keyword arguments for each per-shard ``Durability``
+        (``fsync``, ``fsync_every``, ``auto_checkpoint``, ``retain``).
     """
 
     def __init__(
@@ -147,6 +159,8 @@ class ShardedGateway:
         intra_shard_local: bool = True,
         dead_letter_capacity: int = 1024,
         kernel: str = "flat",
+        durability_dir=None,
+        durability_kwargs: dict | None = None,
         **engine_kwargs,
     ) -> None:
         self.frn = frn
@@ -154,11 +168,25 @@ class ShardedGateway:
             frn.graph, num_shards, balance=balance
         )
         self.intra_shard_local = bool(intra_shard_local)
+        # engine-construction parameters, kept so recover_shard() and the
+        # missing-checkpoint rebuild fallback can re-create any shard
+        self._alpha = alpha
+        self._eta_u = eta_u
+        self._pruning = pruning
+        self._beta = beta
+        self._dead_letter_capacity = dead_letter_capacity
+        self._kernel = kernel
+        self._engine_kwargs = dict(engine_kwargs)
+        self._durability_dir = (
+            None if durability_dir is None else Path(durability_dir)
+        )
+        self._durability_kwargs = dict(durability_kwargs or {})
 
         # -- per-shard subgraphs, FRNs and engines ----------------------
         self._to_local: list[dict[int, int]] = []
         self._to_global: list[tuple[int, ...]] = []
         self._subgraphs = []
+        self._shard_frns: list[FlowAwareRoadNetwork] = []
         self.shards: list[ResilientEngine] = []
         for k in range(self.plan.num_shards):
             members = list(self.plan.members[k])
@@ -166,37 +194,8 @@ class ShardedGateway:
             self._subgraphs.append(subgraph)
             self._to_local.append(relabel)
             self._to_global.append(tuple(members))
-            cols = np.asarray(members, dtype=np.int64)
-            flow = FlowSeries(
-                frn.flow.matrix[:, cols], frn.flow.interval_minutes
-            )
-            predicted = (
-                flow
-                if frn.predicted_flow is frn.flow
-                else FlowSeries(
-                    frn.predicted_flow.matrix[:, cols],
-                    frn.predicted_flow.interval_minutes,
-                )
-            )
-            lanes = frn.lanes[cols] if frn.lanes is not None else None
-            shard_frn = FlowAwareRoadNetwork(subgraph, flow, predicted, lanes)
-            index = None
-            if subgraph.num_vertices > 0:
-                from repro.core.fahl import FAHLIndex
-
-                index = FAHLIndex(
-                    subgraph, shard_frn.total_predicted_flow(), beta=beta
-                )
-            engine = ResilientEngine(
-                shard_frn,
-                index=index,
-                alpha=alpha,
-                eta_u=eta_u,
-                pruning=pruning,
-                dead_letter_capacity=dead_letter_capacity,
-                kernel=kernel,
-                **engine_kwargs,
-            )
+            shard_frn, engine = self._build_shard_engine(k, subgraph)
+            self._shard_frns.append(shard_frn)
             self.shards.append(engine)
 
         self.boundary = BoundaryIndex(frn.graph, self.plan, self._subgraphs)
@@ -231,6 +230,69 @@ class ShardedGateway:
             (u, v) for u, v, _ in self.plan.cut_edges
         }
         self._sync_gauges()
+
+    # ------------------------------------------------------------------
+    # shard construction (also the recover/rebuild path)
+    # ------------------------------------------------------------------
+    def shard_durability_dir(self, shard: int) -> Path:
+        if self._durability_dir is None:
+            raise QueryError("this gateway was built without durability_dir")
+        return self._durability_dir / f"shard-{shard:02d}"
+
+    def _shard_durability(self, shard: int):
+        if self._durability_dir is None:
+            return None
+        from repro.durability import Durability
+
+        return Durability(
+            self.shard_durability_dir(shard), **self._durability_kwargs
+        )
+
+    def _build_shard_engine(self, k: int, subgraph=None):
+        """Build shard ``k``'s FRN + engine from the gateway's current graph.
+
+        With ``subgraph=None`` the member subgraph is re-extracted from the
+        (current) full graph and installed in :attr:`_subgraphs` in place —
+        the rebuild path :meth:`recover_shard` falls back to when a shard
+        has no usable checkpoint.
+        """
+        members = list(self._to_global[k])
+        if subgraph is None:
+            subgraph, relabel = self.frn.graph.subgraph(members)
+            self._subgraphs[k] = subgraph
+            self._to_local[k] = relabel
+        frn = self.frn
+        cols = np.asarray(members, dtype=np.int64)
+        flow = FlowSeries(frn.flow.matrix[:, cols], frn.flow.interval_minutes)
+        predicted = (
+            flow
+            if frn.predicted_flow is frn.flow
+            else FlowSeries(
+                frn.predicted_flow.matrix[:, cols],
+                frn.predicted_flow.interval_minutes,
+            )
+        )
+        lanes = frn.lanes[cols] if frn.lanes is not None else None
+        shard_frn = FlowAwareRoadNetwork(subgraph, flow, predicted, lanes)
+        index = None
+        if subgraph.num_vertices > 0:
+            from repro.core.fahl import FAHLIndex
+
+            index = FAHLIndex(
+                subgraph, shard_frn.total_predicted_flow(), beta=self._beta
+            )
+        engine = ResilientEngine(
+            shard_frn,
+            index=index,
+            alpha=self._alpha,
+            eta_u=self._eta_u,
+            pruning=self._pruning,
+            dead_letter_capacity=self._dead_letter_capacity,
+            kernel=self._kernel,
+            durability=self._shard_durability(k),
+            **self._engine_kwargs,
+        )
+        return shard_frn, engine
 
     # ------------------------------------------------------------------
     # telemetry plumbing
@@ -720,6 +782,88 @@ class ShardedGateway:
             self._fallback.invalidate()
         self._sync_gauges()
         return verdicts
+
+    def recover_shard(self, shard: int):
+        """Restart one crashed shard from its checkpoint + WAL tail.
+
+        The other shards keep serving throughout — recovery only touches
+        shard-local structures until the final boundary-table refresh.
+        The shard's durability directory is replayed through
+        :func:`repro.durability.recover`; when nothing usable survives
+        there (no checkpoint ever written *and* the log history is
+        incomplete), the shard is rebuilt cold from the gateway's current
+        graph and immediately checkpointed, so the next crash recovers
+        fast.
+
+        Returns the :class:`~repro.durability.RecoveryReport` of the
+        replay, or ``None`` when the shard had to be rebuilt cold.
+        """
+        from repro.durability import recover
+
+        if not 0 <= shard < self.plan.num_shards:
+            raise QueryError(
+                f"shard {shard!r} not in [0, {self.plan.num_shards})"
+            )
+        old = self.shards[shard]
+        if old.durability is not None:
+            old.durability.close()
+        report = None
+        try:
+            engine = recover(
+                self.shard_durability_dir(shard),
+                self._shard_frns[shard],
+                alpha=self._alpha,
+                eta_u=self._eta_u,
+                pruning=self._pruning,
+                dead_letter_capacity=self._dead_letter_capacity,
+                kernel=self._kernel,
+                **self._engine_kwargs,
+                **self._durability_kwargs,
+            )
+            report = engine.last_recovery
+            # BoundaryIndex shares this list object: replacing the element
+            # in place is what rebuild_shard() below will read
+            self._subgraphs[shard] = engine.frn.graph
+            self._shard_frns[shard] = engine.frn
+        except RecoveryError:
+            _, engine = self._build_shard_engine(shard)
+            self._shard_frns[shard] = engine.frn
+            if engine.durability is not None:
+                # make the directory coherent again: a fresh generation
+                # supersedes whatever debris defeated recovery
+                engine.durability.checkpoint(engine)
+            self.metrics["shard_rebuilds"] += 1
+            self._count(
+                "repro_gateway_shard_recoveries_total",
+                "per-shard restarts by restore source",
+                source="rebuild",
+            )
+        else:
+            self._count(
+                "repro_gateway_shard_recoveries_total",
+                "per-shard restarts by restore source",
+                source="checkpoint",
+            )
+        self.shards[shard] = engine
+        engine.add_invalidation_hook(
+            lambda: self._on_shard_invalidated(shard)
+        )
+        # mirror the recovered shard's live weights onto the full graph so
+        # the boundary combine and degraded Dijkstra agree with the shard
+        to_global = self._to_global[shard]
+        full = self.frn.graph
+        for u, v, weight in engine.frn.graph.edges():
+            full.set_weight(to_global[u], to_global[v], weight)
+        self.boundary.rebuild_shard(shard)
+        self.boundary.rebuild_global()
+        self._weight_epoch += 1
+        self._shard_epochs[shard] += 1
+        self._cross.invalidate()
+        self._fallback.invalidate()
+        self.cache.clear()
+        self.metrics["shard_recoveries"] += 1
+        self._sync_gauges()
+        return report
 
     def maintenance_tick(self, steps: int = 1) -> dict[int, str]:
         """Advance every shard's background consolidation a little.

@@ -201,6 +201,15 @@ class ResilientEngine:
     overlay_capacity:
         Overlay-mode only: pending-edge count at which :meth:`submit`
         triggers a consolidation run.
+    durability:
+        Optional :class:`~repro.durability.Durability` manager.  When set,
+        every accepted update is appended to the write-ahead log *before*
+        the maintenance attempt (and therefore before the ack), its
+        outcome is logged after, admission rejects and consolidation
+        failures land in the log as dead-letter records, and each
+        committed consolidation or :meth:`repair` writes a checkpoint and
+        rotates the log.  :func:`repro.durability.recover` turns that
+        directory back into a serving engine after a crash.
     """
 
     def __init__(
@@ -221,6 +230,7 @@ class ResilientEngine:
         kernel: str = "flat",
         update_mode: str = "inline",
         overlay_capacity: int = 64,
+        durability=None,
     ) -> None:
         if index is None:
             index = FAHLIndex.from_frn(frn)
@@ -274,6 +284,11 @@ class ResilientEngine:
         self._task: ConsolidationTask | None = None
         self._pending_flows: dict[int, float] = {}
         self._consolidation_failures = 0
+        self.durability = durability
+        #: True while :func:`repro.durability.recover` replays the WAL —
+        #: suppresses re-logging records that are already in the log
+        self._replaying = False
+        self.last_recovery = None
 
     # ------------------------------------------------------------------
     # unified invalidation hook
@@ -329,6 +344,31 @@ class ResilientEngine:
                 "repro_serving_consolidation_lag",
                 "accepted updates not yet folded into the stable index",
             ).set(len(self.overlay) + len(self._pending_flows))
+
+    # ------------------------------------------------------------------
+    # write-ahead logging (no-ops without a durability manager, and during
+    # WAL replay — replayed records are already in the log)
+    # ------------------------------------------------------------------
+    def _log_update(self, update: FlowUpdate | WeightUpdate) -> int | None:
+        if self.durability is None or self._replaying:
+            return None
+        return self.durability.log_update(update)
+
+    def _log_outcome(
+        self,
+        wal_seq: int | None,
+        applied: bool,
+        strategy: str | None,
+        detail: str | None = None,
+    ) -> None:
+        if wal_seq is None or self.durability is None or self._replaying:
+            return
+        self.durability.log_outcome(wal_seq, applied, strategy, detail)
+
+    def _log_dlq(self, update: object, reason: str, detail: str) -> None:
+        if self.durability is None or self._replaying:
+            return
+        self.durability.log_dlq(update, reason, detail)
 
     def _set_state(self, new_state: str) -> None:
         if self.state == HEALTHY and new_state == DEGRADED:
@@ -386,6 +426,7 @@ class ResilientEngine:
         rejection = self._validate(update)
         if rejection is not None:
             reason, detail = rejection
+            self._log_dlq(update, reason, detail)
             self.dead_letters.push(update, reason, detail)
             self.metrics["updates_rejected"] += 1
             self._count(
@@ -401,8 +442,11 @@ class ResilientEngine:
             self._sync_depth_gauges()
             return UpdateOutcome(accepted=False, applied=False, reason=reason)
         self._last_ts[update.key] = update.timestamp
+        # log-before-ack: the update is in the WAL before any attempt to
+        # apply it, so a crash from here on can never lose it
+        wal_seq = self._log_update(update)
         if self.update_mode == "overlay":
-            return self._submit_overlay(update)
+            return self._submit_overlay(update, wal_seq=wal_seq)
 
         strategies = (
             ("isu", "gsu") if isinstance(update, FlowUpdate) else ("ilu",)
@@ -437,8 +481,9 @@ class ResilientEngine:
                             "repro_serving_budget_exhausted_total",
                             "updates deferred because the time budget ran out",
                         )
-                        return self._defer(update, attempts, exc)
+                        return self._defer(update, attempts, exc, wal_seq=wal_seq)
                 else:
+                    self._log_outcome(wal_seq, True, strategy)
                     self.metrics["updates_accepted"] += 1
                     self._count(
                         "repro_serving_updates_total",
@@ -446,6 +491,8 @@ class ResilientEngine:
                         outcome="accepted",
                     )
                     self.invalidate()
+                    if self.durability is not None and not self._replaying:
+                        self.durability.maybe_checkpoint(self)
                     return UpdateOutcome(
                         accepted=True,
                         applied=True,
@@ -453,7 +500,7 @@ class ResilientEngine:
                         attempts=attempts,
                     )
         assert last_error is not None
-        return self._defer(update, attempts, last_error)
+        return self._defer(update, attempts, last_error, wal_seq=wal_seq)
 
     def _apply(self, update: FlowUpdate | WeightUpdate, strategy: str) -> None:
         if isinstance(update, FlowUpdate):
@@ -466,8 +513,10 @@ class ResilientEngine:
         update: FlowUpdate | WeightUpdate,
         attempts: int,
         error: MaintenanceError,
+        wal_seq: int | None = None,
     ) -> UpdateOutcome:
         """Every attempt failed: park the update and degrade the engine."""
+        self._log_outcome(wal_seq, False, None, detail=str(error))
         self._deferred.append(update)
         self._set_state(DEGRADED)
         self.metrics["updates_deferred"] += 1
@@ -493,7 +542,11 @@ class ResilientEngine:
     # ------------------------------------------------------------------
     # overlay update path (update_mode="overlay")
     # ------------------------------------------------------------------
-    def _submit_overlay(self, update: FlowUpdate | WeightUpdate) -> UpdateOutcome:
+    def _submit_overlay(
+        self,
+        update: FlowUpdate | WeightUpdate,
+        wal_seq: int | None = None,
+    ) -> UpdateOutcome:
         """Absorb one validated update without touching the labels.
 
         Weight updates land in the overlay (the live graph changes, the
@@ -520,6 +573,10 @@ class ResilientEngine:
         else:
             self._pending_flows[update.vertex] = update.value
             strategy = "overlay-queued"
+        # outcome goes in *before* the is_full trigger below, so the
+        # update/outcome pair always lands in the same WAL generation as
+        # the consolidation marker + rotation it may cause
+        self._log_outcome(wal_seq, True, strategy)
         self.metrics["updates_accepted"] += 1
         self._count(
             "repro_serving_updates_total",
@@ -529,6 +586,8 @@ class ResilientEngine:
         self._sync_depth_gauges()
         if overlay.is_full and self._task is None:
             self.consolidate()
+        elif self.durability is not None and not self._replaying:
+            self.durability.maybe_checkpoint(self)
         return UpdateOutcome(
             accepted=True, applied=True, strategy=strategy, attempts=1
         )
@@ -612,6 +671,11 @@ class ResilientEngine:
         # first query after the swap must not pay the arena rebuild
         self._engine.prime()
         self._sync_depth_gauges()
+        if self.durability is not None and not self._replaying:
+            # the fold is committed: mark it, persist the new stable index
+            # and rotate the log so recovery replays only the fresh tail
+            self.durability.log_consolidated()
+            self.durability.checkpoint(self)
 
     def _consolidation_failed(
         self, task: ConsolidationTask, error: Exception
@@ -630,12 +694,12 @@ class ResilientEngine:
             "repro_serving_consolidation_failures_total",
             "consolidation attempts aborted before the swap",
         )
-        self.dead_letters.push(
-            None,
-            "consolidation-failed",
+        detail = (
             f"attempt {self._consolidation_failures} died in state "
-            f"{task.state!r}: {error}",
+            f"{task.state!r}: {error}"
         )
+        self._log_dlq(None, "consolidation-failed", detail)
+        self.dead_letters.push(None, "consolidation-failed", detail)
         self._sync_depth_gauges()
         if self._consolidation_failures > self.max_retries:
             self.metrics["escalations"] += 1
@@ -830,7 +894,12 @@ class ResilientEngine:
         self.metrics["repairs"] += 1
         self._count("repro_serving_repairs_total", "full index rebuilds")
         self._sync_depth_gauges()
-        return self.audit()
+        report = self.audit()
+        if self.durability is not None and not self._replaying:
+            # a rebuild invalidates everything the old WAL tail would
+            # replay — persist the new world and start a fresh log
+            self.durability.checkpoint(self)
+        return report
 
     def status(self) -> EngineStatus:
         """Typed snapshot for telemetry/logging (dict-style access kept)."""

@@ -1,17 +1,21 @@
 """Test-support utilities: deterministic fault injection for chaos testing."""
 
 from repro.testing.faults import (
+    CrashInjector,
     FaultInjector,
     FaultSpec,
     WorkerFault,
     corrupt_updates,
+    list_crash_points,
     list_fault_points,
 )
 
 __all__ = [
+    "CrashInjector",
     "FaultInjector",
     "FaultSpec",
     "WorkerFault",
     "corrupt_updates",
+    "list_crash_points",
     "list_fault_points",
 ]

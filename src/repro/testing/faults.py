@@ -16,6 +16,14 @@ Three fault families, all seedable and reproducible:
   (sleep) a fork-pool worker when it picks up the chunk containing a chosen
   query position.  Installed pre-fork, the flag propagates to children via
   the copy-on-write fork; the parent process is never harmed.
+* **Simulated crashes** — :class:`CrashInjector` raises
+  :class:`~repro.durability.SimulatedCrash` at a named durability
+  checkpoint (see :data:`repro.durability.CRASH_POINTS`): mid WAL append,
+  before an fsync, between checkpoint files, at the rotation.  The
+  exception derives from ``BaseException``, so the serving layer's
+  ``except Exception`` recovery paths cannot swallow it — the closest
+  in-process model of SIGKILL that still lets the test keep the
+  directory and run :func:`repro.durability.recover` on it.
 
 Nothing in this module is imported by production code paths; the hooks it
 installs are module-level test seams that default to ``None``.
@@ -32,12 +40,15 @@ import numpy as np
 
 from repro.core import batch as _batch
 from repro.core import maintenance as _maintenance
+from repro.durability import crashpoints as _crashpoints
 
 __all__ = [
+    "CrashInjector",
     "FaultInjector",
     "FaultSpec",
     "WorkerFault",
     "corrupt_updates",
+    "list_crash_points",
     "list_fault_points",
 ]
 
@@ -45,6 +56,11 @@ __all__ = [
 def list_fault_points() -> tuple[str, ...]:
     """All instrumented maintenance checkpoint names, in execution order."""
     return _maintenance.FAULT_POINTS
+
+
+def list_crash_points() -> tuple[str, ...]:
+    """All instrumented durability crash points, in execution order."""
+    return _crashpoints.CRASH_POINTS
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +140,60 @@ class FaultInjector:
     def __exit__(self, *exc_info) -> None:
         _maintenance.set_fault_hook(None)
         self._armed = False
+
+
+# ----------------------------------------------------------------------
+# simulated process crashes at durability boundaries
+# ----------------------------------------------------------------------
+class CrashInjector:
+    """Context manager that "kills the process" at a durability boundary.
+
+    >>> with CrashInjector() as inj:
+    ...     inj.crash_at("checkpoint:manifest", after=1)
+    ...     with pytest.raises(SimulatedCrash):
+    ...         engine.submit(update)
+    ... # the durability directory now looks exactly like a kill -9 left it
+    >>> recovered = recover(root, frn)
+
+    Reuses :class:`FaultSpec` for the crossing arithmetic (``after`` /
+    ``times``), raises :class:`~repro.durability.SimulatedCrash` (a
+    ``BaseException``), and records every crossing in :attr:`trace` so the
+    crash matrix can assert each instrumented point was actually reached.
+    """
+
+    def __init__(self) -> None:
+        self.specs: list[FaultSpec] = []
+        self.trace: list[str] = []
+
+    def crash_at(
+        self, point: str, after: int = 0, times: int = 1
+    ) -> "CrashInjector":
+        if point not in _crashpoints.CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {point!r}; see list_crash_points()"
+            )
+        self.specs.append(
+            FaultSpec(
+                point=point,
+                exception=_crashpoints.SimulatedCrash,
+                after=after,
+                times=times,
+            )
+        )
+        return self
+
+    def _hook(self, name: str) -> None:
+        self.trace.append(name)
+        for spec in self.specs:
+            if spec.point == name and spec.should_fire():
+                raise spec.exception(f"simulated crash at {name}")
+
+    def __enter__(self) -> "CrashInjector":
+        _crashpoints.set_crash_hook(self._hook)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _crashpoints.set_crash_hook(None)
 
 
 # ----------------------------------------------------------------------
