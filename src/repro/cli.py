@@ -120,10 +120,75 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write the Prometheus text export here")
     obs_report.add_argument("--trace", metavar="FILE",
                             help="also write JSONL span events here")
+    obs_report.add_argument("--json", metavar="FILE", dest="json_file",
+                            help="also write the registry snapshot as JSON "
+                                 "here ('-' for stdout)")
     obs_lint = obs_sub.add_parser(
-        "lint", help="lint a Prometheus text export (names, types, buckets)"
+        "lint",
+        help="lint a Prometheus text export and/or a JSONL span trace",
     )
-    obs_lint.add_argument("file", help="Prometheus text file to lint")
+    obs_lint.add_argument("file", nargs="?", default=None,
+                          help="Prometheus text file to lint")
+    obs_lint.add_argument("--trace", metavar="FILE",
+                          help="JSONL span-event file to lint against the "
+                               "span-name taxonomy (docs/OBSERVABILITY.md)")
+    obs_flight = obs_sub.add_parser(
+        "flight",
+        help="run the instrumented demo and dump the flight-recorder tail",
+    )
+    obs_flight.add_argument("--side", type=int, default=6)
+    obs_flight.add_argument("--queries", type=int, default=12)
+    obs_flight.add_argument("--updates", type=int, default=6)
+    obs_flight.add_argument("--workers", type=int, default=1)
+    obs_flight.add_argument("--seed", type=int, default=0)
+    obs_flight.add_argument("--last", type=int, default=32,
+                            help="events to show from the tail (default 32)")
+    obs_flight.add_argument("--seconds", type=float, default=None,
+                            help="only events from the last N seconds")
+    obs_flight.add_argument("--json", action="store_true",
+                            help="print the events as one JSON array")
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="run the instrumented demo under a rolling SLO monitor and "
+             "print the burn-rate snapshot plus the slowest queries",
+    )
+    obs_top.add_argument("--side", type=int, default=6)
+    obs_top.add_argument("--queries", type=int, default=12)
+    obs_top.add_argument("--updates", type=int, default=6)
+    obs_top.add_argument("--workers", type=int, default=1)
+    obs_top.add_argument("--seed", type=int, default=0)
+    obs_top.add_argument("--objective-ms", type=float, default=100.0,
+                         help="latency objective in ms (default 100)")
+    obs_top.add_argument("--target", type=float, default=0.99,
+                         help="good-fraction target (default 0.99)")
+    obs_top.add_argument("--slowest", type=int, default=10,
+                         help="slow-query digests to show (default 10)")
+    obs_top.add_argument("--json", action="store_true",
+                         help="print the snapshot as JSON")
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="EXPLAIN one FSPQ query: kernel, cut-set, Lemma-4 pruning, "
+             "label scans and per-stage timings (answer bit-identical to "
+             "query())",
+    )
+    explain_cmd.add_argument("source", type=int, help="source vertex id")
+    explain_cmd.add_argument("target", type=int, help="target vertex id")
+    explain_cmd.add_argument("--timestep", type=int, default=0)
+    explain_cmd.add_argument("--dataset", default="BRN",
+                             help="dataset name (default BRN)")
+    explain_cmd.add_argument("--scale", type=float, default=0.15,
+                             help="dataset scale factor (default 0.15)")
+    explain_cmd.add_argument("--seed", type=int, default=0)
+    explain_cmd.add_argument("--alpha", type=float, default=0.5)
+    explain_cmd.add_argument("--beta", type=float, default=0.5)
+    explain_cmd.add_argument("--eta", type=float, default=3.0)
+    explain_cmd.add_argument("--pruning", default="lemma4",
+                             choices=("none", "lemma4"))
+    explain_cmd.add_argument("--kernel", default="flat",
+                             choices=("flat", "scalar"))
+    explain_cmd.add_argument("--json", action="store_true",
+                             help="machine-readable QueryExplain JSON")
 
     sharded = sub.add_parser(
         "serve-sharded",
@@ -292,23 +357,198 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_obs(args: argparse.Namespace) -> int:
+def _format_flight_event(event: dict) -> str:
+    import json
+
+    kind = event.get("event")
+    if kind == "span":
+        extra = f" err={event['error']}" if "error" in event else ""
+        return (
+            f"[span]  {event.get('name', '?'):28s} "
+            f"{event.get('dur_s', 0.0) * 1000.0:9.3f} ms  "
+            f"pid={event.get('pid', '?')}{extra}"
+        )
+    if kind == "slow_query":
+        attrs = event.get("attrs", {})
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        return (
+            f"[slow]  {event.get('name', '?'):28s} "
+            f"{event.get('dur_s', 0.0) * 1000.0:9.3f} ms  {rendered}"
+        )
+    if kind == "note":
+        attrs = event.get("attrs", {})
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        return f"[note]  {event.get('name', '?'):28s}            {rendered}"
+    return f"[?]     {json.dumps(event, sort_keys=True)}"
+
+
+def _run_obs_lint(args: argparse.Namespace) -> int:
+    from repro.obs.export import lint_prometheus, lint_spans
+
+    if args.file is None and args.trace is None:
+        print(
+            "obs lint: nothing to lint — pass a Prometheus file and/or "
+            "--trace FILE",
+            file=sys.stderr,
+        )
+        return 2
+    problems: list[str] = []
+    if args.file is not None:
+        with open(args.file, encoding="utf-8") as handle:
+            problems += [
+                f"{args.file}: {p}" for p in lint_prometheus(handle.read())
+            ]
+    if args.trace is not None:
+        with open(args.trace, encoding="utf-8") as handle:
+            problems += [
+                f"{args.trace}: {p}" for p in lint_spans(handle)
+            ]
+    for problem in problems:
+        print(f"lint: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    checked = [f for f in (args.file, args.trace) if f is not None]
+    print(f"{', '.join(checked)}: ok")
+    return 0
+
+
+def _run_obs_flight(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import flight as obs_flight
     from repro.obs.demo import run_demo
-    from repro.obs.export import (
-        lint_prometheus,
-        render_prometheus,
+
+    registry = obs.MetricsRegistry(enabled=True)
+    previous_registry = obs.set_registry(registry)
+    # an in-memory tracer: span events mirror into the flight ring
+    previous_tracer = obs.set_tracer(obs.Tracer())
+    try:
+        run_demo(
+            side=args.side,
+            queries=args.queries,
+            updates=args.updates,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        events = obs_flight.dump(last=args.last, seconds=args.seconds)
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_tracer(previous_tracer)
+    if args.json:
+        print(json.dumps(list(events), sort_keys=True))
+        return 0
+    recorder = obs_flight.get_flight()
+    capacity = recorder.capacity if recorder is not None else 0
+    print(
+        f"== flight recorder: last {len(events)} of ring capacity "
+        f"{capacity} =="
     )
+    for event in events:
+        print(_format_flight_event(event))
+    return 0
+
+
+def _run_obs_top(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import flight as obs_flight
+    from repro.obs import slo as obs_slo
+    from repro.obs.demo import run_demo
+
+    registry = obs.MetricsRegistry(enabled=True)
+    previous_registry = obs.set_registry(registry)
+    monitor = obs.SLOMonitor(
+        objective_seconds=args.objective_ms / 1000.0, target=args.target
+    )
+    previous_monitor = obs_slo.set_slo_monitor(monitor)
+    try:
+        run_demo(
+            side=args.side,
+            queries=args.queries,
+            updates=args.updates,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        summary = monitor.summary()
+        slow = [
+            event for event in obs_flight.dump()
+            if event.get("event") == "slow_query"
+        ]
+    finally:
+        obs.set_registry(previous_registry)
+        obs_slo.set_slo_monitor(previous_monitor)
+    slow.sort(key=lambda e: e.get("dur_s", 0.0), reverse=True)
+    slow = slow[: max(0, args.slowest)]
+    if args.json:
+        print(json.dumps({"slo": summary, "slowest": slow}, sort_keys=True))
+        return 0
+    print("== SLO (rolling window) ==")
+    if summary["empty"]:
+        print("(no samples recorded)")
+    else:
+        print(f"objective:        {summary['objective_ms']:.1f} ms "
+              f"at target {summary['target']:.4f}")
+        print(f"samples:          {summary['count']}")
+        print(f"good fraction:    {summary['good_fraction']:.4f} "
+              f"({summary['violations']} violations)")
+        print(f"burn rate:        {summary['burn_rate']:.3f}")
+        print(f"budget remaining: {summary['budget_remaining']:.1%}")
+        print(f"latency ms:       p50={summary['p50_ms']:.3f} "
+              f"p95={summary['p95_ms']:.3f} p99={summary['p99_ms']:.3f}")
+    print(f"\n== slowest queries (flight recorder, top {len(slow)}) ==")
+    for event in slow:
+        print(_format_flight_event(event))
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.fahl import FAHLIndex
+    from repro.core.fpsps import FlowAwareEngine
+    from repro.errors import ReproError
+    from repro.workloads.datasets import load_dataset
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    index = FAHLIndex.from_frn(dataset.frn, beta=args.beta)
+    engine = FlowAwareEngine(
+        dataset.frn,
+        oracle=index,
+        alpha=args.alpha,
+        eta_u=args.eta,
+        pruning=args.pruning,
+        kernel=args.kernel,
+    )
+    try:
+        with obs.stopwatch(
+            span="cli.explain", src=args.source, dst=args.target
+        ):
+            explain = engine.explain(
+                args.source, args.target, timestep=args.timestep
+            )
+    except ReproError as exc:
+        print(f"explain failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(explain.to_dict(), sort_keys=True))
+    else:
+        print(explain.render())
+    return 0
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.demo import run_demo
+    from repro.obs.export import render_prometheus
     from repro.obs.report import render_report
 
     if args.obs_command == "lint":
-        with open(args.file, encoding="utf-8") as handle:
-            problems = lint_prometheus(handle.read())
-        for problem in problems:
-            print(f"lint: {problem}", file=sys.stderr)
-        if problems:
-            return 1
-        print(f"{args.file}: ok")
-        return 0
+        return _run_obs_lint(args)
+    if args.obs_command == "flight":
+        return _run_obs_flight(args)
+    if args.obs_command == "top":
+        return _run_obs_top(args)
 
     registry = obs.MetricsRegistry(enabled=True)
     previous_registry = obs.set_registry(registry)
@@ -337,6 +577,14 @@ def _run_obs(args: argparse.Namespace) -> int:
             print(f"# wrote Prometheus export to {args.prom}")
         if args.trace:
             print(f"# wrote span trace to {args.trace}")
+        if args.json_file:
+            payload = json.dumps(registry.snapshot(), sort_keys=True)
+            if args.json_file == "-":
+                print(payload)
+            else:
+                with open(args.json_file, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+                print(f"# wrote registry snapshot JSON to {args.json_file}")
     finally:
         obs.set_registry(previous_registry)
         obs.set_tracer(previous_tracer)
@@ -431,6 +679,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "explain":
+        return _run_explain(args)
     if args.command == "serve-sharded":
         return _run_serve_sharded(args)
     if args.command == "recover":

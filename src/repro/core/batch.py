@@ -34,6 +34,7 @@ from __future__ import annotations
 import logging
 import math
 import multiprocessing
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -42,6 +43,7 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.obs import context as obs_context
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.errors import QueryError, ReproError
@@ -304,14 +306,45 @@ def _init_worker(engine: FlowAwareEngine) -> None:
     if engine.oracle is not None and not isinstance(engine.oracle, MemoizedOracle):
         engine.oracle = MemoizedOracle(engine.oracle)
     _WORKER_ENGINE = engine
+    # the child inherited the parent's tracer object (and possibly its
+    # file-sink descriptor) copy-on-write; writing to it would interleave
+    # with the parent.  Worker spans instead go through the per-chunk
+    # collecting tracer installed by _run_worker_chunk and are shipped
+    # back with the chunk's results.
+    obs.set_tracer(None)
 
 
 def _run_worker_chunk(
     chunk: list[tuple[int, FSPQuery]],
-) -> list[tuple[int, FSPResult]]:
+    chunk_index: int = 0,
+    wire: dict | None = None,
+) -> tuple[list[tuple[int, FSPResult]], list[dict] | None]:
+    """Evaluate one chunk in a pool worker; returns ``(pairs, events)``.
+
+    ``wire`` is the parent's serialized :func:`repro.obs.current_wire`
+    snapshot.  When present, the worker adopts the request context, opens
+    a ``batch.chunk`` span parented under the parent's in-flight span, and
+    collects every span emitted during evaluation into an in-memory tracer
+    whose ids are namespaced by pid — the events ride back with the chunk
+    results and the parent re-emits them, yielding one stitched trace
+    across the process boundary.
+    """
     if _WORKER_FAULT_HOOK is not None:
         _WORKER_FAULT_HOOK([position for position, _ in chunk])
-    return _evaluate_chunk(_WORKER_ENGINE, chunk)
+    if wire is None:
+        return _evaluate_chunk(_WORKER_ENGINE, chunk), None
+    # pid + chunk index: unique even when one worker serves several chunks
+    collector = obs.Tracer(id_prefix=f"w{os.getpid():x}.{chunk_index}.")
+    previous = obs.set_tracer(collector)
+    try:
+        with obs_context.activate_wire(wire):
+            with obs.trace(
+                "batch.chunk", chunk=chunk_index, queries=len(chunk)
+            ):
+                pairs = _evaluate_chunk(_WORKER_ENGINE, chunk)
+    finally:
+        obs.set_tracer(previous)
+    return pairs, collector.events
 
 
 def _evaluate_serial(
@@ -368,12 +401,25 @@ def _run_parallel(
         report._warn(f"fork pool failed to start ({exc!r}); falling back to serial")
         return None
 
+    # snapshot the request context once per batch: workers adopt it and
+    # ship their spans back with the chunk results (see _run_worker_chunk)
+    tracer = obs.get_tracer()
+    wire = obs_context.current_wire() if tracer is not None else None
+
+    def _absorb(chunk_result) -> list[tuple[int, FSPResult]]:
+        chunk_pairs, events = chunk_result
+        if events and tracer is not None:
+            for event in events:
+                tracer.emit(event)
+        return chunk_pairs
+
     pairs: list[tuple[int, FSPResult]] = []
     failed: list[int] = []
     bailed = False
     try:
         handles = [
-            pool.apply_async(_run_worker_chunk, (chunk,)) for chunk in chunks
+            pool.apply_async(_run_worker_chunk, (chunk, i, wire))
+            for i, chunk in enumerate(chunks)
         ]
         deadline = time.monotonic() + chunk_timeout
         for i, handle in enumerate(handles):
@@ -384,7 +430,7 @@ def _run_parallel(
                     failed.append(i)
                     continue
                 try:
-                    pairs.extend(handle.get(0))
+                    pairs.extend(_absorb(handle.get(0)))
                 except ReproError:
                     raise
                 except Exception:
@@ -392,7 +438,9 @@ def _run_parallel(
                 continue
             wait_start = time.perf_counter()
             try:
-                pairs.extend(handle.get(max(0.0, deadline - time.monotonic())))
+                pairs.extend(
+                    _absorb(handle.get(max(0.0, deadline - time.monotonic())))
+                )
                 _observe_chunk("parallel", time.perf_counter() - wait_start)
                 # chunks run concurrently: give the next handle a fresh
                 # window from the moment we start waiting on it.
@@ -469,6 +517,26 @@ def batch_query(
         report = BatchReport()
     if not queries:
         return []
+    if obs.get_tracer() is not None:
+        # one request scope per batch: serial spans nest in-process, pool
+        # chunks carry the context across the fork via current_wire()
+        with obs_context.request_scope():
+            with obs.trace(
+                "batch.query", queries=len(queries), workers=workers
+            ):
+                return _batch_query_impl(
+                    engine, queries, workers, chunk_timeout, report
+                )
+    return _batch_query_impl(engine, queries, workers, chunk_timeout, report)
+
+
+def _batch_query_impl(
+    engine: FlowAwareEngine,
+    queries: list[FSPQuery],
+    workers: int,
+    chunk_timeout: float,
+    report: BatchReport,
+) -> list[FSPResult]:
     order = sorted(
         range(len(queries)),
         key=lambda i: (queries[i].target, queries[i].timestep),

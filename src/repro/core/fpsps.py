@@ -81,6 +81,14 @@ _KERNEL_COUNTERS = {
 }
 
 
+def _counter_total(snapshot: dict, name: str) -> int:
+    """Sum a counter family's series values in a registry snapshot."""
+    entry = snapshot.get(name)
+    if not entry:
+        return 0
+    return int(sum(series["value"] for series in entry["series"]))
+
+
 class FlowAwareEngine:
     """FSPQ query engine (Alg. 5) over a pluggable distance oracle.
 
@@ -410,6 +418,103 @@ class FlowAwareEngine:
                     "enumerations that hit the candidate cap",
                 ).inc()
         return result
+
+    def explain(self, source: int, target: int, timestep: int = 0):
+        """EXPLAIN one query: run it for real and report what it did.
+
+        Returns a :class:`repro.obs.QueryExplain` whose answer fields are
+        **bit-identical** to :meth:`query` — the evaluation goes through
+        the exact same :meth:`_query_impl`, under a private capture
+        registry that harvests the label/pruning counters.  A diagnostic
+        entry point: it briefly swaps the process registry, so it is not
+        meant for the concurrent hot path.
+        """
+        query = FSPQuery(source, target, timestep).validated(
+            self.frn.num_vertices, self.frn.num_timesteps
+        )
+        stages: dict[str, float] = {}
+        capture = obs.MetricsRegistry(enabled=True)
+        previous = obs.set_registry(capture)
+        t_total = time.perf_counter()
+        try:
+            kern = self._flat_kernel()
+            kern_before = dict(kern.stats) if kern is not None else None
+            # probe SPDis separately so the heuristic-table/oracle work is
+            # attributed to its own stage; the evaluation below hits the
+            # warm caches and times enumeration + scoring alone
+            t0 = time.perf_counter()
+            if source != target:
+                self.shortest_distance(source, target)
+            stages["spdis"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            result = self._query_impl(query)
+            stages["evaluate"] = time.perf_counter() - t0
+        finally:
+            obs.set_registry(previous)
+        stages["total"] = time.perf_counter() - t_total
+        snapshot = capture.snapshot()
+
+        oracle = self.oracle
+        overlay = None
+        if isinstance(oracle, OverlayOracle):
+            overlay = oracle.overlay
+            oracle = oracle.index
+        hub_cutset_size = None
+        label_src = label_dst = None
+        if isinstance(oracle, HierarchyIndex):
+            hub_cutset_size = (
+                int(oracle.hub_cutset(source, target).size)
+                if source != target
+                else 0
+            )
+            label_src = int(len(oracle.labels[source]))
+            label_dst = int(len(oracle.labels[target]))
+        overlay_edges = len(overlay) if overlay is not None else 0
+
+        spur = {"astar_runs": 0, "spur_memo_hits": 0, "spur_skips": 0,
+                "heuristic_builds": 0}
+        if kern is not None:
+            for key in spur:
+                spur[key] = kern.stats[key] - kern_before[key]
+        ctx = obs.current_context()
+
+        return obs.QueryExplain(
+            source=source,
+            target=target,
+            timestep=timestep,
+            distance=result.distance,
+            flow=result.flow,
+            score=result.score,
+            shortest_distance=result.shortest_distance,
+            path=result.path,
+            engine="flow",
+            kernel="flat" if kern is not None else "scalar",
+            pruning=self.pruning,
+            num_candidates=result.num_candidates,
+            num_pruned=result.num_pruned,
+            bound_evals=(
+                result.num_candidates if self.pruning != "none" else 0
+            ),
+            bound_prunes=result.num_pruned,
+            truncated=result.truncated,
+            early_stopped=result.early_stopped,
+            hub_cutset_size=hub_cutset_size,
+            label_entries_source=label_src,
+            label_entries_target=label_dst,
+            labels_scanned=(
+                _counter_total(snapshot, "repro_label_entries_scanned_total")
+                + _counter_total(snapshot, "repro_label_gather_entries_total")
+            ),
+            spur_searches=spur["astar_runs"],
+            spur_memo_hits=spur["spur_memo_hits"],
+            spur_skips=spur["spur_skips"],
+            heuristic_builds=spur["heuristic_builds"],
+            provenance="overlay" if overlay_edges else "stable",
+            overlay_edges=overlay_edges,
+            stage_seconds=stages,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            request_id=ctx.request_id if ctx is not None else None,
+        )
 
     def _query_impl(self, query: FSPQuery) -> FSPResult:
         """The uninstrumented Alg. 5 evaluation."""

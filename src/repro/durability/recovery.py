@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro import obs
+from repro.obs import flight as obs_flight
 from repro.durability.crashpoints import crash_point
 from repro.durability.manager import MANIFEST, Durability, _file_digest
 from repro.durability.records import decode_update
@@ -81,6 +82,10 @@ class RecoveryReport:
     #: total WAL records read (all replayed generations)
     wal_records: int
     duration_seconds: float
+    #: flight-recorder tail captured when the report was cut — the span
+    #: events and slow-query digests leading into/through the recovery,
+    #: for post-mortem without a live tracer attached
+    flight: tuple = ()
 
 
 def _verify_generation(
@@ -230,6 +235,7 @@ def recover(
     and the :class:`RecoveryReport` available as ``engine.last_recovery``.
     """
     start = time.perf_counter()
+    obs_flight.note("durability.recover", path=str(path))
     if not Path(path).is_dir():
         # a Durability manager always creates its root eagerly, so a
         # missing directory is an operator typo, not an empty world
@@ -363,6 +369,9 @@ def recover(
         torn_bytes=torn_bytes,
         wal_records=wal_records,
         duration_seconds=duration,
+        # the note above plus everything recorded since — replayed
+        # dead-letter pushes, slow queries, span events — ends up here
+        flight=obs_flight.dump(last=32),
     )
     engine.last_recovery = report
     registry = obs.get_registry()

@@ -39,12 +39,30 @@ Prometheus/JSONL exports) and ``fahl-repro obs lint`` (the CI gate).
 
 from __future__ import annotations
 
+from repro.obs.context import (
+    RequestContext,
+    activate_wire,
+    current_context,
+    current_wire,
+    new_context,
+    request_scope,
+    use_context,
+)
+from repro.obs.explain import QueryExplain
 from repro.obs.export import (
     METRIC_NAME_RE,
+    SPAN_NAME_RE,
+    SPAN_CATALOGUE,
     lint_prometheus,
+    lint_spans,
     parse_prometheus,
     render_prometheus,
     write_snapshot_jsonl,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    get_flight,
+    set_flight,
 )
 from repro.obs.latency import LatencyRecorder, latency_summary
 from repro.obs.registry import (
@@ -53,6 +71,11 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     default_latency_buckets,
+)
+from repro.obs.slo import (
+    SLOMonitor,
+    get_slo_monitor,
+    set_slo_monitor,
 )
 from repro.obs.trace import (
     Span,
@@ -67,31 +90,48 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LatencyRecorder",
     "METRIC_NAME_RE",
     "MetricsRegistry",
-    "latency_summary",
+    "QueryExplain",
+    "RequestContext",
+    "SLOMonitor",
+    "SPAN_CATALOGUE",
+    "SPAN_NAME_RE",
     "Span",
     "Stopwatch",
     "Tracer",
+    "activate_wire",
     "counter",
+    "current_context",
+    "current_wire",
     "default_latency_buckets",
     "disable",
     "enable",
     "gauge",
+    "get_flight",
     "get_registry",
+    "get_slo_monitor",
     "get_tracer",
     "histogram",
+    "latency_summary",
     "lint_prometheus",
+    "lint_spans",
+    "new_context",
     "parse_prometheus",
     "render_prometheus",
+    "request_scope",
+    "set_flight",
     "set_registry",
+    "set_slo_monitor",
     "set_tracer",
     "stopwatch",
     "timed",
     "trace",
+    "use_context",
     "write_snapshot_jsonl",
 ]
 

@@ -25,13 +25,46 @@ from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "METRIC_NAME_RE",
+    "SPAN_CATALOGUE",
+    "SPAN_NAME_RE",
     "lint_prometheus",
+    "lint_spans",
     "parse_prometheus",
     "render_prometheus",
     "write_snapshot_jsonl",
 ]
 
 METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9_]+$")
+
+#: span-name convention: dotted lowercase ``layer.operation``
+SPAN_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+#: every span name the stack may emit — MUST stay in sync with the
+#: "Span taxonomy" table in docs/OBSERVABILITY.md (tested); uncatalogued
+#: names fail ``fahl-repro obs lint --trace`` and the test-suite lint
+SPAN_CATALOGUE = frozenset(
+    {
+        "batch.chunk",
+        "batch.query",
+        "build.elimination",
+        "build.labeling",
+        "build.structure",
+        "cli.experiment",
+        "cli.explain",
+        "cli.recover",
+        "fpsps.query",
+        "gateway.batch",
+        "gateway.query",
+        "maintenance.flow_update",
+        "maintenance.weight_update",
+        "serving.batch",
+        "serving.query",
+    }
+)
+
+#: prefixes under which parameterised span names are allowed (the
+#: experiment harness stamps figure ids into its span names)
+SPAN_NAME_PREFIXES = ("experiment.",)
 
 _LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
 
@@ -242,6 +275,60 @@ def lint_prometheus(text: str, name_re: re.Pattern = METRIC_NAME_RE) -> list[str
                         f"histogram {name}{dict(rest)} bucket counts "
                         "are not cumulative"
                     )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# span-name taxonomy lint
+# ----------------------------------------------------------------------
+def lint_spans(
+    events,
+    catalogue: frozenset = SPAN_CATALOGUE,
+    name_re: re.Pattern = SPAN_NAME_RE,
+    prefixes: tuple[str, ...] = SPAN_NAME_PREFIXES,
+) -> list[str]:
+    """Validate span events against the name taxonomy (empty = clean).
+
+    ``events`` is an iterable of span event dicts or JSONL strings (the
+    tracer's export format).  Each distinct span name must match the
+    dotted-lowercase ``layer.operation`` convention *and* be catalogued —
+    either verbatim in ``catalogue`` or under an allowed parameterised
+    prefix.  Non-span events (flight notes, slow-query digests) pass
+    through untouched.
+    """
+    problems: list[str] = []
+    seen: set[str] = set()
+    for lineno, event in enumerate(events, start=1):
+        if isinstance(event, (str, bytes)):
+            stripped = event.strip()
+            if not stripped:
+                continue
+            try:
+                event = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: unparseable JSON: {exc}")
+                continue
+        if not isinstance(event, dict) or event.get("event") != "span":
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"line {lineno}: span event without a name")
+            continue
+        if name in seen:
+            continue
+        seen.add(name)
+        if not name_re.match(name):
+            problems.append(
+                f"span name {name!r} does not match {name_re.pattern!r} "
+                "(dotted lowercase layer.operation)"
+            )
+        elif name not in catalogue and not any(
+            name.startswith(prefix) for prefix in prefixes
+        ):
+            problems.append(
+                f"span name {name!r} is not catalogued in "
+                "docs/OBSERVABILITY.md (SPAN_CATALOGUE)"
+            )
     return problems
 
 

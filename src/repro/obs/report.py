@@ -12,6 +12,7 @@ the very same registry.
 
 from __future__ import annotations
 
+from repro.obs import slo as _slo
 from repro.obs.latency import latency_summary
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
@@ -226,6 +227,80 @@ def render_report(registry: MetricsRegistry) -> str:
         ))
     if batch_rows:
         sections.append(_table("batch pool", ["counter", "value"], batch_rows))
+
+    # ------------------------------------------------------------ gateway
+    gateway_rows: list[list[object]] = []
+    routes = get("repro_gateway_queries_total")
+    if isinstance(routes, Counter):
+        for key, value in sorted(routes.samples().items()):
+            labels = dict(key)
+            route = labels.get("route", "(all)")
+            shard = labels.get("shard", "-")
+            gateway_rows.append([f"queries [{route}] shard={shard}", value])
+    cache = get("repro_gateway_cache_total")
+    if isinstance(cache, Counter):
+        for key, value in sorted(cache.samples().items()):
+            labels = dict(key)
+            event = labels.get("event", "(all)")
+            shard = labels.get("shard", "-")
+            gateway_rows.append([f"cache {event} shard={shard}", value])
+    for name, title in (
+        ("repro_gateway_repairs_total", "repairs"),
+        ("repro_gateway_shard_recoveries_total", "shard recoveries"),
+    ):
+        family = get(name)
+        if isinstance(family, Counter) and family.samples():
+            gateway_rows.append([title, family.total()])
+    if gateway_rows:
+        sections.append(_table(
+            "gateway (per route/shard)", ["counter", "value"], gateway_rows
+        ))
+    gateway_latency = get("repro_gateway_query_seconds")
+    if isinstance(gateway_latency, Histogram) and gateway_latency.label_sets():
+        rows = []
+        for key in sorted(gateway_latency.label_sets()):
+            labels = dict(key)
+            summary = latency_summary(gateway_latency, **labels)
+            if summary["empty"]:
+                continue
+            rows.append([
+                f"{labels.get('route', '(all)')}/{labels.get('shard', '-')}",
+                summary["count"],
+                gateway_latency.sum(**labels) * 1000.0,
+                summary["mean"] * 1000.0,
+                summary["p50"] * 1000.0,
+                summary["p95"] * 1000.0,
+                summary["p99"] * 1000.0,
+            ])
+        if rows:
+            sections.append(_table(
+                "gateway queries (route/shard)",
+                ["route/shard", *_LATENCY_HEADERS],
+                rows,
+            ))
+
+    # ---------------------------------------------------------------- SLO
+    monitor = _slo.get_slo_monitor()
+    if monitor is not None:
+        summary = monitor.summary()
+        if not summary["empty"]:
+            sections.append(_table(
+                "SLO (rolling window)",
+                ["indicator", "value"],
+                [
+                    ["window seconds", summary["window_seconds"]],
+                    ["objective ms", summary["objective_ms"]],
+                    ["target good fraction", summary["target"]],
+                    ["samples", summary["count"]],
+                    ["good fraction", summary["good_fraction"]],
+                    ["violations", summary["violations"]],
+                    ["error-budget burn rate", summary["burn_rate"]],
+                    ["error budget remaining", summary["budget_remaining"]],
+                    ["p50 ms", summary["p50_ms"]],
+                    ["p95 ms", summary["p95_ms"]],
+                    ["p99 ms", summary["p99_ms"]],
+                ],
+            ))
 
     if len(sections) == 1:
         sections.append("(no telemetry captured — is the registry enabled?)")

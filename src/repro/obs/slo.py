@@ -1,0 +1,124 @@
+"""Rolling SLO monitor: windowed latency percentiles + error-budget burn.
+
+Builds on :mod:`repro.obs.latency`'s exact-sample quantiles, but over a
+sliding wall-time window instead of a whole run: the monitor keeps recent
+``(when, latency, ok)`` samples, evicts anything older than
+``window_seconds``, and reports p50/p95/p99 plus how fast the error
+budget is burning.
+
+SLO semantics: a sample is *good* when it was served healthily
+(``ok=True``) **and** met the latency objective.  With availability
+target ``target`` (e.g. ``0.99``), the window's error budget is
+``(1 - target) * count`` bad samples; ``burn_rate`` is the ratio of the
+observed bad fraction to the allowed fraction — ``1.0`` means burning
+exactly at budget, ``>1`` means the budget will be exhausted early.
+
+The monitor is opt-in (install with :func:`set_slo_monitor`); the
+uninstalled hot-path cost is one global read and a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.obs.latency import DEFAULT_QUANTILES, _quantile_field
+
+__all__ = ["SLOMonitor", "get_slo_monitor", "set_slo_monitor"]
+
+
+class SLOMonitor:
+    """Sliding-window latency/availability tracker for one objective."""
+
+    def __init__(
+        self,
+        objective_seconds: float = 0.1,
+        target: float = 0.99,
+        window_seconds: float = 300.0,
+        max_samples: int = 8192,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), got {target}")
+        if objective_seconds <= 0.0:
+            raise ValueError(
+                f"latency objective must be positive, got {objective_seconds}"
+            )
+        if window_seconds <= 0.0:
+            raise ValueError(f"window must be positive, got {window_seconds}")
+        self.objective_seconds = float(objective_seconds)
+        self.target = float(target)
+        self.window_seconds = float(window_seconds)
+        self._clock = clock
+        # bounded: eviction by age plus a hard maxlen backstop
+        self._samples: deque[tuple[float, float, bool]] = deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float, ok: bool = True) -> None:
+        """Record one served request (``ok=False`` for degraded answers)."""
+        with self._lock:
+            self._samples.append((self._clock(), float(seconds), bool(ok)))
+
+    def _window(self) -> list[tuple[float, float, bool]]:
+        cutoff = self._clock() - self.window_seconds
+        with self._lock:
+            while self._samples and self._samples[0][0] < cutoff:
+                self._samples.popleft()
+            return list(self._samples)
+
+    def summary(self) -> dict:
+        """Windowed percentiles + budget burn as a JSON-able dict."""
+        window = self._window()
+        base = {
+            "window_seconds": self.window_seconds,
+            "objective_ms": self.objective_seconds * 1000.0,
+            "target": self.target,
+            "count": len(window),
+        }
+        if not window:
+            return {**base, "empty": True}
+        latencies = np.asarray([seconds for _, seconds, _ in window])
+        bad = sum(
+            1
+            for _, seconds, ok in window
+            if not ok or seconds > self.objective_seconds
+        )
+        count = len(window)
+        allowed_fraction = 1.0 - self.target
+        bad_fraction = bad / count
+        summary = {
+            **base,
+            "empty": False,
+            "mean_ms": float(latencies.mean()) * 1000.0,
+            "violations": bad,
+            "good_fraction": 1.0 - bad_fraction,
+            # burn_rate 1.0 == consuming budget exactly as fast as allowed
+            "burn_rate": bad_fraction / allowed_fraction,
+            "budget_remaining": 1.0 - min(1.0, bad_fraction / allowed_fraction),
+        }
+        for quantile in DEFAULT_QUANTILES:
+            field = f"{_quantile_field(quantile)}_ms"
+            summary[field] = float(np.quantile(latencies, quantile)) * 1000.0
+        return summary
+
+
+# ----------------------------------------------------------------------
+# module-global monitor (opt-in; mirrors the registry pattern)
+# ----------------------------------------------------------------------
+_SLO: SLOMonitor | None = None
+
+
+def get_slo_monitor() -> SLOMonitor | None:
+    return _SLO
+
+
+def set_slo_monitor(monitor: SLOMonitor | None) -> SLOMonitor | None:
+    """Install the process SLO monitor; returns the previous one."""
+    global _SLO
+    previous = _SLO
+    _SLO = monitor
+    return previous

@@ -27,14 +27,24 @@ import contextvars
 import functools
 import itertools
 import json
+import os
 import threading
 import time
 from typing import Callable, IO
+
+from repro.obs import flight as _flight
 
 __all__ = ["Span", "Tracer", "stopwatch", "timed", "trace"]
 
 _SPAN_STACK: contextvars.ContextVar[tuple[str, ...]] = contextvars.ContextVar(
     "repro_obs_span_stack", default=()
+)
+
+#: the active request context (a ``repro.obs.context.RequestContext``);
+#: lives here so Span.__exit__ can stamp trace/request ids without a
+#: circular import (``context`` builds its helpers on top of this var)
+_REQUEST_CTX: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_request_ctx", default=None
 )
 
 
@@ -70,15 +80,26 @@ class Span:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.duration = time.perf_counter() - self._start_perf
+        end_wall = time.time()
         _SPAN_STACK.reset(self._token)
+        # "start"/"end" are wall-clock (mergeable across processes, subject
+        # to clock skew and NTP steps); "dur_s" is monotonic and is the
+        # span's true duration — ``end - start`` may disagree with it, and
+        # the difference measures local clock drift during the span.
         event = {
             "event": "span",
             "name": self.name,
             "span": self.span_id,
             "parent": self.parent_id,
             "start": self._start_wall,
+            "end": end_wall,
             "dur_s": self.duration,
+            "pid": self.tracer._pid,
         }
+        ctx = _REQUEST_CTX.get()
+        if ctx is not None:
+            event["trace"] = ctx.trace_id
+            event["request"] = ctx.request_id
         if exc_type is not None:
             event["error"] = exc_type.__name__
         if self.attrs:
@@ -113,18 +134,31 @@ class Tracer:
     ``sink`` may be a file-like object (``.write`` gets one line per
     event), a callable (receives the event dict), or ``None`` to buffer
     in-memory (read via :attr:`events` — handy in tests).
+
+    ``id_prefix`` namespaces span ids: tracers minting ids in different
+    processes (fork-pool workers) must use distinct prefixes so a merged
+    trace never sees two spans with the same id.
     """
 
-    def __init__(self, sink: IO[str] | Callable[[dict], None] | None = None) -> None:
+    def __init__(
+        self,
+        sink: IO[str] | Callable[[dict], None] | None = None,
+        id_prefix: str = "",
+    ) -> None:
         self._sink = sink
         self._counter = itertools.count(1)
         self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self.id_prefix = id_prefix
         self.events: list[dict] = []
 
     def _next_id(self) -> str:
-        return f"{next(self._counter):08x}"
+        return f"{self.id_prefix}{next(self._counter):08x}"
 
     def emit(self, event: dict) -> None:
+        # mirror every span event into the flight recorder: the ring is
+        # the black box a DLQ entry or recovery report dumps later
+        _flight.record_event(event)
         sink = self._sink
         if sink is None:
             with self._lock:

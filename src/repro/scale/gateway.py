@@ -33,6 +33,7 @@ Everything is instrumented through :mod:`repro.obs` under the
 from __future__ import annotations
 
 import math
+import time
 from collections import Counter
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -40,6 +41,9 @@ from pathlib import Path
 import numpy as np
 
 from repro import obs
+from repro.obs import context as obs_context
+from repro.obs import flight as obs_flight
+from repro.obs import slo as obs_slo
 from repro.baselines.dijkstra import dijkstra_distance
 from repro.core.batch import BatchReport, batch_query
 from repro.core.fpsps import FlowAwareEngine
@@ -302,16 +306,26 @@ class ShardedGateway:
         if registry.enabled:
             registry.counter(name, help_).inc(amount, **labels)
 
-    def _count_route(self, route: str, amount: int = 1) -> None:
+    @staticmethod
+    def _shard_label(shard: int | None) -> str:
+        """Label value for the ``shard`` dimension (``"-"`` = no one shard)."""
+        return "-" if shard is None else str(shard)
+
+    def _count_route(
+        self, route: str, amount: int = 1, shard: int | None = None
+    ) -> None:
         self.metrics[f"queries_{route}"] += amount
         self._count(
             "repro_gateway_queries_total",
             "gateway queries by routing decision",
             amount,
             route=route,
+            shard=self._shard_label(shard),
         )
 
-    def _count_cache(self, event: str, amount: int = 1) -> None:
+    def _count_cache(
+        self, event: str, amount: int = 1, shard: int | None = None
+    ) -> None:
         if amount <= 0:
             return
         self.metrics[f"cache_{event}"] += amount
@@ -320,7 +334,33 @@ class ShardedGateway:
             "result-cache lookups by outcome",
             amount,
             event=event,
+            shard=self._shard_label(shard),
         )
+
+    def _observe_query(
+        self, route: str, shard: int | None, start: float
+    ) -> None:
+        """Record one answered query's latency: histogram + flight + SLO.
+
+        The registry histogram only moves when telemetry is enabled; the
+        flight recorder's slow-query digest and the SLO window (when a
+        monitor is installed) are always on.  A fallback answer burns
+        error budget even when it is fast.
+        """
+        elapsed = time.perf_counter() - start
+        label = self._shard_label(shard)
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "repro_gateway_query_seconds",
+                "gateway query latency by route and shard",
+            ).observe(elapsed, route=route, shard=label)
+        obs_flight.observe_query(
+            "gateway.query", elapsed, route=route, shard=label
+        )
+        monitor = obs_slo.get_slo_monitor()
+        if monitor is not None:
+            monitor.observe(elapsed, ok=route != "fallback")
 
     def _sync_gauges(self) -> None:
         registry = obs.get_registry()
@@ -395,11 +435,11 @@ class ShardedGateway:
         key = ("d", u, v) if u <= v else ("d", v, u)
         stale_before = self.cache.stale_drops
         cached = self.cache.lookup(key, epochs)
-        self._count_cache("stale", self.cache.stale_drops - stale_before)
+        self._count_cache("stale", self.cache.stale_drops - stale_before, shard=i)
         if cached is not None:
-            self._count_cache("hit")
+            self._count_cache("hit", shard=i)
             return cached
-        self._count_cache("miss")
+        self._count_cache("miss", shard=i)
         degraded = self.shards[i].degraded or self.shards[j].degraded
         if degraded:
             self._count_route("fallback")
@@ -410,7 +450,7 @@ class ShardedGateway:
             )
         else:
             route = "shard" if i == j else "boundary"
-            self._count_route(route)
+            self._count_route(route, shard=i if route == "shard" else None)
             answer = ServingDistance(
                 value=self._distance_raw(u, v), degraded=False, source=route
             )
@@ -471,23 +511,90 @@ class ShardedGateway:
     def query(self, query: FSPQuery) -> ServingResult:
         """Answer one FSPQ query through the sharded topology + cache."""
         query.validated(self.frn.num_vertices, self.frn.num_timesteps)
+        if obs.get_tracer() is not None:
+            with obs_context.request_scope():
+                with obs.trace(
+                    "gateway.query", src=query.source, dst=query.target
+                ):
+                    return self._query_impl(query)
+        return self._query_impl(query)
+
+    def _query_impl(self, query: FSPQuery) -> ServingResult:
+        start = time.perf_counter()
         i = self.plan.shard(query.source)
         j = self.plan.shard(query.target)
         epochs = self._epochs_for(i, j)
         key = ("q", query.source, query.target, query.timestep)
         stale_before = self.cache.stale_drops
         cached = self.cache.lookup(key, epochs)
-        self._count_cache("stale", self.cache.stale_drops - stale_before)
+        self._count_cache("stale", self.cache.stale_drops - stale_before, shard=i)
         if cached is not None:
-            self._count_cache("hit")
+            self._count_cache("hit", shard=i)
+            self._observe_query("cache", i, start)
             return cached
-        self._count_cache("miss")
+        self._count_cache("miss", shard=i)
         route, i, j = self._route_class(query)
-        self._count_route(route)
+        shard = i if route == "shard" else None
+        self._count_route(route, shard=shard)
         answer = self._evaluate(query, route, i)
         self.cache.put(key, answer, epochs)
         self._sync_gauges()
+        self._observe_query(route, shard, start)
         return answer
+
+    def explain(self, source: int, target: int, timestep: int = 0):
+        """EXPLAIN one query through the gateway's routing topology.
+
+        Takes the exact routing decision :meth:`query` would take for the
+        pair (cache probe → route class → shard/boundary/fallback engine),
+        runs the chosen engine's own :meth:`explain` — which evaluates the
+        query for real, so ``distance`` is bit-identical to
+        :meth:`query` — and annotates the result with the gateway-level
+        provenance: route taken, shard pair, cache verdict with the epoch
+        stamp the entry would carry, and the boundary-table size the
+        combine paths cross.  The cache probe is observational only: it
+        does not count toward the cache metrics, and the answer is *not*
+        inserted, so explaining a query never perturbs serving state.
+        """
+        query = FSPQuery(source, target, timestep).validated(
+            self.frn.num_vertices, self.frn.num_timesteps
+        )
+        i = self.plan.shard(source)
+        j = self.plan.shard(target)
+        epochs = self._epochs_for(i, j)
+        cache_hit = (
+            self.cache.lookup(
+                ("q", source, target, timestep), epochs
+            )
+            is not None
+        )
+        route, i, j = self._route_class(query)
+        if route == "shard":
+            inner = self.shards[i].explain(
+                self._to_local[i][source], self._to_local[i][target], timestep
+            )
+            to_global = self._to_global[i]
+            inner = replace(
+                inner,
+                source=source,
+                target=target,
+                path=tuple(to_global[v] for v in inner.path),
+            )
+        elif route == "fallback":
+            inner = self._fallback.explain(source, target, timestep)
+        else:
+            inner = self._cross.explain(source, target, timestep)
+        return replace(
+            inner,
+            engine="gateway",
+            route=route,
+            shards=(i, j),
+            cache_hit=cache_hit,
+            cache_epochs=epochs,
+            boundary_vertices=self.boundary.num_boundary_vertices,
+            answer_source=route,
+            degraded=route == "fallback",
+        )
 
     def batch(
         self,
@@ -508,9 +615,24 @@ class ShardedGateway:
             raise QueryError(f"workers must be >= 1, got {workers}")
         for query in queries:
             query.validated(self.frn.num_vertices, self.frn.num_timesteps)
+        if obs.get_tracer() is not None:
+            with obs_context.request_scope():
+                with obs.trace(
+                    "gateway.batch", queries=len(queries), workers=workers
+                ):
+                    return self._batch_impl(queries, workers, report)
+        return self._batch_impl(queries, workers, report)
+
+    def _batch_impl(
+        self,
+        queries: list[FSPQuery],
+        workers: int,
+        report: BatchReport | None,
+    ) -> list[ServingResult]:
         results: list[ServingResult | None] = [None] * len(queries)
         pending: dict[str, list[tuple[int, FSPQuery, int, tuple[int, ...]]]] = {}
-        hits = 0
+        hits_by_shard: Counter[int] = Counter()
+        misses_by_shard: Counter[int] = Counter()
         for position, query in enumerate(queries):
             i = self.plan.shard(query.source)
             j = self.plan.shard(query.target)
@@ -518,17 +640,22 @@ class ShardedGateway:
             key = ("q", query.source, query.target, query.timestep)
             stale_before = self.cache.stale_drops
             cached = self.cache.lookup(key, epochs)
-            self._count_cache("stale", self.cache.stale_drops - stale_before)
+            self._count_cache(
+                "stale", self.cache.stale_drops - stale_before, shard=i
+            )
             if cached is not None:
                 results[position] = cached
-                hits += 1
+                hits_by_shard[i] += 1
                 continue
+            misses_by_shard[i] += 1
             route, i, j = self._route_class(query)
             group = f"shard:{i}" if route == "shard" else route
             pending.setdefault(group, []).append((position, query, i, epochs))
-        self._count_cache("hit", hits)
+        for shard, amount in sorted(hits_by_shard.items()):
+            self._count_cache("hit", amount, shard=shard)
+        for shard, amount in sorted(misses_by_shard.items()):
+            self._count_cache("miss", amount, shard=shard)
         total_misses = sum(len(v) for v in pending.values())
-        self._count_cache("miss", total_misses)
 
         def _finish(
             position: int, query: FSPQuery, answer: ServingResult,
@@ -573,7 +700,7 @@ class ShardedGateway:
                     )
             else:
                 shard = entries[0][2]
-                self._count_route("shard", len(entries))
+                self._count_route("shard", len(entries), shard=shard)
                 local = [
                     FSPQuery(
                         self._to_local[shard][query.source],

@@ -13,6 +13,7 @@ from collections import Counter, deque
 from typing import Iterator
 
 from repro.errors import QueryError
+from repro.obs import flight as obs_flight
 from repro.serving.updates import DeadLetter
 
 __all__ = ["DeadLetterQueue"]
@@ -30,8 +31,15 @@ class DeadLetterQueue:
         self.by_reason: Counter[str] = Counter()
 
     def push(self, update: object, reason: str, detail: str) -> DeadLetter:
+        # note first, then dump: the letter's flight capture includes the
+        # quarantine event itself plus whatever preceded it
+        obs_flight.note("serving.dead_letter", reason=reason)
         letter = DeadLetter(
-            update=update, reason=reason, detail=detail, sequence=self._sequence
+            update=update,
+            reason=reason,
+            detail=detail,
+            sequence=self._sequence,
+            flight=obs_flight.dump(last=16),
         )
         self._sequence += 1
         self.total_seen += 1

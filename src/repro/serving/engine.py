@@ -45,10 +45,13 @@ import math
 import time
 import warnings
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro import obs
+from repro.obs import context as obs_context
+from repro.obs import flight as obs_flight
+from repro.obs import slo as obs_slo
 from repro.baselines.dijkstra import dijkstra_distance
 from repro.core.fahl import FAHLIndex
 from repro.core.fpsps import FlowAwareEngine
@@ -289,6 +292,8 @@ class ResilientEngine:
         #: suppresses re-logging records that are already in the log
         self._replaying = False
         self.last_recovery = None
+        #: flight-recorder dump captured at the last healthy->degraded flip
+        self.last_degraded_flight: tuple = ()
 
     # ------------------------------------------------------------------
     # unified invalidation hook
@@ -376,6 +381,10 @@ class ResilientEngine:
                 "repro_serving_degraded_transitions_total",
                 "healthy-to-degraded state flips",
             )
+            # black box: record the flip, then freeze what the engine was
+            # doing right before it (the note itself is in the dump)
+            obs_flight.note("serving.degraded_transition", state=new_state)
+            self.last_degraded_flight = obs_flight.dump(last=16)
         self.state = new_state
 
     # ------------------------------------------------------------------
@@ -717,42 +726,58 @@ class ResilientEngine:
 
     def query(self, query: FSPQuery) -> ServingResult:
         """Answer an FSPQ query, degrading to index-free search if needed."""
-        registry = obs.get_registry()
-        if self.degraded:
-            self.metrics["queries_degraded"] += 1
-            self._count(
-                "repro_serving_queries_total",
-                "served queries by answer source",
-                source="fallback",
-            )
-            if not registry.enabled:
-                return ServingResult(
-                    result=self._fallback.query(query),
-                    degraded=True,
-                    source="fallback",
-                )
-            start = time.perf_counter()
-            result = self._fallback.query(query)
-            registry.histogram(
-                "repro_serving_query_seconds", "end-to-end serving query latency"
-            ).observe(time.perf_counter() - start, source="fallback")
-            return ServingResult(result=result, degraded=True, source="fallback")
-        self.metrics["queries_index"] += 1
+        degraded = self.degraded
+        source = "fallback" if degraded else "index"
+        engine = self._fallback if degraded else self._engine
+        self.metrics["queries_degraded" if degraded else "queries_index"] += 1
         self._count(
             "repro_serving_queries_total",
             "served queries by answer source",
-            source="index",
+            source=source,
         )
-        if not registry.enabled:
-            return ServingResult(
-                result=self._engine.query(query), degraded=False, source="index"
-            )
         start = time.perf_counter()
-        result = self._engine.query(query)
-        registry.histogram(
-            "repro_serving_query_seconds", "end-to-end serving query latency"
-        ).observe(time.perf_counter() - start, source="index")
-        return ServingResult(result=result, degraded=False, source="index")
+        if obs.get_tracer() is not None:
+            with obs_context.request_scope():
+                with obs.trace(
+                    "serving.query",
+                    source=source,
+                    src=query.source,
+                    dst=query.target,
+                ):
+                    result = engine.query(query)
+        else:
+            result = engine.query(query)
+        elapsed = time.perf_counter() - start
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "repro_serving_query_seconds", "end-to-end serving query latency"
+            ).observe(elapsed, source=source)
+        # always-on tail: slow-query digests into the flight recorder and,
+        # when a monitor is installed, the rolling SLO window (a degraded
+        # answer burns error budget even when it is fast)
+        obs_flight.observe_query("serving.query", elapsed, source=source)
+        monitor = obs_slo.get_slo_monitor()
+        if monitor is not None:
+            monitor.observe(elapsed, ok=not degraded)
+        return ServingResult(result=result, degraded=degraded, source=source)
+
+    def explain(self, source: int, target: int, timestep: int = 0):
+        """EXPLAIN one query through the serving facade.
+
+        Delegates to the engine :meth:`query` would use (fallback when
+        degraded), so the answer fields stay bit-identical to a real
+        query; see :meth:`repro.core.fpsps.FlowAwareEngine.explain`.
+        """
+        degraded = self.degraded
+        engine = self._fallback if degraded else self._engine
+        inner = engine.explain(source, target, timestep)
+        return replace(
+            inner,
+            engine="resilient",
+            degraded=degraded,
+            answer_source="fallback" if degraded else "index",
+        )
 
     def distance(self, u: int, v: int) -> ServingDistance:
         """Shortest spatial distance, degrading to direct Dijkstra if needed."""
@@ -791,6 +816,20 @@ class ResilientEngine:
         pool with ``workers > 1``); degraded engines answer serially from
         the fallback engine, query by query, exactly like :meth:`query`.
         """
+        if obs.get_tracer() is not None:
+            with obs_context.request_scope():
+                with obs.trace(
+                    "serving.batch", queries=len(queries), workers=workers
+                ):
+                    return self._batch_impl(queries, workers, report)
+        return self._batch_impl(queries, workers, report)
+
+    def _batch_impl(
+        self,
+        queries: list[FSPQuery],
+        workers: int,
+        report,
+    ) -> list[ServingResult]:
         from repro.core.batch import batch_query
 
         if self.degraded:

@@ -50,9 +50,15 @@ class DeadLetter:
     ``"negative-flow"``, ``"non-positive-weight"``, ``"unknown-vertex"``,
     ``"unknown-edge"``, ``"stale-timestamp"``, ``"unsupported-type"``,
     ``"maintenance-failed"``); ``detail`` is the human-readable expansion.
+
+    ``flight`` is the flight-recorder dump captured at quarantine time —
+    the last few events the engine saw before this letter was written
+    (empty for letters restored from a write-ahead log, where the ring's
+    contents died with the crashed process).
     """
 
     update: object
     reason: str
     detail: str
     sequence: int
+    flight: tuple = ()

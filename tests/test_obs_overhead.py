@@ -5,8 +5,11 @@ The FSPQ hot path guards its instrumentation behind one
 — the uninstrumented Alg. 5 body.  This test times the public ``query``
 entry point with telemetry disabled against ``_query_impl`` directly
 (the registry-free baseline) and enforces the <5% latency budget from
-the telemetry design.  Best-of-repeats on both sides keeps scheduler
-noise from failing the build.
+the telemetry design.  The budget covers everything that ships enabled
+by default: the always-on flight recorder and the request-context
+propagation machinery are both live during the measurement (only the
+registry and tracer are off, as in a production default).  Best-of-
+repeats on both sides keeps scheduler noise from failing the build.
 """
 
 from __future__ import annotations
@@ -53,6 +56,8 @@ def _best_of(rounds, func, queries):
 def test_disabled_telemetry_overhead_under_budget(engine, small_frn):
     assert not obs.get_registry().enabled
     assert obs.get_tracer() is None
+    # the flight recorder is always on — the budget must absorb it
+    assert obs.get_flight() is not None
     queries = _workload(small_frn)
 
     # interleave a warmup so caches/JIT-free CPython state are identical
