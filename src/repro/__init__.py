@@ -18,13 +18,26 @@ Public API (re-exported here):
 * :class:`repro.api.Engine` — the protocol the three serving classes share,
   with :func:`knn`, :func:`constrained` and :func:`skyline` as harmonised,
   :class:`FSPQuery`-accepting extension-query front doors;
+* :class:`AsyncGateway` / :class:`repro.api.AsyncEngine` /
+  :func:`repro.api.to_async` — the asyncio micro-batching front door and
+  the async-first protocol every tier adapts to (docs/API.md,
+  "Async serving");
 * generators, predictors and workloads for running the paper's experiments.
 
 See README.md for a quickstart, DESIGN.md for the system inventory and
 docs/API.md for the stable public surface + deprecation policy.
 """
 
-from repro.api import Engine, as_distance, as_result, constrained, knn, skyline
+from repro.api import (
+    AsyncEngine,
+    Engine,
+    as_distance,
+    as_result,
+    constrained,
+    knn,
+    skyline,
+    to_async,
+)
 from repro.core import (
     BatchReport,
     FAHLIndex,
@@ -39,9 +52,20 @@ from repro.core import (
     build_fahl,
 )
 from repro.core.constrained import QueryConstraints
-from repro.errors import MaintenanceError, ReproError
+from repro.errors import (
+    AdmissionError,
+    BackpressureError,
+    MaintenanceError,
+    ReproError,
+)
 from repro.scale import GatewayStatus, ShardedGateway
-from repro.serving import FlowUpdate, ResilientEngine, WeightUpdate, verify_index
+from repro.serving import (
+    AsyncGateway,
+    FlowUpdate,
+    ResilientEngine,
+    WeightUpdate,
+    verify_index,
+)
 from repro.flow import (
     FlowSeries,
     SeasonalNaivePredictor,
@@ -62,6 +86,10 @@ from repro.labeling import H2HIndex, build_h2h
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
+    "AsyncEngine",
+    "AsyncGateway",
+    "BackpressureError",
     "BatchReport",
     "Engine",
     "FAHLIndex",
@@ -94,6 +122,7 @@ __all__ = [
     "constrained",
     "knn",
     "skyline",
+    "to_async",
     "verify_index",
     "generate_flow_series",
     "grid_network",

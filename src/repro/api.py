@@ -13,17 +13,24 @@ them drop-in interchangeable:
   serving layers' envelopes (:class:`ServingResult` /
   :class:`ServingDistance`) to the plain :class:`FSPResult` / ``float``
   the bare engine returns, so callers can stay engine-agnostic;
+* the :class:`AsyncEngine` protocol — the async-first serving surface
+  (``aquery``/``adistance``/``abatch`` coroutines plus a sync
+  ``submit() -> Future`` escape hatch) — with :func:`to_async`, the
+  adapter that wraps any :class:`Engine` in the micro-batching
+  :class:`~repro.serving.async_gateway.AsyncGateway` so all three tiers
+  satisfy it; envelope normalisation via :func:`as_result` /
+  :func:`as_distance` applies identically to sync and async answers;
 * harmonised, :class:`FSPQuery`-accepting front doors for the extension
-  queries: :func:`knn`, :func:`constrained` and :func:`skyline` (the
-  legacy positional ``source``/``timestep`` spellings still work but emit
-  :class:`DeprecationWarning` and disappear one release after 1.0 — see
-  docs/API.md, "Deprecation policy").
+  queries: :func:`knn`, :func:`constrained` and :func:`skyline`.  The
+  legacy positional ``source``/``timestep`` spellings completed their
+  deprecation cycle and were **removed** — they now raise
+  :class:`~repro.errors.QueryError` with a migration hint (docs/API.md,
+  "Deprecation policy").
 """
 
 from __future__ import annotations
 
 import math
-import warnings
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.core.constrained import (
@@ -38,12 +45,14 @@ from repro.errors import QueryError
 from repro.graph.frn import FlowAwareRoadNetwork
 
 __all__ = [
+    "AsyncEngine",
     "Engine",
     "as_distance",
     "as_result",
     "constrained",
     "knn",
     "skyline",
+    "to_async",
 ]
 
 
@@ -55,18 +64,83 @@ class Engine(Protocol):
     a ``.result`` attribute; ``distance`` a ``float`` or an envelope with
     ``.value`` — normalise with :func:`as_result` / :func:`as_distance`
     when you need engine-agnostic values.
+
+    ``batch`` is keyword-consistent across every tier: ``workers`` fans
+    chunks out to the fork pool, ``timeout`` bounds each pool chunk
+    (``None`` = the pool default) and ``kernel`` overrides the query
+    kernel (``"flat"``/``"scalar"``) for the whole batch — asserted by
+    ``tests/test_api_surface.py``.
     """
 
     def query(self, query: FSPQuery): ...
 
     def distance(self, u: int, v: int): ...
 
-    def batch(self, queries: Sequence[FSPQuery], workers: int = 1): ...
+    def batch(
+        self,
+        queries: Sequence[FSPQuery],
+        workers: int = 1,
+        timeout: float | None = None,
+        kernel: str | None = None,
+    ): ...
 
     def invalidate(self) -> None: ...
 
     @property
     def flow_engine(self) -> FlowAwareEngine: ...
+
+
+@runtime_checkable
+class AsyncEngine(Protocol):
+    """The async-first serving surface (asyncio-native front doors).
+
+    ``aquery``/``adistance``/``abatch`` are coroutines answering through
+    the implementation's coalescing/dispatch machinery; ``submit`` is the
+    sync escape hatch returning a :class:`concurrent.futures.Future` so
+    threaded callers can use the same gateway without an event loop.
+    Answers carry whatever envelope the wrapped engine produces — the
+    same :func:`as_result` / :func:`as_distance` normalisers apply to
+    sync and async answers identically.
+
+    Satisfy it with :func:`to_async` — every :class:`Engine` tier adapts
+    via :class:`~repro.serving.async_gateway.AsyncGateway`.
+    """
+
+    async def aquery(self, query: FSPQuery): ...
+
+    async def adistance(self, u: int, v: int): ...
+
+    async def abatch(self, queries: Sequence[FSPQuery]): ...
+
+    def submit(self, query: FSPQuery): ...
+
+
+def to_async(engine, **gateway_kwargs):
+    """Adapt any :class:`Engine` to the :class:`AsyncEngine` protocol.
+
+    An engine that already satisfies :class:`AsyncEngine` is returned
+    unchanged (``gateway_kwargs`` must then be empty); a sync
+    :class:`Engine` is wrapped in a
+    :class:`~repro.serving.async_gateway.AsyncGateway`, forwarding
+    ``gateway_kwargs`` (``window_seconds``, ``max_window``, ``max_queue``,
+    ``admission_rate``, ...).  Anything else raises
+    :class:`~repro.errors.QueryError`.
+    """
+    from repro.serving.async_gateway import AsyncGateway
+
+    if isinstance(engine, AsyncEngine):
+        if gateway_kwargs:
+            raise QueryError(
+                f"{type(engine).__name__} is already an AsyncEngine; "
+                "gateway options cannot be applied to it"
+            )
+        return engine
+    if isinstance(engine, Engine):
+        return AsyncGateway(engine, **gateway_kwargs)
+    raise QueryError(
+        f"{type(engine).__name__} satisfies neither the Engine nor the "
+        "AsyncEngine protocol"
+    )
 
 
 def as_result(outcome) -> FSPResult:
@@ -108,30 +182,24 @@ def _flow_engine(engine) -> FlowAwareEngine:
     )
 
 
-def _source_and_timestep(query, timestep, caller: str) -> tuple[int, int]:
+def _require_query(query, caller: str) -> FSPQuery:
+    """The front doors take :class:`FSPQuery` only (positional removed)."""
     if isinstance(query, FSPQuery):
-        return query.source, query.timestep
-    warnings.warn(
-        f"passing a positional source/timestep to repro.{caller}() is "
-        "deprecated; pass an FSPQuery (removed one release after 1.0)",
-        DeprecationWarning,
-        stacklevel=3,
+        return query
+    raise QueryError(
+        f"repro.{caller}() takes an FSPQuery, got {type(query).__name__} — "
+        f"the legacy positional spelling was removed; build "
+        f"FSPQuery(source, target, timestep) instead (docs/API.md)"
     )
-    if timestep is None:
-        raise QueryError(
-            f"legacy repro.{caller}(source, ...) calls need timestep="
-        )
-    return int(query), int(timestep)
 
 
 def knn(
     engine,
-    query: FSPQuery | int,
+    query: FSPQuery,
     pois: Sequence[int],
     k: int,
     *,
     prefilter: int | None = None,
-    timestep: int | None = None,
 ) -> list[KNNMatch]:
     """Flow-aware k-nearest POIs from ``query.source`` at ``query.timestep``.
 
@@ -139,9 +207,14 @@ def knn(
     with any :class:`Engine`; serving layers contribute their flow engine,
     so e.g. a :class:`ShardedGateway` ranks with exact sharded distances.
     """
-    source, t = _source_and_timestep(query, timestep, "knn")
+    query = _require_query(query, "knn")
     return flow_aware_knn(
-        _flow_engine(engine), source, list(pois), k, t, prefilter=prefilter
+        _flow_engine(engine),
+        query.source,
+        list(pois),
+        k,
+        query.timestep,
+        prefilter=prefilter,
     )
 
 
@@ -151,6 +224,7 @@ def constrained(
     constraints: QueryConstraints,
 ) -> FSPResult:
     """One FSPQ query under :class:`QueryConstraints`, on any engine."""
+    query = _require_query(query, "constrained")
     inner = _flow_engine(engine)
     if isinstance(inner, ConstrainedFlowAwareEngine):
         return inner.query_constrained(query, constraints)
@@ -171,10 +245,8 @@ def constrained(
 
 def skyline(
     source_of_frn,
-    query: FSPQuery | int,
+    query: FSPQuery,
     *,
-    target: int | None = None,
-    timestep: int | None = None,
     max_distance: float = math.inf,
     max_labels_per_vertex: int = 64,
 ) -> SkylineResult:
@@ -189,26 +261,12 @@ def skyline(
             raise QueryError(
                 f"{type(source_of_frn).__name__} carries no FlowAwareRoadNetwork"
             )
-    if isinstance(query, FSPQuery):
-        src, dst, t = query.source, query.target, query.timestep
-    else:
-        warnings.warn(
-            "passing positional source/target/timestep to repro.skyline() "
-            "is deprecated; pass an FSPQuery (removed one release after 1.0)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if target is None or timestep is None:
-            raise QueryError(
-                "legacy repro.skyline(source, ...) calls need "
-                "target= and timestep="
-            )
-        src, dst, t = int(query), int(target), int(timestep)
+    query = _require_query(query, "skyline")
     return skyline_paths(
         frn,
-        src,
-        dst,
-        t,
+        query.source,
+        query.target,
+        query.timestep,
         max_distance=max_distance,
         max_labels_per_vertex=max_labels_per_vertex,
     )

@@ -210,6 +210,31 @@ def build_parser() -> argparse.ArgumentParser:
     sharded.add_argument("--prom", metavar="FILE",
                          help="also write the Prometheus text export here")
 
+    serve_async = sub.add_parser(
+        "serve-async",
+        help="drive closed/open-loop load through the async micro-batching "
+             "gateway (docs/API.md, 'Async serving')",
+    )
+    serve_async.add_argument("--side", type=int, default=8,
+                             help="demo grid side length (default 8)")
+    serve_async.add_argument("--requests", type=int, default=400,
+                             help="requests per load loop (default 400)")
+    serve_async.add_argument("--concurrency", type=int, default=64,
+                             help="closed-loop virtual clients (default 64)")
+    serve_async.add_argument("--rate", type=float, default=4000.0,
+                             help="open-loop arrival rate per second "
+                                  "(default 4000)")
+    serve_async.add_argument("--window-ms", type=float, default=1.5,
+                             help="coalescing window in milliseconds "
+                                  "(default 1.5; 0 still coalesces one "
+                                  "event-loop tick)")
+    serve_async.add_argument("--admission-rate", type=float, default=None,
+                             help="per-client token-bucket rate "
+                                  "(default: admission off)")
+    serve_async.add_argument("--seed", type=int, default=0)
+    serve_async.add_argument("--prom", metavar="FILE",
+                             help="also write the Prometheus text export here")
+
     recover_cmd = sub.add_parser(
         "recover",
         help="restore a serving engine from a durability directory "
@@ -630,6 +655,51 @@ def _run_serve_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_async(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_prometheus
+    from repro.obs.report import render_report
+    from repro.serving.async_demo import run_async_demo
+
+    registry = obs.MetricsRegistry(enabled=True)
+    previous_registry = obs.set_registry(registry)
+    try:
+        summary = run_async_demo(
+            side=args.side,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            rate=args.rate,
+            window_seconds=args.window_ms / 1000.0,
+            admission_rate=args.admission_rate,
+            seed=args.seed,
+        )
+        print(render_report(registry))
+        for loop in ("closed", "open"):
+            numbers = summary[loop]
+            print(
+                f"# {loop}-loop: {numbers['requests']} requests in "
+                f"{numbers['wall_seconds']:.3f}s -> "
+                f"{numbers['throughput_rps']:,.0f} req/s, "
+                f"p50 {numbers['p50_ms']:.2f}ms / "
+                f"p99 {numbers['p99_ms']:.2f}ms, "
+                f"{numbers['errors']} errors"
+            )
+        print(
+            f"# coalescing: {summary['windows']} windows for "
+            f"{2 * summary['requests_per_loop']} requests "
+            f"(ratio {summary['coalescing_ratio']:.1f}, largest window "
+            f"{summary['largest_window']}); rejected "
+            f"{summary['rejected_admission']} admission / "
+            f"{summary['rejected_backpressure']} backpressure"
+        )
+        if args.prom:
+            with open(args.prom, "w", encoding="utf-8") as handle:
+                handle.write(render_prometheus(registry))
+            print(f"# wrote Prometheus export to {args.prom}")
+    finally:
+        obs.set_registry(previous_registry)
+    return 0
+
+
 def _run_recover(args: argparse.Namespace) -> int:
     from repro.durability import recover
     from repro.errors import RecoveryError
@@ -683,6 +753,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_explain(args)
     if args.command == "serve-sharded":
         return _run_serve_sharded(args)
+    if args.command == "serve-async":
+        return _run_serve_async(args)
     if args.command == "recover":
         return _run_recover(args)
     if args.command == "list":

@@ -72,6 +72,16 @@ class MemoizedOracle:
         self.hits = 0
         self.misses = 0
 
+    @property
+    def wrapped(self):
+        """The oracle being memoised.
+
+        The engine's flat-kernel probe unwraps through this so the
+        batch path's per-call wrapper swap never demotes flat-kernel
+        queries to the scalar reference.
+        """
+        return self._oracle
+
     def distance(self, u: int, v: int) -> float:
         key = (u, v) if u <= v else (v, u)
         cached = self._cache.get(key)
@@ -166,12 +176,16 @@ def _evaluate_chunk(
     reach a vectorised ``distance_many``, the whole vertex set's distances
     to that target are prefetched in one call — candidate generation and
     scoring for the group then run entirely off the cache.  Targets seen
-    once skip the speculative fill (it would cost about what it saves).
+    once skip the speculative fill (it would cost about what it saves),
+    and a flat-kernel engine skips it entirely: the kernel reads the
+    label arena directly, so a prefetched cache would never be consulted.
     """
     oracle = engine.oracle
     all_vertices: np.ndarray | None = None
-    if isinstance(oracle, MemoizedOracle) and callable(
-        getattr(oracle._oracle, "distance_many", None)
+    if (
+        isinstance(oracle, MemoizedOracle)
+        and callable(getattr(oracle._oracle, "distance_many", None))
+        and engine._flat_kernel() is None
     ):
         n = engine.frn.num_vertices
         if n <= _PREFETCH_MAX_VERTICES:

@@ -93,6 +93,7 @@ class FlatQueryKernel:
         self.overlay_version = overlay.version if overlay is not None else -1
         self.num_vertices = n
         self.version = index.label_version
+        self.graph_version = graph.mutation_version
         # adjacency rows in neighbor_items order (A* must expand neighbours
         # in exactly the same sequence as the reference search), annotated
         # with undirected edge ids so banned-edge checks are int-set probes
@@ -128,12 +129,22 @@ class FlatQueryKernel:
         }
 
     def is_current(self) -> bool:
-        """Whether the snapshot still matches index *and* overlay versions."""
+        """Whether the snapshot still matches index, graph and overlay.
+
+        Without an overlay the graph's ``mutation_version`` is checked
+        separately from the label version: an ILU that raises an
+        off-shortest-path edge weight leaves every label (and so
+        ``label_version``) untouched, yet the cached adjacency rows still
+        hold the old weight.  With an overlay attached, every live-graph
+        weight change goes through :meth:`DeltaOverlay.absorb` (which
+        bumps the overlay version), so the overlay check subsumes the
+        graph check and :meth:`refresh_overlay` stays the cheap resync.
+        """
         if self.version != self.index.label_version:
             return False
-        return (
-            self.overlay is None or self.overlay.version == self.overlay_version
-        )
+        if self.overlay is None:
+            return self.graph_version == self.frn.graph.mutation_version
+        return self.overlay.version == self.overlay_version
 
     def refresh_overlay(self) -> None:
         """Resync adjacency weights after overlay absorbs (no full rebuild).
@@ -164,6 +175,7 @@ class FlatQueryKernel:
             self._patched.add((lo, hi))
         self._h_cache.clear()
         self.overlay_version = overlay.version
+        self.graph_version = graph.mutation_version
 
     # ------------------------------------------------------------------
     # heuristics / distances

@@ -28,9 +28,9 @@ in EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import contextlib
 import math
 import time
-import warnings
 
 import numpy as np
 
@@ -216,16 +216,26 @@ class FlowAwareEngine:
         for :class:`~repro.core.overlay.OverlayOracle` wrappers over such
         an index (stable ⊕ overlay serving: the kernel's heuristic tables
         and adjacency then track the overlay's exact current-graph view).
-        Anything else (index-free baselines, ALT oracles with a
-        ``heuristic`` factory, exhaustive enumeration, a batch-path
-        ``MemoizedOracle`` swap) falls back to the scalar reference.  A
-        cached kernel is dropped whenever the oracle object changes or
-        maintenance bumps its label version; an overlay version bump only
-        triggers the cheap in-place adjacency resync.
+        The batch path's :class:`~repro.core.batch.MemoizedOracle` swap is
+        transparent: the kernel reads the label arena directly and never
+        calls ``oracle.distance``, so it is unwrapped to the index it
+        memoises (keyed on that inner index, the cached kernel survives
+        the per-batch wrapper churn).  Anything else (index-free
+        baselines, ALT oracles with a ``heuristic`` factory, exhaustive
+        enumeration) falls back to the scalar reference.  A cached kernel
+        is dropped whenever the underlying index object changes,
+        maintenance bumps its label version, or (overlay-free) the graph's
+        ``mutation_version`` moves — an ILU can change an off-shortest-path
+        edge weight without touching any label; an overlay version bump
+        only triggers the cheap in-place adjacency resync.
         """
         if self.kernel != "flat" or self.exhaustive:
             return None
+        from repro.core.batch import MemoizedOracle  # circular at module scope
+
         oracle = self.oracle
+        if isinstance(oracle, MemoizedOracle):
+            oracle = oracle.wrapped
         overlay = None
         if isinstance(oracle, OverlayOracle):
             overlay = oracle.overlay
@@ -242,22 +252,16 @@ class FlowAwareEngine:
             or kern.index is not oracle
             or kern.overlay is not overlay
             or kern.version != oracle.label_version
+            or (
+                overlay is None
+                and kern.graph_version != self.frn.graph.mutation_version
+            )
         ):
             kern = FlatQueryKernel(oracle, self.frn, overlay=overlay)
             self._flat_kernel_cache = kern
         elif not kern.is_current():
             kern.refresh_overlay()
         return kern
-
-    def invalidate_flow_cache(self) -> None:
-        """Deprecated alias of :meth:`invalidate` (removed next release)."""
-        warnings.warn(
-            "FlowAwareEngine.invalidate_flow_cache() is deprecated; use "
-            "invalidate() — the unified hook every cache layer listens on",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.invalidate()
 
     def shortest_distance(self, source: int, target: int) -> float:
         """``SPDis`` via the oracle, or A*/Dijkstra when index-free."""
@@ -274,11 +278,54 @@ class FlowAwareEngine:
         """Shortest spatial distance — the engine-protocol spelling."""
         return self.shortest_distance(u, v)
 
-    def batch(self, queries: list[FSPQuery], workers: int = 1, report=None):
-        """Evaluate many queries via :func:`repro.core.batch.batch_query`."""
-        from repro.core.batch import batch_query
+    @contextlib.contextmanager
+    def kernel_override(self, kernel: str | None):
+        """Temporarily force a kernel mode; ``None`` leaves it untouched.
 
-        return batch_query(self, queries, workers=workers, report=report)
+        ``_flat_kernel()`` re-reads ``self.kernel`` on every call, so the
+        swap takes effect immediately and the cached kernel survives for
+        when the original mode returns.
+        """
+        if kernel is None:
+            yield self
+            return
+        if kernel not in KERNEL_MODES:
+            raise QueryError(
+                f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
+        previous = self.kernel
+        self.kernel = kernel
+        try:
+            yield self
+        finally:
+            self.kernel = previous
+
+    def batch(
+        self,
+        queries: list[FSPQuery],
+        workers: int = 1,
+        timeout: float | None = None,
+        kernel: str | None = None,
+        report=None,
+    ):
+        """Evaluate many queries via :func:`repro.core.batch.batch_query`.
+
+        The unified engine-protocol batch signature (docs/API.md):
+        ``workers`` fans chunks out to the fork pool, ``timeout`` is the
+        per-chunk wall-clock budget (``None`` = the pool default), and
+        ``kernel`` overrides the kernel mode for the whole batch.
+        """
+        from repro.core.batch import DEFAULT_CHUNK_TIMEOUT, batch_query
+
+        chunk_timeout = DEFAULT_CHUNK_TIMEOUT if timeout is None else timeout
+        with self.kernel_override(kernel):
+            return batch_query(
+                self,
+                queries,
+                workers=workers,
+                chunk_timeout=chunk_timeout,
+                report=report,
+            )
 
     @property
     def flow_engine(self) -> "FlowAwareEngine":

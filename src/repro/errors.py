@@ -119,3 +119,36 @@ class RecoveryError(ReproError):
 
 class PartitionError(ReproError):
     """Graph partitioning failed (e.g. requested more parts than vertices)."""
+
+
+class AdmissionError(QueryError):
+    """A request was refused at admission (per-client token bucket).
+
+    Raised by the async serving front door when a client exceeds its
+    admitted request rate.  Carries the ``client`` identity and the
+    seconds until the bucket would admit again (``retry_after``), so
+    callers can back off instead of hammering the gateway.
+    """
+
+    def __init__(self, client: str, retry_after: float) -> None:
+        super().__init__(
+            f"client {client!r} exceeded its admitted request rate; "
+            f"retry in {retry_after:.3f}s"
+        )
+        self.client = client
+        self.retry_after = retry_after
+
+
+class BackpressureError(QueryError):
+    """The serving queue is full and the request was rejected, not queued.
+
+    Raised by the async serving front door when its bounded request queue
+    is at capacity — the typed alternative to unbounded queue growth or a
+    silent hang.  ``depth`` is the queue depth at rejection time.
+    """
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(
+            f"request rejected: serving queue is full ({depth} pending)"
+        )
+        self.depth = depth

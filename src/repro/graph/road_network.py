@@ -50,6 +50,7 @@ class RoadNetwork:
         self._n = int(num_vertices)
         self._adj: list[dict[int, float]] = [{} for _ in range(self._n)]
         self._m = 0
+        self._mutation_version = 0
         self.coordinates: dict[int, tuple[float, float]] = (
             dict(coordinates) if coordinates else {}
         )
@@ -68,6 +69,18 @@ class RoadNetwork:
     def num_edges(self) -> int:
         """Number of undirected edges ``m``."""
         return self._m
+
+    @property
+    def mutation_version(self) -> int:
+        """Bumped on every weight/topology change.
+
+        Caches that snapshot edge weights (the flat kernel's adjacency,
+        notably) key their staleness checks on this: a weight update that
+        leaves every shortest-path label untouched bumps no
+        ``label_version`` anywhere, yet still invalidates any cached
+        adjacency view of the graph.
+        """
+        return self._mutation_version
 
     def vertices(self) -> range:
         """All vertex ids, as a range."""
@@ -145,9 +158,11 @@ class RoadNetwork:
             self._m += 1
             self._adj[u][v] = weight
             self._adj[v][u] = weight
+            self._mutation_version += 1
         elif weight < existing:
             self._adj[u][v] = weight
             self._adj[v][u] = weight
+            self._mutation_version += 1
 
     def set_weight(self, u: int, v: int, weight: float) -> None:
         """Overwrite the weight of an *existing* edge (used by updates)."""
@@ -157,6 +172,7 @@ class RoadNetwork:
             raise EdgeNotFoundError(u, v)
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._mutation_version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove an existing undirected edge."""
@@ -165,6 +181,7 @@ class RoadNetwork:
         del self._adj[u][v]
         del self._adj[v][u]
         self._m -= 1
+        self._mutation_version += 1
 
     # ------------------------------------------------------------------
     # Convenience

@@ -191,12 +191,13 @@ def load_index(path: str | Path) -> HierarchyIndex:
     except DatasetFormatError:
         raise  # includes IndexIntegrityError — already forensic
     except (
-        OSError, KeyError, ValueError, EOFError,
+        OSError, KeyError, ValueError, EOFError, NotImplementedError,
         zipfile.BadZipFile, zlib.error,
     ) as exc:
-        # truncated zip central directory, missing arrays, short reads —
-        # numpy/zipfile surface them all differently; recovery needs one
-        # "this file is bad" signal
+        # truncated zip central directory, missing arrays, short reads,
+        # a corrupted compression-method field (zipfile's
+        # NotImplementedError) — numpy/zipfile surface them all
+        # differently; recovery needs one "this file is bad" signal
         raise IndexIntegrityError(
             path, f"unreadable archive ({type(exc).__name__}: {exc})"
         ) from exc

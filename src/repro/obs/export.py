@@ -44,6 +44,8 @@ SPAN_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 #: names fail ``fahl-repro obs lint --trace`` and the test-suite lint
 SPAN_CATALOGUE = frozenset(
     {
+        "async.request",
+        "async.window",
         "batch.chunk",
         "batch.query",
         "build.elimination",

@@ -279,6 +279,57 @@ def render_report(registry: MetricsRegistry) -> str:
                 rows,
             ))
 
+    # ------------------------------------------------------ async gateway
+    async_rows: list[list[object]] = []
+    async_requests = get("repro_async_requests_total")
+    if isinstance(async_requests, Counter):
+        for key, value in sorted(async_requests.samples().items()):
+            async_rows.append(
+                [f"requests [{dict(key).get('kind', '(all)')}]", value]
+            )
+    async_rejected = get("repro_async_rejected_total")
+    if isinstance(async_rejected, Counter):
+        for key, value in sorted(async_rejected.samples().items()):
+            async_rows.append(
+                [f"rejected [{dict(key).get('reason', '(all)')}]", value]
+            )
+    async_resolved = get("repro_async_resolved_total")
+    if isinstance(async_resolved, Counter):
+        for key, value in sorted(async_resolved.samples().items()):
+            labels = dict(key)
+            async_rows.append([
+                f"resolved [{labels.get('kind', '(all)')}] "
+                f"outcome={labels.get('outcome', '?')}",
+                value,
+            ])
+    windows = get("repro_async_windows_total")
+    if isinstance(windows, Counter) and windows.samples():
+        async_rows.append(["windows dispatched", windows.total()])
+    window_size = get("repro_async_window_size")
+    if isinstance(window_size, Gauge) and window_size.samples():
+        async_rows.append(["last window size (gauge)", window_size.value()])
+    queue_depth = get("repro_async_queue_depth")
+    if isinstance(queue_depth, Gauge) and queue_depth.samples():
+        async_rows.append(["queue depth (gauge)", queue_depth.value()])
+    if async_rows:
+        sections.append(_table(
+            "async gateway", ["counter", "value"], async_rows
+        ))
+    window_seconds = get("repro_async_window_seconds")
+    if isinstance(window_seconds, Histogram) and window_seconds.label_sets():
+        sections.append(_table(
+            "async windows",
+            ["window", *_LATENCY_HEADERS],
+            _hist_rows(window_seconds, "window"),
+        ))
+    request_seconds = get("repro_async_request_seconds")
+    if isinstance(request_seconds, Histogram) and request_seconds.label_sets():
+        sections.append(_table(
+            "async requests (per kind, submit-to-resolve)",
+            ["kind", *_LATENCY_HEADERS],
+            _hist_rows(request_seconds, "kind"),
+        ))
+
     # ---------------------------------------------------------------- SLO
     monitor = _slo.get_slo_monitor()
     if monitor is not None:

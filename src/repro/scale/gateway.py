@@ -45,8 +45,8 @@ from repro.obs import context as obs_context
 from repro.obs import flight as obs_flight
 from repro.obs import slo as obs_slo
 from repro.baselines.dijkstra import dijkstra_distance
-from repro.core.batch import BatchReport, batch_query
-from repro.core.fpsps import FlowAwareEngine
+from repro.core.batch import BatchReport
+from repro.core.fpsps import KERNEL_MODES, FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.errors import QueryError, RecoveryError
 from repro.flow.series import FlowSeries
@@ -600,6 +600,8 @@ class ShardedGateway:
         self,
         queries: list[FSPQuery],
         workers: int = 1,
+        timeout: float | None = None,
+        kernel: str | None = None,
         report: BatchReport | None = None,
     ) -> list[ServingResult]:
         """Evaluate a workload, fanning shard groups through the fork pool.
@@ -609,10 +611,17 @@ class ShardedGateway:
         :func:`~repro.core.batch.batch_query` machinery on that shard's
         engine, and the pool workers available are split across groups in
         proportion to the work each one admitted (degraded-fallback
-        queries always run serially in the gateway process).
+        queries always run serially in the gateway process).  ``timeout``
+        and ``kernel`` follow the unified protocol batch signature
+        (docs/API.md): per-chunk budget and kernel-mode override, passed
+        through to every group's engine.
         """
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
+        if kernel is not None and kernel not in KERNEL_MODES:
+            raise QueryError(
+                f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
         for query in queries:
             query.validated(self.frn.num_vertices, self.frn.num_timesteps)
         if obs.get_tracer() is not None:
@@ -620,13 +629,15 @@ class ShardedGateway:
                 with obs.trace(
                     "gateway.batch", queries=len(queries), workers=workers
                 ):
-                    return self._batch_impl(queries, workers, report)
-        return self._batch_impl(queries, workers, report)
+                    return self._batch_impl(queries, workers, timeout, kernel, report)
+        return self._batch_impl(queries, workers, timeout, kernel, report)
 
     def _batch_impl(
         self,
         queries: list[FSPQuery],
         workers: int,
+        timeout: float | None,
+        kernel: str | None,
         report: BatchReport | None,
     ) -> list[ServingResult]:
         results: list[ServingResult | None] = [None] * len(queries)
@@ -673,21 +684,23 @@ class ShardedGateway:
             )
             if group == "fallback":
                 self._count_route("fallback", len(entries))
-                for position, query, _, epochs in entries:
-                    _finish(
-                        position, query,
-                        ServingResult(
-                            result=self._fallback.query(query),
-                            degraded=True, source="fallback",
-                        ),
-                        epochs,
-                    )
+                with self._fallback.kernel_override(kernel):
+                    for position, query, _, epochs in entries:
+                        _finish(
+                            position, query,
+                            ServingResult(
+                                result=self._fallback.query(query),
+                                degraded=True, source="fallback",
+                            ),
+                            epochs,
+                        )
             elif group == "boundary":
                 self._count_route("boundary", len(entries))
-                answers = batch_query(
-                    self._cross,
+                answers = self._cross.batch(
                     [query for _, query, _, _ in entries],
                     workers=share,
+                    timeout=timeout,
+                    kernel=kernel,
                     report=report,
                 )
                 for (position, query, _, epochs), result in zip(entries, answers):
@@ -710,7 +723,8 @@ class ShardedGateway:
                     for _, query, _, _ in entries
                 ]
                 served = self.shards[shard].batch(
-                    local, workers=share, report=report
+                    local, workers=share, timeout=timeout, kernel=kernel,
+                    report=report,
                 )
                 for (position, query, _, epochs), answer in zip(entries, served):
                     _finish(

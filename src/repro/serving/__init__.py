@@ -1,6 +1,9 @@
 """Resilient serving layer: admission control, guarded maintenance,
-degraded-mode querying and index self-audits (see docs/RESILIENCE.md)."""
+degraded-mode querying, index self-audits (see docs/RESILIENCE.md) and
+the asyncio micro-batching front door (docs/API.md, "Async serving")."""
 
+from repro.serving.admission import ClientAdmission, TokenBucket
+from repro.serving.async_gateway import AsyncGateway, GatewayWindowStats
 from repro.serving.audit import AuditReport, verify_index
 from repro.serving.dead_letter import DeadLetterQueue
 from repro.serving.engine import (
@@ -13,14 +16,18 @@ from repro.serving.engine import (
 from repro.serving.updates import DeadLetter, FlowUpdate, WeightUpdate
 
 __all__ = [
+    "AsyncGateway",
     "AuditReport",
+    "ClientAdmission",
     "DeadLetter",
     "DeadLetterQueue",
     "EngineStatus",
     "FlowUpdate",
+    "GatewayWindowStats",
     "ResilientEngine",
     "ServingDistance",
     "ServingResult",
+    "TokenBucket",
     "UpdateOutcome",
     "WeightUpdate",
     "verify_index",

@@ -1,0 +1,128 @@
+"""Per-client admission control for the serving front doors.
+
+The resilient engine's admission layer validates *updates* (finite values,
+known vertices, timestamp monotonicity — :meth:`ResilientEngine._validate`);
+this module is the request-side counterpart: a classic token-bucket rate
+limiter keyed by client identity, shared by the async gateway so one noisy
+client cannot starve the coalescing window for everyone else.
+
+A :class:`TokenBucket` admits ``rate`` requests per second with bursts up
+to ``burst``; :class:`ClientAdmission` keeps one lazily-created bucket per
+client id (bounded — least-recently-seen buckets are evicted, which only
+ever *loosens* limits for clients quiet long enough to refill anyway).
+Rejections are typed (:class:`~repro.errors.AdmissionError`) and counted
+under ``repro_async_rejected_total{reason="admission"}`` by the caller.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from repro.errors import QueryError
+
+__all__ = ["ClientAdmission", "TokenBucket"]
+
+
+class TokenBucket:
+    """Admit up to ``rate`` requests/second with bursts of ``burst``.
+
+    The bucket holds at most ``burst`` tokens and refills continuously at
+    ``rate`` tokens per second; each admitted request spends one token.
+    ``clock`` is injectable so tests stay instant and deterministic.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise QueryError(f"token-bucket rate must be positive, got {rate}")
+        if burst < 1:
+            raise QueryError(f"token-bucket burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._clock = clock
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_admit(self) -> bool:
+        """Spend one token if available; ``False`` means rate-limited."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token exists (0 when admissible now)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class ClientAdmission:
+    """One :class:`TokenBucket` per client id, bounded LRU of buckets.
+
+    ``admit(client)`` returns ``None`` when the request is admitted, or
+    the positive retry-after seconds when it is rate-limited.  Unknown
+    clients start with a full bucket.  ``max_clients`` bounds memory: the
+    least-recently-seen bucket is dropped at capacity, which can only
+    loosen limits for clients that have been idle the longest.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_clients < 1:
+            raise QueryError(
+                f"max_clients must be >= 1, got {max_clients}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket
+
+    def admit(self, client: str) -> float | None:
+        """``None`` = admitted; a float = rejected, retry after that many s."""
+        bucket = self.bucket(client)
+        if bucket.try_admit():
+            return None
+        return bucket.retry_after()
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import math
 import time
-import warnings
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Callable
@@ -54,7 +53,7 @@ from repro.obs import flight as obs_flight
 from repro.obs import slo as obs_slo
 from repro.baselines.dijkstra import dijkstra_distance
 from repro.core.fahl import FAHLIndex
-from repro.core.fpsps import FlowAwareEngine
+from repro.core.fpsps import KERNEL_MODES, FlowAwareEngine
 from repro.core.fspq import FSPQuery, FSPResult
 from repro.core.maintenance import apply_flow_update, apply_weight_update
 from repro.core.overlay import ConsolidationTask, DeltaOverlay, OverlayOracle
@@ -85,10 +84,9 @@ class EngineStatus:
     ``repro_serving_*`` families).  ``last_audit_at`` is a wall-clock
     ``time.time()`` timestamp, ``None`` until the first :meth:`~ResilientEngine.audit`.
 
-    Dict-style access (``status["state"]``) is kept for callers written
-    against the pre-typed API, but is deprecated and will be removed one
-    release after 1.0 (docs/API.md, "Deprecation policy") — use attribute
-    access or :meth:`as_dict`.
+    Access is attribute-style (``status.state``) or via :meth:`as_dict`;
+    the deprecated dict-style ``status["state"]`` spelling completed its
+    cycle and was removed (docs/API.md, "Deprecation policy").
     """
 
     state: str
@@ -103,18 +101,6 @@ class EngineStatus:
     overlay_hubs: int = 0
     pending_flow_updates: int = 0
     consolidation_state: str | None = None
-
-    def __getitem__(self, key: str):
-        warnings.warn(
-            "dict-style EngineStatus access is deprecated; use attribute "
-            "access (status.state) or status.as_dict()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        try:
-            return getattr(self, key)
-        except AttributeError:
-            raise KeyError(key) from None
 
     def as_dict(self) -> dict:
         return {
@@ -807,6 +793,8 @@ class ResilientEngine:
         self,
         queries: list[FSPQuery],
         workers: int = 1,
+        timeout: float | None = None,
+        kernel: str | None = None,
         report=None,
     ) -> list[ServingResult]:
         """Evaluate a workload, degrading to the index-free path if needed.
@@ -815,23 +803,30 @@ class ResilientEngine:
         :func:`repro.core.batch.batch_query` (shared memoised oracle, fork
         pool with ``workers > 1``); degraded engines answer serially from
         the fallback engine, query by query, exactly like :meth:`query`.
+        ``timeout`` bounds each pool chunk; ``kernel`` overrides the
+        kernel mode of whichever engine answers (the unified protocol
+        batch signature, docs/API.md).
         """
+        if kernel is not None and kernel not in KERNEL_MODES:
+            raise QueryError(
+                f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+            )
         if obs.get_tracer() is not None:
             with obs_context.request_scope():
                 with obs.trace(
                     "serving.batch", queries=len(queries), workers=workers
                 ):
-                    return self._batch_impl(queries, workers, report)
-        return self._batch_impl(queries, workers, report)
+                    return self._batch_impl(queries, workers, timeout, kernel, report)
+        return self._batch_impl(queries, workers, timeout, kernel, report)
 
     def _batch_impl(
         self,
         queries: list[FSPQuery],
         workers: int,
+        timeout,
+        kernel,
         report,
     ) -> list[ServingResult]:
-        from repro.core.batch import batch_query
-
         if self.degraded:
             self.metrics["queries_degraded"] += len(queries)
             self._count(
@@ -840,14 +835,15 @@ class ResilientEngine:
                 len(queries),
                 source="fallback",
             )
-            return [
-                ServingResult(
-                    result=self._fallback.query(query),
-                    degraded=True,
-                    source="fallback",
-                )
-                for query in queries
-            ]
+            with self._fallback.kernel_override(kernel):
+                return [
+                    ServingResult(
+                        result=self._fallback.query(query),
+                        degraded=True,
+                        source="fallback",
+                    )
+                    for query in queries
+                ]
         self.metrics["queries_index"] += len(queries)
         self._count(
             "repro_serving_queries_total",
@@ -855,8 +851,8 @@ class ResilientEngine:
             len(queries),
             source="index",
         )
-        results = batch_query(
-            self._engine, queries, workers=workers, report=report
+        results = self._engine.batch(
+            queries, workers=workers, timeout=timeout, kernel=kernel, report=report
         )
         return [
             ServingResult(result=result, degraded=False, source="index")
@@ -941,7 +937,7 @@ class ResilientEngine:
         return report
 
     def status(self) -> EngineStatus:
-        """Typed snapshot for telemetry/logging (dict-style access kept)."""
+        """Typed snapshot for telemetry/logging (attribute access only)."""
         return EngineStatus(
             state=self.state,
             deferred_updates=len(self._deferred),

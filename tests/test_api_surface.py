@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import re
 from pathlib import Path
 
@@ -9,6 +11,8 @@ import pytest
 
 import repro
 from repro import (
+    AsyncEngine,
+    AsyncGateway,
     Engine,
     FSPQuery,
     QueryConstraints,
@@ -20,6 +24,7 @@ from repro import (
     constrained,
     knn,
     skyline,
+    to_async,
 )
 from repro.core.fpsps import FlowAwareEngine
 from repro.core.knn import flow_aware_knn
@@ -78,6 +83,31 @@ class TestEngineProtocol:
                 as_result(r).shortest_distance > 0 for r in results
             )
 
+    def test_batch_signature_is_uniform(self, engines):
+        """Every tier exposes batch(queries, workers, timeout, kernel, report)."""
+        for name, engine in engines.items():
+            params = inspect.signature(engine.batch).parameters
+            for keyword, default in (
+                ("workers", 1),
+                ("timeout", None),
+                ("kernel", None),
+                ("report", None),
+            ):
+                assert keyword in params, f"{name}.batch lacks {keyword}="
+                assert params[keyword].default == default, (
+                    f"{name}.batch {keyword}= default drifted"
+                )
+
+    def test_batch_kernel_and_timeout_accepted_everywhere(self, engines):
+        queries = [FSPQuery(0, 20, 0), FSPQuery(3, 30, 1)]
+        for engine in engines.values():
+            flat = engine.batch(queries, kernel="flat", timeout=30.0)
+            scalar = engine.batch(queries, kernel="scalar", timeout=30.0)
+            assert [as_result(a).shortest_distance for a in flat] == \
+                [as_result(b).shortest_distance for b in scalar]
+            with pytest.raises(QueryError):
+                engine.batch(queries, kernel="vectorised-wrong")
+
     def test_normalisers_reject_garbage(self):
         with pytest.raises(QueryError):
             as_result("nope")
@@ -94,13 +124,13 @@ class TestHarmonisedFrontDoors:
             got = knn(engine, query, pois, 2)
             assert [m.poi for m in got] == [m.poi for m in legacy]
 
-    def test_knn_positional_source_deprecated(self, engines):
+    def test_knn_positional_source_removed(self, engines):
         pois = [5, 11, 22]
-        with pytest.warns(DeprecationWarning):
-            got = knn(engines["flow"], 0, pois, 1, timestep=2)
-        assert got == knn(engines["flow"], FSPQuery(0, 1, 2), pois, 1)
-        with pytest.warns(DeprecationWarning), pytest.raises(QueryError):
-            knn(engines["flow"], 0, pois, 1)  # legacy spelling needs timestep=
+        # the legacy positional spelling completed its deprecation cycle
+        with pytest.raises(QueryError, match="removed"):
+            knn(engines["flow"], 0, pois, 1)
+        with pytest.raises(TypeError):
+            knn(engines["flow"], 0, pois, 1, timestep=2)  # kwarg is gone too
 
     def test_constrained_trivial_equals_plain_query(self, engines):
         query = FSPQuery(2, 33, 0)
@@ -127,12 +157,54 @@ class TestHarmonisedFrontDoors:
         for engine in engines.values():
             assert skyline(engine, query).paths == want.paths
 
-    def test_skyline_positional_deprecated(self, frn):
-        with pytest.warns(DeprecationWarning):
-            got = skyline(frn, 0, target=35, timestep=1)
-        assert got.paths == skyline_paths(frn, 0, 35, 1).paths
-        with pytest.warns(DeprecationWarning), pytest.raises(QueryError):
-            skyline(frn, 0, timestep=1)  # legacy spelling needs target=
+    def test_skyline_positional_removed(self, frn):
+        with pytest.raises(QueryError, match="removed"):
+            skyline(frn, 0)
+        with pytest.raises(TypeError):
+            skyline(frn, 0, target=35, timestep=1)  # kwargs are gone too
+
+
+class TestAsyncEngineProtocol:
+    def test_gateway_satisfies_async_engine(self, engines):
+        gateway = AsyncGateway(engines["flow"])
+        assert isinstance(gateway, AsyncEngine)
+        assert not isinstance(engines["flow"], AsyncEngine)
+        # ResilientEngine has submit() (for updates) but no coroutines
+        assert not isinstance(engines["resilient"], AsyncEngine)
+        assert not isinstance(engines["sharded"], AsyncEngine)
+
+    def test_to_async_adapts_every_tier(self, engines):
+        for name, engine in engines.items():
+            adapted = to_async(engine, window_seconds=0.0)
+            assert isinstance(adapted, AsyncEngine), name
+            assert adapted.engine is engine
+
+    def test_to_async_passes_through_async_engines(self, engines):
+        gateway = to_async(engines["flow"])
+        assert to_async(gateway) is gateway
+        with pytest.raises(QueryError):
+            to_async(gateway, window_seconds=0.5)  # options need a wrap
+
+    def test_to_async_rejects_non_engines(self, frn):
+        with pytest.raises(QueryError):
+            to_async(build_fahl(frn))
+
+    def test_async_answers_match_sync_and_normalise_identically(self, engines):
+        query = FSPQuery(0, 35, 1)
+
+        async def round_trip(engine):
+            async with to_async(engine, window_seconds=0.0) as gateway:
+                return await gateway.aquery(query), await gateway.adistance(0, 35)
+
+        for name, engine in engines.items():
+            got_result, got_distance = asyncio.run(round_trip(engine))
+            want_result = engine.query(query)
+            assert type(got_result) is type(want_result), name
+            assert (
+                as_result(got_result).shortest_distance
+                == as_result(want_result).shortest_distance
+            )
+            assert as_distance(got_distance) == as_distance(engine.distance(0, 35))
 
 
 class TestApiSnapshot:

@@ -130,6 +130,8 @@ class TestBatchQuery:
         assert batch_query(engine, []) == []
 
     def test_shared_targets_hit_cache(self, engine, small_frn, rng):
+        # the memo cache serves the scalar reference path; the flat
+        # kernel reads the label arena directly and never consults it
         n = small_frn.num_vertices
         target = n - 1
         queries = [
@@ -139,10 +141,27 @@ class TestBatchQuery:
         wrapped = MemoizedOracle(engine.oracle)
         engine.oracle = wrapped
         try:
-            batch_query(engine, queries)
+            with engine.kernel_override("scalar"):
+                batch_query(engine, queries)
         finally:
-            engine.oracle = wrapped._oracle
+            engine.oracle = wrapped.wrapped
         assert wrapped.hits > 0  # cross-query reuse happened
+
+    def test_flat_kernel_survives_batch_wrapper(self, engine, small_frn, rng):
+        # the batch path's MemoizedOracle swap must not demote queries
+        # to the scalar kernel: the flat kernel unwraps the memoiser and
+        # answers off the arena without a single oracle call
+        queries = make_queries(small_frn, rng, 8, num_targets=3)
+        assert engine.kernel == "flat"
+        expected = [engine.query(q) for q in queries]
+        wrapped = MemoizedOracle(engine.oracle)
+        engine.oracle = wrapped
+        try:
+            results = batch_query(engine, queries)
+        finally:
+            engine.oracle = wrapped.wrapped
+        assert wrapped.hits == wrapped.misses == 0  # oracle never touched
+        assert results == expected  # frozen dataclasses: exact equality
 
 
 class TestParallelBatchQuery:

@@ -11,9 +11,6 @@ dataset loader, and deprecation-warning caller attribution.
 
 from __future__ import annotations
 
-import warnings
-from inspect import currentframe
-
 import numpy as np
 import pytest
 
@@ -175,6 +172,31 @@ class TestInvalidation:
         scalar = FlowAwareEngine(grid_frn, oracle=grid_index, kernel="scalar")
         queries = all_queries(grid_frn)
         assert answers(engine, queries) == answers(scalar, queries)
+
+    def test_label_preserving_weight_update_resets_kernel(self):
+        # an ILU that raises an off-shortest-path edge weight changes NO
+        # label (so label_version never bumps) yet still invalidates the
+        # kernel's cached adjacency: found by the maintenance property
+        # test, pinned here.  Edge (0,5) is off every shortest path after
+        # the raise, but path (0,5,4) sat exactly on the eta_u candidate
+        # bound before it.
+        graph = RoadNetwork(6)
+        for u, v, w in [(1, 0, 8.0), (2, 1, 10.0), (3, 1, 3.0),
+                        (4, 0, 3.0), (5, 4, 1.0), (0, 5, 8.0)]:
+            graph.add_edge(u, v, w)
+        flows = np.array([32.0, 78.0, 24.0, 8.0, 70.0, 54.0])
+        frn = FlowAwareRoadNetwork(graph, FlowSeries(flows[None, :]))
+        index = FAHLIndex(graph, flows, beta=0.5)
+        flat = FlowAwareEngine(frn, oracle=index, pruning="none")
+        scalar = FlowAwareEngine(
+            frn, oracle=index, pruning="none", kernel="scalar"
+        )
+        queries = all_queries(frn)
+        assert answers(flat, queries) == answers(scalar, queries)  # warm
+        version_before = index.label_version
+        apply_weight_update(index, 0, 5, 12.0)
+        assert index.label_version == version_before  # the trap: no bump
+        assert answers(flat, queries) == answers(scalar, queries)
 
     def test_oracle_swap_rebuilds_kernel(self, grid_frn, grid_index):
         engine = FlowAwareEngine(grid_frn, oracle=grid_index)
@@ -450,26 +472,20 @@ class TestDimacsDataset:
 
 
 # ----------------------------------------------------------------------
-# deprecation warnings point at the caller (satellite c)
+# completed deprecation cycles: the old spellings are gone (satellite c)
 # ----------------------------------------------------------------------
-class TestDeprecationAttribution:
-    def test_invalidate_flow_cache_points_at_caller(self, grid_frn):
+class TestDeprecationRemoval:
+    def test_invalidate_flow_cache_removed(self, grid_frn):
         engine = FlowAwareEngine(grid_frn)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            engine.invalidate_flow_cache(); lineno = currentframe().f_lineno  # noqa: E702
-        assert len(caught) == 1
-        assert caught[0].category is DeprecationWarning
-        assert caught[0].filename == __file__
-        assert caught[0].lineno == lineno
+        assert not hasattr(engine, "invalidate_flow_cache")
+        with pytest.raises(AttributeError):
+            engine.invalidate_flow_cache()
 
-    def test_engine_status_getitem_points_at_caller(self, grid_frn):
+    def test_engine_status_getitem_removed(self, grid_frn):
         serving = ResilientEngine(grid_frn, max_retries=1, backoff=0.0)
         status = serving.status()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            status["state"]; lineno = currentframe().f_lineno  # noqa: E702
-        assert len(caught) == 1
-        assert caught[0].category is DeprecationWarning
-        assert caught[0].filename == __file__
-        assert caught[0].lineno == lineno
+        with pytest.raises(TypeError):
+            status["state"]
+        # the typed surface is unaffected
+        assert status.state in ("healthy", "degraded")
+        assert status.as_dict()["state"] == status.state

@@ -97,12 +97,9 @@ class TestEngineBasics:
         engine.invalidate()
         assert not engine._flow_cache
 
-    def test_invalidate_flow_cache_deprecated_alias(self, diamond_frn):
+    def test_invalidate_flow_cache_alias_removed(self, diamond_frn):
         engine = FlowAwareEngine(diamond_frn)
-        engine.query(FSPQuery(0, 3, 0))
-        with pytest.warns(DeprecationWarning):
-            engine.invalidate_flow_cache()
-        assert not engine._flow_cache
+        assert not hasattr(engine, "invalidate_flow_cache")
 
 
 class TestPruningModes:

@@ -82,8 +82,7 @@ def test_quarantine_metrics_and_dlq_gauge(registry, frn):
     status = serving.status()
     assert isinstance(status, EngineStatus)
     assert status.dead_letters_queued == 3
-    with pytest.warns(DeprecationWarning):  # dict-style back-compat
-        assert status["dead_letters_queued"] == 3
+    assert status.as_dict()["dead_letters_queued"] == 3
     assert status.metrics["updates_rejected"] == 3
 
 

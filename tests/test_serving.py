@@ -206,12 +206,10 @@ class TestQueriesAndAudit:
         assert status.dead_letters_queued == 1
         assert status.metrics["updates_rejected"] == 1
         assert status.last_audit_at is None  # no audit has run yet
-        # dict-style access is kept for pre-typed callers, but deprecated
-        with pytest.warns(DeprecationWarning):
-            assert status["state"] == status.state
+        # dict-style access completed its deprecation cycle and was removed
+        with pytest.raises(TypeError):
+            status["state"]
         assert status.as_dict()["dead_letters_queued"] == 1
-        with pytest.warns(DeprecationWarning), pytest.raises(KeyError):
-            status["nonsense"]
 
     def test_status_records_audit_timestamp(self, serving):
         serving.audit()
